@@ -1,0 +1,46 @@
+"""Benchmark fixtures.
+
+The campaign powering every table/figure benchmark is built once per
+session at the experiment scale; each benchmark then times its *analysis*
+step (the paper's tables were all derived from one measurement
+repository).  Rendered tables are written to ``benchmarks/reports/`` so
+the paper-vs-measured comparison is inspectable after a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.report import Table
+from repro.experiments.scenario import (
+    ExperimentData,
+    experiment_config,
+    get_experiment_data,
+    get_w6d_data,
+)
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def data() -> ExperimentData:
+    return get_experiment_data(experiment_config())
+
+
+@pytest.fixture(scope="session")
+def w6d_data() -> ExperimentData:
+    return get_w6d_data(experiment_config())
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+def save_report(report_dir: pathlib.Path, name: str, table: Table) -> None:
+    path = report_dir / f"{name}.txt"
+    path.write_text(table.render() + "\n", encoding="utf-8")
+    print(f"\n{table.render()}")

@@ -1,0 +1,114 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* peering parity - the paper's remedy: more mirrored peering must mean
+  more identical paths and more comparable destinations;
+* tunnel prevalence - Table 7's low-hop anomaly should track how many
+  v6-stranded ASes tunnel instead of staying dark;
+* the 10% comparability band - Table 8/11 shares must respond smoothly
+  (not cliff-like) to the threshold choice;
+* the zero-mode rule - widening the band can only grow the zero-mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.classify import SiteCategory
+from repro.analysis.hypotheses import ASVerdict, evaluate_groups, verdict_fractions
+from repro.config import small_config
+from repro.core import build_world, run_campaign
+from repro.experiments.scenario import build_contexts
+
+
+def _campaign_stats(config) -> dict[str, float]:
+    campaign = run_campaign(build_world(config))
+    contexts = build_contexts(config, campaign)
+    sp_sites = dp_sites = 0
+    comparable = total = 0
+    tunneled = len(campaign.world.dualstack.tunnels)
+    for context in contexts.values():
+        sp_sites += len(context.sites_in(SiteCategory.SP))
+        dp_sites += len(context.sites_in(SiteCategory.DP))
+        for evaluations in (context.sp_evaluations, context.dp_evaluations):
+            for evaluation in evaluations.values():
+                total += 1
+                comparable += evaluation.verdict is ASVerdict.COMPARABLE
+    sl = max(1, sp_sites + dp_sites)
+    return {
+        "sp_share": sp_sites / sl,
+        "comparable": comparable / max(1, total),
+        "tunnels": tunneled,
+    }
+
+
+class TestPeeringParityAblation:
+    def test_bench_parity_sweep(self, benchmark):
+        def sweep():
+            out = {}
+            for parity in (0.1, 0.9):
+                config = small_config(seed=11)
+                config = replace(
+                    config,
+                    dualstack=replace(config.dualstack, peering_parity=parity),
+                )
+                out[parity] = _campaign_stats(config)
+            return out
+
+        results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        # The paper's remedy: parity raises the identical-path share.
+        assert results[0.9]["sp_share"] > results[0.1]["sp_share"]
+
+
+class TestTunnelPrevalenceAblation:
+    def test_bench_tunnel_sweep(self, benchmark):
+        def sweep():
+            out = {}
+            for prob in (0.0, 0.9):
+                config = small_config(seed=11)
+                config = replace(
+                    config, dualstack=replace(config.dualstack, tunnel_prob=prob)
+                )
+                out[prob] = _campaign_stats(config)
+            return out
+
+        results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        assert results[0.0]["tunnels"] == 0
+        assert results[0.9]["tunnels"] > 0
+
+
+class TestComparabilityThresholdAblation:
+    def test_bench_threshold_sensitivity(self, benchmark, data):
+        context = data.context("Penn")
+        sp_groups = context.groups_in(SiteCategory.SP)
+
+        def comparable_share(threshold: float) -> float:
+            cfg = replace(data.config.analysis, comparable_threshold=threshold)
+            evaluations = evaluate_groups(context.db, sp_groups, cfg)
+            return verdict_fractions(evaluations.values())[ASVerdict.COMPARABLE]
+
+        def sweep():
+            return {t: comparable_share(t) for t in (0.05, 0.10, 0.20)}
+
+        shares = benchmark(sweep)
+        # Monotone in the threshold, and no cliff around the paper's 10%.
+        assert shares[0.05] <= shares[0.10] <= shares[0.20]
+        assert shares[0.20] - shares[0.05] < 0.5
+
+
+class TestZeroModeRuleAblation:
+    def test_bench_zero_mode_band(self, benchmark, data):
+        from repro.analysis.zeromode import relative_differences, zero_mode_sites
+
+        context = data.context("Penn")
+        diffs = relative_differences(context.db, context.kept)
+
+        def sweep():
+            return {
+                t: len(zero_mode_sites(diffs, t)) for t in (0.05, 0.10, 0.20)
+            }
+
+        counts = benchmark(sweep)
+        assert counts[0.05] <= counts[0.10] <= counts[0.20]
+        assert counts[0.10] > 0

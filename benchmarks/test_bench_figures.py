@@ -1,0 +1,34 @@
+"""Benchmarks regenerating Figures 1, 3a, and 3b."""
+
+from __future__ import annotations
+
+from repro.experiments import fig1, fig3a, fig3b
+
+from .conftest import save_report
+
+
+class TestFig1:
+    def test_bench_fig1_reachability_series(self, benchmark, data, report_dir):
+        table = benchmark(fig1.run, data)
+        save_report(report_dir, "fig1", table)
+        # Shape: the series grows and jumps at World IPv6 Day.
+        series = fig1.reachability_series(data)
+        w6d = data.config.adoption.world_ipv6_day_round
+        assert series[-1][1] > series[0][1]
+        assert series[w6d][1] > series[w6d - 1][1]
+
+
+class TestFig3a:
+    def test_bench_fig3a_rank_buckets(self, benchmark, data, report_dir):
+        table = benchmark(fig3a.run, data)
+        save_report(report_dir, "fig3a", table)
+        buckets = fig3a.reachability_by_rank(data)
+        assert buckets[0][1] >= buckets[-1][1]
+
+
+class TestFig3b:
+    def test_bench_fig3b_sample_comparison(self, benchmark, data, report_dir):
+        table = benchmark(fig3b.run, data)
+        save_report(report_dir, "fig3b", table)
+        top, extended = fig3b.v6_faster_by_sample(data)
+        assert abs(top - extended) < 0.2

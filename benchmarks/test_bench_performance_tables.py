@@ -1,0 +1,52 @@
+"""Benchmarks regenerating Tables 6, 7, and 9 (performance tables)."""
+
+from __future__ import annotations
+
+from repro.experiments import table6, table7, table9
+from repro.net.addresses import AddressFamily
+
+from .conftest import save_report
+
+V4 = AddressFamily.IPV4
+V6 = AddressFamily.IPV6
+
+
+class TestTable6:
+    def test_bench_table6_dl_performance(self, benchmark, data, report_dir):
+        table = benchmark(table6.run, data)
+        save_report(report_dir, "table6", table)
+        for name in ("Penn", "Comcast", "LU", "UPCB"):
+            stats = table6.dl_statistics(data, name)
+            if stats["n_sites"] >= 5:
+                assert stats["v4_ge_v6"] >= 0.6
+                assert stats["v4_perf"] > stats["v6_perf"]
+
+
+class TestTable7:
+    def test_bench_table7_dl_dp_hopcount(self, benchmark, data, report_dir):
+        table = benchmark(table7.run, data)
+        save_report(report_dir, "table7", table)
+        buckets = table7.hopcount_table(data, "Penn")
+        speeds = [
+            buckets[V4][b].mean_speed
+            for b in ("2", "3", "4", ">=5")
+            if buckets[V4][b].n_sites >= 3
+        ]
+        if len(speeds) >= 2:
+            assert speeds[0] > speeds[-1]  # v4 slows down with hops
+
+
+class TestTable9:
+    def test_bench_table9_sp_hopcount(self, benchmark, data, report_dir):
+        table = benchmark(table9.run, data)
+        save_report(report_dir, "table9", table)
+        # SP rows pair up: same site counts per bucket for both families.
+        from repro.analysis.classify import SiteCategory
+        from repro.analysis.hopcount import performance_by_hopcount
+
+        context = data.context("Comcast")
+        buckets = performance_by_hopcount(
+            context.db, context.sites_in(SiteCategory.SP)
+        )
+        for bucket in ("1", "2", "3", "4", ">=5"):
+            assert buckets[V4][bucket].n_sites == buckets[V6][bucket].n_sites

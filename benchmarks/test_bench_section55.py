@@ -1,0 +1,14 @@
+"""Benchmark for the Section 5.5 trait scan."""
+
+from __future__ import annotations
+
+from repro.experiments import section55
+
+from .conftest import save_report
+
+
+class TestSection55:
+    def test_bench_trait_analysis(self, benchmark, data, report_dir):
+        table = benchmark(section55.run, data)
+        save_report(report_dir, "section55", table)
+        assert len(table.rows) == 4

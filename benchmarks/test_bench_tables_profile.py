@@ -1,0 +1,47 @@
+"""Benchmarks regenerating Tables 1-5 (inventory, profiles, sanitisation)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1, table2, table3, table4, table5
+
+from .conftest import save_report
+
+
+class TestTable1:
+    def test_bench_table1_vantages(self, benchmark, data, report_dir):
+        table = benchmark(table1.run, data)
+        save_report(report_dir, "table1", table)
+        assert len(table.rows) == 6
+
+
+class TestTable2:
+    def test_bench_table2_profiles(self, benchmark, data, report_dir):
+        table = benchmark(table2.run, data)
+        save_report(report_dir, "table2", table)
+        rows = table2.profile_rows(data)
+        totals = rows["Sites (total)"][:-1]
+        assert totals[0] == max(totals)  # Penn leads
+        assert rows["ASes crossed (IPv6)"][-1] <= rows["ASes crossed (IPv4)"][-1]
+
+
+class TestTable3:
+    def test_bench_table3_failure_causes(self, benchmark, data, report_dir):
+        table = benchmark(table3.run, data)
+        save_report(report_dir, "table3", table)
+        for row in table.rows:
+            assert row[1] >= max(row[2:7])  # insufficient dominates
+
+
+class TestTable4:
+    def test_bench_table4_classification(self, benchmark, data, report_dir):
+        table = benchmark(table4.run, data)
+        save_report(report_dir, "table4", table)
+        for row in table.rows:
+            assert sum(row[1:]) > 0
+
+
+class TestTable5:
+    def test_bench_table5_removed_audit(self, benchmark, data, report_dir):
+        table = benchmark(table5.run, data)
+        save_report(report_dir, "table5", table)
+        assert len(table.rows) == 6

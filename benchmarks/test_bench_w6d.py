@@ -1,0 +1,39 @@
+"""Benchmarks regenerating Tables 10 and 12 (World IPv6 Day)."""
+
+from __future__ import annotations
+
+from repro.analysis.hypotheses import ASVerdict, verdict_fractions
+from repro.experiments import worldipv6day
+
+from .conftest import save_report
+
+
+class TestTable10:
+    def test_bench_table10_w6d_sp(self, benchmark, w6d_data, report_dir):
+        table = benchmark(worldipv6day.run_table10, w6d_data)
+        save_report(report_dir, "table10", table)
+        for name in worldipv6day.W6D_VANTAGES:
+            evaluations = w6d_data.context(name).sp_evaluations
+            if not evaluations:
+                continue
+            fractions = verdict_fractions(evaluations.values())
+            assert fractions[ASVerdict.COMPARABLE] >= 0.6
+
+
+class TestTable12:
+    def test_bench_table12_w6d_dp(self, benchmark, w6d_data, data, report_dir):
+        table = benchmark(worldipv6day.run_table12, w6d_data)
+        save_report(report_dir, "table12", table)
+        # W6D DP participants fare far better than the everyday DP
+        # population (Table 12 vs Table 11), yet below SP levels.
+        total_w6d = []
+        for name in worldipv6day.W6D_VANTAGES:
+            evaluations = w6d_data.context(name).dp_evaluations
+            if evaluations:
+                fractions = verdict_fractions(evaluations.values())
+                total_w6d.append(fractions[ASVerdict.COMPARABLE])
+        if total_w6d:
+            everyday = verdict_fractions(
+                data.context("Penn").dp_evaluations.values()
+            )[ASVerdict.COMPARABLE]
+            assert max(total_w6d) > everyday

@@ -1,0 +1,79 @@
+"""Extension: what would Happy Eyeballs have made of the 2011 Internet?
+
+The paper closes by asking how IPv6's routing deficits would affect
+users.  RFC 6555 ("Happy Eyeballs", 2012) was the ecosystem's answer:
+browsers race IPv6 against (delayed) IPv4 and take whichever connects
+first.  This example runs that race against every dual-stack destination
+of the synthetic 2011 Internet and reports how often users would still
+land on IPv6 — per SP/DP category — and what the fallback costs.
+
+Run with::
+
+    python examples/happy_eyeballs.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import build_world, run_campaign, small_config
+from repro.analysis.classify import SiteCategory
+from repro.dataplane.latency import LatencyConfig, LatencyModel
+from repro.experiments.scenario import build_contexts
+from repro.net.addresses import AddressFamily
+from repro.web.happyeyeballs import HappyEyeballsClient, summarise_races
+
+V4, V6 = AddressFamily.IPV4, AddressFamily.IPV6
+
+
+def main() -> int:
+    config = small_config(seed=11)
+    world = build_world(config)
+    result = run_campaign(world)
+    contexts = build_contexts(config, result)
+
+    latency = LatencyModel(LatencyConfig(), world.rngs)
+    client = HappyEyeballsClient(latency)
+    rng = random.Random(2012)
+
+    print("Happy Eyeballs (RFC 6555) over the synthetic 2011 Internet")
+    print(f"IPv6 preference delay: {client.preference_delay_ms:.0f} ms\n")
+    print(f"{'vantage':9s} {'category':9s} {'races':>6s} {'IPv6 share':>11s} "
+          f"{'mean connect':>13s} {'fallback cost':>14s}")
+
+    for name, context in contexts.items():
+        vantage_asn = context.vantage.asn
+        for category in (SiteCategory.SP, SiteCategory.DP):
+            outcomes = []
+            for sid in context.sites_in(category):
+                site = world.catalog.site(sid)
+                v4_path = world.forwarding_path(
+                    vantage_asn, site.dest_asn(V4), V4, alternate=False
+                )
+                v6_path = world.forwarding_path(
+                    vantage_asn, site.dest_asn(V6), V6, alternate=False
+                )
+                if v4_path is None:
+                    continue
+                outcomes.append(client.race(v4_path, v6_path, rng))
+            stats = summarise_races(outcomes)
+            if stats.n_races == 0:
+                continue
+            print(
+                f"{name:9s} {category.value:9s} {stats.n_races:6d} "
+                f"{100 * stats.v6_share:10.1f}% "
+                f"{stats.mean_connect_ms:10.1f} ms "
+                f"{stats.mean_fallback_penalty_ms:11.1f} ms"
+            )
+
+    print(
+        "\nReading: with a 300 ms head start IPv6 wins almost every race, "
+        "even over the longer DP detours - Happy Eyeballs made dual-stack "
+        "safe for users while hiding exactly the performance gaps this "
+        "paper set out to measure."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

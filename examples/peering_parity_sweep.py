@@ -1,0 +1,96 @@
+"""Ablation: how IPv6/IPv4 peering parity shapes performance parity.
+
+The paper's headline recommendation is that "promoting IPv6 and IPv4
+peering parity is probably the single most effective step towards equal
+IPv6 and IPv4 performance".  This experiment tests that claim in the
+simulator: sweep the probability that an IPv4 peering link is mirrored
+in IPv6 and watch (a) the share of destinations reached over identical
+paths (SP) and (b) the share of destination ASes with comparable
+performance.
+
+Run with::
+
+    python examples/peering_parity_sweep.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro import build_world, run_campaign, small_config
+from repro.analysis.classify import SiteCategory
+from repro.analysis.hypotheses import ASVerdict, verdict_fractions
+from repro.experiments.scenario import build_contexts
+
+PARITIES = (0.0, 0.25, 0.5, 0.75, 1.0)
+SEEDS = (11, 12, 13)
+
+
+def run_at_parity(parity: float) -> dict[str, float]:
+    """Average SP share and comparable-AS share over several seeds.
+
+    Multiple seeds matter: in a small world only a handful of peering
+    links sit on the vantage points' paths, so a single draw responds to
+    the parity knob in coarse steps.
+    """
+    sp_share_sum = comparable_sum = 0.0
+    for seed in SEEDS:
+        config = small_config(seed=seed)
+        config = replace(
+            config, dualstack=replace(config.dualstack, peering_parity=parity)
+        )
+        world = build_world(config)
+        result = run_campaign(world)
+        contexts = build_contexts(config, result)
+
+        sp_sites = dp_sites = 0
+        comparable = total_ases = 0
+        for context in contexts.values():
+            sp_sites += len(context.sites_in(SiteCategory.SP))
+            dp_sites += len(context.sites_in(SiteCategory.DP))
+            for evaluations in (context.sp_evaluations, context.dp_evaluations):
+                fractions = verdict_fractions(evaluations.values())
+                comparable += fractions[ASVerdict.COMPARABLE] * len(evaluations)
+                total_ases += len(evaluations)
+        sl = sp_sites + dp_sites
+        sp_share_sum += sp_sites / sl if sl else 0.0
+        comparable_sum += comparable / total_ases if total_ases else 0.0
+    return {
+        "sp_share": sp_share_sum / len(SEEDS),
+        "comparable_share": comparable_sum / len(SEEDS),
+    }
+
+
+def main() -> int:
+    print("peering parity -> identical paths -> comparable performance")
+    print(f"{'parity':>8s}  {'SP share of SL sites':>22s}  {'comparable ASes':>16s}")
+    rows = []
+    for parity in PARITIES:
+        stats = run_at_parity(parity)
+        rows.append((parity, stats))
+        print(
+            f"{parity:8.2f}  {100 * stats['sp_share']:21.1f}%  "
+            f"{100 * stats['comparable_share']:15.1f}%"
+        )
+    # The paper's claim, checked:
+    low_sp, high_sp = rows[0][1]["sp_share"], rows[-1][1]["sp_share"]
+    low_cmp, high_cmp = (
+        rows[0][1]["comparable_share"],
+        rows[-1][1]["comparable_share"],
+    )
+    print(
+        f"\nfull parity lifts the identical-path (SP) share from "
+        f"{100 * low_sp:.1f}% to {100 * high_sp:.1f}% and the "
+        f"comparable-AS share from {100 * low_cmp:.1f}% to "
+        f"{100 * high_cmp:.1f}%."
+    )
+    print(
+        "note: this quick sweep runs a deliberately small world where few "
+        "v4 paths traverse peering links at all; at larger scales (see "
+        "benchmarks/) the parity lever moves both shares much further."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

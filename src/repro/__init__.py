@@ -1,0 +1,61 @@
+"""repro — a reproduction of "Assessing IPv6 Through Web Access" (CoNEXT 2011).
+
+The package builds a synthetic dual-stack Internet (AS topology, BGP,
+DNS, web servers, CDNs, tunnels), reimplements the paper's monitoring
+tool on top of it, and reruns the paper's full analysis: hypothesis H1
+(the IPv6 and IPv4 data planes perform comparably on shared paths) and
+hypothesis H2 (routing differences are the major cause of poorer IPv6
+performance).
+
+Quick start::
+
+    from repro import build_world, run_campaign, default_config
+
+    world = build_world(default_config().scaled(0.1))
+    result = run_campaign(world)
+"""
+
+from .config import (
+    AdoptionConfig,
+    AnalysisConfig,
+    CampaignConfig,
+    DualStackConfig,
+    MonitorConfig,
+    PerformanceConfig,
+    ScenarioConfig,
+    SiteConfig,
+    TopologyConfig,
+    default_config,
+    small_config,
+)
+from .core import (
+    CampaignResult,
+    World,
+    build_world,
+    run_campaign,
+    run_world_ipv6_day,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdoptionConfig",
+    "AnalysisConfig",
+    "CampaignConfig",
+    "DualStackConfig",
+    "MonitorConfig",
+    "PerformanceConfig",
+    "ScenarioConfig",
+    "SiteConfig",
+    "TopologyConfig",
+    "default_config",
+    "small_config",
+    "CampaignResult",
+    "World",
+    "build_world",
+    "run_campaign",
+    "run_world_ipv6_day",
+    "ReproError",
+    "__version__",
+]

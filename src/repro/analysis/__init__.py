@@ -1,0 +1,82 @@
+"""The paper's analysis pipeline (Sections 4 and 5).
+
+Order of operations, per vantage point:
+
+1. :mod:`metrics` — per-site performance summaries from the raw database;
+2. :mod:`confidence` — screen sites against the cross-round confidence
+   target; removed sites get a cause (:mod:`sanitize`, Table 3) and a
+   bias audit (:mod:`removed`, Table 5);
+3. :mod:`classify` — split kept sites into DL / SP / DP and group SL
+   sites by destination AS (Fig 4, Table 4);
+4. :mod:`hypotheses` + :mod:`zeromode` — per-AS verdicts validating H1
+   (Table 8) and H2 (Table 11), cross-checked across vantage points
+   (:mod:`crosscheck`);
+5. :mod:`hopcount` — performance by AS-path length (Tables 7 and 9);
+6. :mod:`goodas` — "good AS" coverage of DP paths (Table 13);
+7. :mod:`misc` — the negative finding of Section 5.5.
+"""
+
+from .metrics import site_mean_speed, site_relative_difference, v6_faster
+from .confidence import RemovalReason, SiteScreening, screen_all, screen_site
+from .classify import (
+    ASGroup,
+    SiteCategory,
+    SiteClassification,
+    classify_site,
+    classify_sites,
+    group_by_destination,
+)
+from .zeromode import has_zero_mode, relative_differences, zero_mode_sites
+from .hypotheses import ASEvaluation, ASVerdict, evaluate_as, evaluate_groups
+from .crosscheck import CrossCheckResult, cross_check
+from .hopcount import HopBucket, performance_by_hopcount
+from .goodas import collect_good_ases, dp_path_goodness, goodness_buckets
+from .sanitize import FailureCauses, categorise_failures
+from .removed import RemovedSiteAudit, audit_removed_sites
+from .misc import TraitReport, trait_analysis
+from .pathdiff import (
+    DivergenceSummary,
+    PathComparison,
+    compare_site_paths,
+    summarise_divergence,
+)
+
+__all__ = [
+    "site_mean_speed",
+    "site_relative_difference",
+    "v6_faster",
+    "RemovalReason",
+    "SiteScreening",
+    "screen_all",
+    "screen_site",
+    "ASGroup",
+    "SiteCategory",
+    "SiteClassification",
+    "classify_site",
+    "classify_sites",
+    "group_by_destination",
+    "has_zero_mode",
+    "relative_differences",
+    "zero_mode_sites",
+    "ASEvaluation",
+    "ASVerdict",
+    "evaluate_as",
+    "evaluate_groups",
+    "CrossCheckResult",
+    "cross_check",
+    "HopBucket",
+    "performance_by_hopcount",
+    "collect_good_ases",
+    "dp_path_goodness",
+    "goodness_buckets",
+    "FailureCauses",
+    "categorise_failures",
+    "RemovedSiteAudit",
+    "audit_removed_sites",
+    "TraitReport",
+    "trait_analysis",
+    "DivergenceSummary",
+    "PathComparison",
+    "compare_site_paths",
+    "summarise_divergence",
+]

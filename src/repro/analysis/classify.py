@@ -1,0 +1,148 @@
+"""Site and destination-AS classification (the paper's Fig 4).
+
+Sites are first partitioned by *location*: SL (same AS hosts the A and
+AAAA addresses) versus DL (different locations, typically v4-only CDN
+users).  SL sites then split by *path*: SP (the IPv6 and IPv4 AS paths
+coincide) versus DP (they differ).  The same split is lifted to the
+destination-AS level, which is the unit H1 and H2 are evaluated on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from ..monitor.database import MeasurementDatabase
+from ..net.addresses import AddressFamily
+
+
+class SiteCategory(Enum):
+    """The paper's three site buckets."""
+
+    DL = "DL"  # different locations (v4 and v6 in different ASes)
+    SP = "SP"  # same location, same AS path
+    DP = "DP"  # same location, different AS paths
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class SiteClassification:
+    """One site's category plus the evidence it was derived from."""
+
+    site_id: int
+    category: SiteCategory
+    dest_v4: int
+    dest_v6: int
+    path_v4: tuple[int, ...]
+    path_v6: tuple[int, ...]
+
+    @property
+    def same_location(self) -> bool:
+        return self.dest_v4 == self.dest_v6
+
+
+def classify_site(
+    db: MeasurementDatabase, site_id: int
+) -> SiteClassification | None:
+    """Classify one site from its recorded paths; None without path data.
+
+    Uses the *modal* AS path per family (path-change sites are classified
+    by the path they used most of the time, as the paper effectively does
+    by comparing stable AS-path snapshots).
+    """
+    dest_v4 = db.dest_asn(site_id, AddressFamily.IPV4)
+    dest_v6 = db.dest_asn(site_id, AddressFamily.IPV6)
+    path_v4 = db.as_path(site_id, AddressFamily.IPV4)
+    path_v6 = db.as_path(site_id, AddressFamily.IPV6)
+    if dest_v4 is None or dest_v6 is None or path_v4 is None or path_v6 is None:
+        return None
+    if dest_v4 != dest_v6:
+        category = SiteCategory.DL
+    elif path_v4 == path_v6:
+        category = SiteCategory.SP
+    else:
+        category = SiteCategory.DP
+    return SiteClassification(
+        site_id=site_id,
+        category=category,
+        dest_v4=dest_v4,
+        dest_v6=dest_v6,
+        path_v4=path_v4,
+        path_v6=path_v6,
+    )
+
+
+def classify_sites(
+    db: MeasurementDatabase, site_ids: Iterable[int]
+) -> dict[int, SiteClassification]:
+    """Classify many sites, skipping those without path data."""
+    out: dict[int, SiteClassification] = {}
+    for site_id in site_ids:
+        classification = classify_site(db, site_id)
+        if classification is not None:
+            out[site_id] = classification
+    return out
+
+
+def sites_in_category(
+    classifications: dict[int, SiteClassification], category: SiteCategory
+) -> list[int]:
+    return sorted(
+        sid for sid, c in classifications.items() if c.category is category
+    )
+
+
+@dataclass(frozen=True)
+class ASGroup:
+    """A destination AS with its SL sites and its SP/DP verdict.
+
+    An AS lands in SP when its sites' v4 and v6 paths coincide; sites
+    whose paths flipped mid-campaign can dissent, so the verdict follows
+    the majority of the AS's sites.
+    """
+
+    asn: int
+    category: SiteCategory  # SP or DP only
+    site_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.category is SiteCategory.DL:
+            raise ValueError("AS groups exist only for SL (SP/DP) sites")
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.site_ids)
+
+
+def group_by_destination(
+    classifications: dict[int, SiteClassification],
+) -> dict[int, ASGroup]:
+    """Group SL sites by destination AS and derive each AS's SP/DP label."""
+    members: dict[int, list[int]] = {}
+    sp_votes: dict[int, int] = {}
+    for sid, c in classifications.items():
+        if c.category is SiteCategory.DL:
+            continue
+        members.setdefault(c.dest_v4, []).append(sid)
+        if c.category is SiteCategory.SP:
+            sp_votes[c.dest_v4] = sp_votes.get(c.dest_v4, 0) + 1
+    groups: dict[int, ASGroup] = {}
+    for asn, sids in members.items():
+        sp = sp_votes.get(asn, 0)
+        category = SiteCategory.SP if sp * 2 >= len(sids) else SiteCategory.DP
+        groups[asn] = ASGroup(
+            asn=asn, category=category, site_ids=tuple(sorted(sids))
+        )
+    return groups
+
+
+def groups_in_category(
+    groups: dict[int, ASGroup], category: SiteCategory
+) -> list[ASGroup]:
+    return sorted(
+        (g for g in groups.values() if g.category is category),
+        key=lambda g: g.asn,
+    )

@@ -1,0 +1,28 @@
+"""Control plane: valley-free (Gao-Rexford) routing and routing tables."""
+
+from .routing import PathOracle, Route, RouteClass, compute_routes_to
+from .ribdump import (
+    RouteChange,
+    RouteChangeKind,
+    changed_origins,
+    diff_tables,
+    dump_table,
+    parse_dump,
+)
+from .table import RouteEntry, RoutingTable, build_routing_table
+
+__all__ = [
+    "PathOracle",
+    "Route",
+    "RouteClass",
+    "compute_routes_to",
+    "RouteEntry",
+    "RoutingTable",
+    "build_routing_table",
+    "RouteChange",
+    "RouteChangeKind",
+    "changed_origins",
+    "diff_tables",
+    "dump_table",
+    "parse_dump",
+]

@@ -1,0 +1,146 @@
+"""RIB dumps: serialisable routing-table snapshots and their diffs.
+
+The paper "obtain[ed] BGP routing tables after each monitoring round"
+from a router near each vantage point, then compared snapshots to find
+path changes.  This module provides that artifact: a text serialisation
+of a :class:`~repro.bgp.table.RoutingTable` (one line per prefix, in the
+spirit of ``show ip bgp`` output), a parser for it, and a differ that
+classifies what changed between two rounds' snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from ..errors import RoutingError
+from ..net.addresses import AddressFamily, Prefix
+from .table import RouteEntry, RoutingTable
+
+#: header written at the top of every dump.
+DUMP_HEADER = "# repro-ribdump v1"
+
+
+def dump_table(table: RoutingTable) -> str:
+    """Serialise a routing table, one ``prefix origin path...`` per line.
+
+    Lines are sorted by prefix so dumps of equal tables compare equal as
+    text — handy for storing snapshots and diffing them with standard
+    tools.
+    """
+    lines = [
+        DUMP_HEADER,
+        f"# vantage_asn={table.vantage_asn} family={table.family.value} "
+        f"entries={len(table)}",
+    ]
+    for prefix in sorted(table.entries):
+        entry = table.entries[prefix]
+        path = " ".join(str(asn) for asn in entry.as_path)
+        lines.append(f"{prefix} {entry.origin_asn} {path}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_dump(text: str) -> RoutingTable:
+    """Parse a dump produced by :func:`dump_table`."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines or lines[0] != DUMP_HEADER:
+        raise RoutingError("not a repro-ribdump (missing header)")
+    meta: dict[str, str] = {}
+    for token in lines[1].lstrip("# ").split():
+        key, _, value = token.partition("=")
+        meta[key] = value
+    try:
+        vantage_asn = int(meta["vantage_asn"])
+        family = (
+            AddressFamily.IPV4
+            if meta["family"] == AddressFamily.IPV4.value
+            else AddressFamily.IPV6
+        )
+    except KeyError as exc:
+        raise RoutingError(f"dump metadata missing {exc}") from exc
+    table = RoutingTable(vantage_asn=vantage_asn, family=family)
+    for line in lines[2:]:
+        parts = line.split()
+        if len(parts) < 3:
+            raise RoutingError(f"malformed dump line: {line!r}")
+        prefix = Prefix.parse(parts[0])
+        origin = int(parts[1])
+        as_path = tuple(int(tok) for tok in parts[2:])
+        table.insert(
+            RouteEntry(prefix=prefix, origin_asn=origin, as_path=as_path)
+        )
+    if len(table) != int(meta.get("entries", len(table))):
+        raise RoutingError(
+            f"dump declares {meta.get('entries')} entries, parsed {len(table)}"
+        )
+    return table
+
+
+class RouteChangeKind(Enum):
+    """What happened to a prefix between two snapshots."""
+
+    ANNOUNCED = "announced"   # present only in the newer table
+    WITHDRAWN = "withdrawn"   # present only in the older table
+    PATH_CHANGED = "path_changed"
+
+
+@dataclass(frozen=True)
+class RouteChange:
+    """One prefix's change between two snapshots."""
+
+    prefix: Prefix
+    kind: RouteChangeKind
+    old_path: tuple[int, ...] | None
+    new_path: tuple[int, ...] | None
+
+
+def diff_tables(old: RoutingTable, new: RoutingTable) -> list[RouteChange]:
+    """Classify every per-prefix difference between two snapshots.
+
+    Both tables must belong to the same vantage point and family —
+    diffing across vantage points is a category error.
+    """
+    if old.family is not new.family:
+        raise RoutingError("cannot diff tables of different families")
+    if old.vantage_asn != new.vantage_asn:
+        raise RoutingError("cannot diff tables of different vantage points")
+    changes: list[RouteChange] = []
+    for prefix in sorted(set(old.entries) | set(new.entries)):
+        before = old.entries.get(prefix)
+        after = new.entries.get(prefix)
+        if before is None and after is not None:
+            changes.append(
+                RouteChange(prefix, RouteChangeKind.ANNOUNCED, None, after.as_path)
+            )
+        elif before is not None and after is None:
+            changes.append(
+                RouteChange(prefix, RouteChangeKind.WITHDRAWN, before.as_path, None)
+            )
+        elif (
+            before is not None
+            and after is not None
+            and before.as_path != after.as_path
+        ):
+            changes.append(
+                RouteChange(
+                    prefix,
+                    RouteChangeKind.PATH_CHANGED,
+                    before.as_path,
+                    after.as_path,
+                )
+            )
+    return changes
+
+
+def changed_origins(changes: Iterable[RouteChange]) -> set[int]:
+    """Origin ASes whose routes changed (path changes only).
+
+    This is the set the paper's sanitisation step needs: which
+    destinations' performance transitions can be attributed to routing.
+    """
+    origins: set[int] = set()
+    for change in changes:
+        if change.kind is RouteChangeKind.PATH_CHANGED and change.new_path:
+            origins.add(change.new_path[-1])
+    return origins

@@ -1,0 +1,102 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro run-all   [--scale S] [--seed N]     # every figure and table
+    repro quickrun  [--seed N]                 # small world + H1/H2 verdicts
+    repro export    --out DIR [--seed N]       # campaign data as CSV + manifest
+    repro show-config                          # the default scenario, as text
+
+Installed as the ``repro`` console script (or run via
+``python -m repro.cli``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import pathlib
+import sys
+
+from .analysis.hypotheses import ASVerdict, verdict_fractions
+from .config import default_config, small_config
+from .core import build_world, run_campaign
+from .experiments import run_all as run_all_module
+from .experiments.scenario import build_contexts
+from .monitor.export import export_repository
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    argv = ["--scale", str(args.scale), "--seed", str(args.seed)]
+    return run_all_module.main(argv)
+
+
+def _cmd_quickrun(args: argparse.Namespace) -> int:
+    config = small_config(seed=args.seed)
+    world = build_world(config)
+    result = run_campaign(world)
+    contexts = build_contexts(config, result)
+    print("vantage    SP comparable   DP comparable")
+    for name, context in contexts.items():
+        sp = verdict_fractions(context.sp_evaluations.values())
+        dp = verdict_fractions(context.dp_evaluations.values())
+        print(
+            f"{name:9s}  {100 * sp[ASVerdict.COMPARABLE]:12.1f}%  "
+            f"{100 * dp[ASVerdict.COMPARABLE]:12.1f}%"
+        )
+    print("H1 expects the left column high; H2 expects the right column low.")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    config = small_config(seed=args.seed)
+    world = build_world(config)
+    result = run_campaign(world)
+    manifest = export_repository(result.repository, pathlib.Path(args.out))
+    print(f"exported campaign data; manifest at {manifest}")
+    return 0
+
+
+def _cmd_show_config(args: argparse.Namespace) -> int:
+    config = default_config()
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        if dataclasses.is_dataclass(value):
+            print(f"[{field.name}]")
+            for sub in dataclasses.fields(value):
+                print(f"  {sub.name} = {getattr(value, sub.name)}")
+        else:
+            print(f"{field.name} = {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_all = sub.add_parser("run-all", help="reproduce every figure and table")
+    run_all.add_argument("--scale", type=float, default=0.5)
+    run_all.add_argument("--seed", type=int, default=20111206)
+    run_all.set_defaults(func=_cmd_run_all)
+
+    quickrun = sub.add_parser("quickrun", help="small world, H1/H2 verdicts")
+    quickrun.add_argument("--seed", type=int, default=11)
+    quickrun.set_defaults(func=_cmd_quickrun)
+
+    export = sub.add_parser("export", help="export campaign data to CSV")
+    export.add_argument("--out", required=True)
+    export.add_argument("--seed", type=int, default=11)
+    export.set_defaults(func=_cmd_export)
+
+    show = sub.add_parser("show-config", help="print the default scenario")
+    show.set_defaults(func=_cmd_show_config)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

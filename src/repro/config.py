@@ -1,0 +1,404 @@
+"""Scenario configuration.
+
+All tunable parameters of the synthetic Internet, the monitoring campaign,
+and the analysis live here as frozen dataclasses.  A single
+:class:`ScenarioConfig` is the entry point; its defaults produce a
+laptop-scale world (a few thousand ASes, tens of thousands of sites) whose
+measured tables match the *shape* of the paper's results.
+
+Every experiment and benchmark constructs its world from one of these
+configs, so a scenario is fully described by ``(config, master seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Parameters of the AS-level topology generator.
+
+    The generated graph is a Gao-Rexford-consistent hierarchy: a clique of
+    tier-1 ASes at the top, transit ASes buying from tier-1s/larger transits,
+    and stub / content / CDN ASes at the edge.  Counts are per AS type.
+    """
+
+    n_tier1: int = 8
+    n_transit: int = 120
+    n_stub: int = 700
+    n_content: int = 350
+    n_cdn: int = 6
+    n_regions: int = 5
+    #: mean number of providers for a transit AS (min 1).
+    transit_provider_mean: float = 2.0
+    #: probability a transit AS buys directly from a tier-1 (keeps the
+    #: hierarchy shallow; real AS paths averaged ~4 hops in 2011).
+    transit_tier1_attachment: float = 0.65
+    #: mean number of providers for an edge (stub/content) AS.
+    edge_provider_mean: float = 1.6
+    #: probability that two transit ASes in the same region peer.
+    transit_peering_prob: float = 0.09
+    #: probability that two transit ASes in different regions peer.
+    transit_interregion_peering_prob: float = 0.025
+    #: probability that a content AS peers with a transit AS in its region.
+    content_peering_prob: float = 0.10
+    #: number of transit ASes each CDN AS connects to (multihoming + peering).
+    cdn_attachments: int = 10
+    #: lognormal sigma of per-AS quality factors (1.0 = nominal).
+    link_quality_sigma: float = 0.12
+    #: lognormal sigma of the *family-specific* deviation from an AS's
+    #: base quality.  Small by construction: H1 (comparable data planes)
+    #: is a property of the modelled world, so an AS's IPv6 forwarding
+    #: only jitters slightly around its IPv4 forwarding.
+    family_quality_sigma: float = 0.015
+
+    def validate(self) -> None:
+        if self.n_tier1 < 2:
+            raise ConfigError("need at least 2 tier-1 ASes")
+        if min(self.n_transit, self.n_stub, self.n_content) < 1:
+            raise ConfigError("transit/stub/content counts must be >= 1")
+        if self.n_regions < 1:
+            raise ConfigError("need at least one region")
+        if not 0.0 <= self.transit_peering_prob <= 1.0:
+            raise ConfigError("transit_peering_prob must be a probability")
+
+    @property
+    def n_ases(self) -> int:
+        """Total number of ASes the generator will create."""
+        return (
+            self.n_tier1
+            + self.n_transit
+            + self.n_stub
+            + self.n_content
+            + self.n_cdn
+        )
+
+
+@dataclass(frozen=True)
+class DualStackConfig:
+    """How IPv6 is deployed on top of the IPv4 topology.
+
+    ``peering_parity`` is the paper's central knob: the probability that an
+    IPv4 *peering* link is mirrored in IPv6 when both endpoints are
+    v6-enabled.  Customer-provider links are mirrored with a separate,
+    higher probability (providers sell v6 transit more readily than peers
+    negotiate parity).
+    """
+
+    #: probability that an AS of each type enables IPv6 at all.
+    v6_enable_prob_tier1: float = 1.0
+    v6_enable_prob_transit: float = 0.75
+    v6_enable_prob_stub: float = 0.30
+    v6_enable_prob_content: float = 0.50
+    v6_enable_prob_cdn: float = 0.0  # 2011: no production-grade IPv6 CDNs
+    #: probability an IPv4 c2p link is mirrored in IPv6 (both ends enabled).
+    c2p_parity: float = 1.0
+    #: probability an IPv4 peering link is mirrored in IPv6.
+    peering_parity: float = 0.45
+    #: probability that a v6-enabled AS with no native v6 uplink tunnels
+    #: (6to4 or broker) instead of staying v6-dark.
+    tunnel_prob: float = 0.85
+    #: fraction of tunnels that are 6to4 (the rest use a broker AS).
+    six_to_four_fraction: float = 0.5
+    #: extra multiplicative throughput penalty of a tunneled segment.
+    tunnel_quality: float = 0.82
+
+    def validate(self) -> None:
+        for name in (
+            "v6_enable_prob_tier1",
+            "v6_enable_prob_transit",
+            "v6_enable_prob_stub",
+            "v6_enable_prob_content",
+            "v6_enable_prob_cdn",
+            "c2p_parity",
+            "peering_parity",
+            "tunnel_prob",
+            "six_to_four_fraction",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be a probability, got {value}")
+        if not 0.0 < self.tunnel_quality <= 1.0:
+            raise ConfigError("tunnel_quality must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class SiteConfig:
+    """The measured website population (the Alexa-like catalog)."""
+
+    n_sites: int = 20000
+    #: Zipf exponent of site popularity (affects rank ordering only).
+    zipf_exponent: float = 0.9
+    #: fraction of the list replaced by new sites each monitoring round.
+    churn_rate: float = 0.01
+    #: mean main-page size in bytes.
+    page_size_mean: float = 60_000.0
+    #: lognormal sigma of page sizes.
+    page_size_sigma: float = 0.8
+    #: fraction of dual-stack sites whose v6 page differs by more than the
+    #: identity threshold (different content served per family).
+    different_content_fraction: float = 0.03
+    #: fraction of content sites that use a (v4-only) CDN.
+    cdn_fraction: float = 0.12
+    #: fraction of dual-stack sites whose IPv6 presence is hosted in a
+    #: different AS than IPv4 (split hosting, another source of DL sites).
+    split_hosting_fraction: float = 0.02
+    #: size of the external (never-ranked) site pool fed to Penn's monitor
+    #: from its DNS cache, as a fraction of n_sites (Fig 3b's 5M sample).
+    external_pool_fraction: float = 0.5
+    #: fraction of dual-stack sites with an IPv6-impaired server.
+    server_v6_impaired_fraction: float = 0.10
+    #: multiplicative server efficiency for impaired v6 servers (mean).
+    impaired_efficiency_mean: float = 0.55
+    #: site behaviour mix: stationary / step / trend (must sum to 1).
+    stationary_fraction: float = 0.86
+    step_fraction: float = 0.08
+    trend_fraction: float = 0.06
+    #: among step sites, fraction whose step coincides with a path change.
+    step_from_path_change_fraction: float = 0.30
+
+    def validate(self) -> None:
+        if self.n_sites < 1:
+            raise ConfigError("n_sites must be >= 1")
+        mix = self.stationary_fraction + self.step_fraction + self.trend_fraction
+        if abs(mix - 1.0) > 1e-9:
+            raise ConfigError(f"behaviour fractions must sum to 1, got {mix}")
+        for name in (
+            "churn_rate",
+            "different_content_fraction",
+            "cdn_fraction",
+            "split_hosting_fraction",
+            "external_pool_fraction",
+            "server_v6_impaired_fraction",
+            "step_from_path_change_fraction",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be a probability, got {value}")
+
+
+@dataclass(frozen=True)
+class AdoptionConfig:
+    """IPv6 adoption dynamics of the site population (Fig 1 / Fig 3a).
+
+    Adoption probability is rank-dependent (top sites adopt more) and grows
+    over time, with two step events: the IANA pool depletion announcement
+    and World IPv6 Day.
+    """
+
+    #: baseline fraction of sites that are v6-accessible at round 0.
+    base_adoption: float = 0.0025
+    #: multiplier applied to adoption odds for each 10x improvement in rank.
+    rank_decade_boost: float = 1.9
+    #: per-round multiplicative organic growth of adoption probability.
+    organic_growth: float = 1.005
+    #: round index of the IANA depletion announcement and its jump factor.
+    iana_depletion_round: int = 8
+    iana_jump: float = 1.45
+    #: round index of World IPv6 Day and its jump factor.
+    world_ipv6_day_round: int = 26
+    world_ipv6_day_jump: float = 1.5
+    #: fraction of the most popular sites that participate in World IPv6 Day.
+    w6d_participant_fraction: float = 0.4
+    #: participant pool: sites with static popularity rank <= this fraction
+    #: of the universe are eligible to participate.
+    w6d_eligible_rank_fraction: float = 0.005
+    #: fraction of participants that keep their AAAA after the event (most
+    #: famously turned IPv6 off again the next day).
+    w6d_retention: float = 0.3
+    #: probability a participant provisioned its IPv6 presence well enough
+    #: to offset a routing detour (drives Table 12's ~50% comparable DPs).
+    w6d_good_v6_prob: float = 0.5
+
+    def validate(self) -> None:
+        if not 0.0 < self.base_adoption < 1.0:
+            raise ConfigError("base_adoption must be in (0, 1)")
+        if self.iana_depletion_round >= self.world_ipv6_day_round:
+            raise ConfigError("IANA depletion must precede World IPv6 Day")
+
+
+@dataclass(frozen=True)
+class PerformanceConfig:
+    """The data-plane throughput model.
+
+    ``speed = server_base * server_efficiency(family) * path_factor * noise``
+    with ``path_factor = 1 / (1 + hop_slowdown * (effective_hops - 1))``
+    scaled by per-link qualities.  Calibrated so 1-2 hop paths land around
+    40-110 kbytes/sec and 5+ hop paths around 15-35, matching the magnitude
+    of Tables 7 and 9.
+    """
+
+    #: mean server base speed in kbytes/sec (at zero network cost).
+    server_base_speed_mean: float = 95.0
+    #: lognormal sigma of server base speeds.
+    server_base_speed_sigma: float = 0.35
+    #: per-hop harmonic slowdown coefficient.
+    hop_slowdown: float = 0.45
+    #: hop count beyond which added hops no longer slow a path down (the
+    #: bottleneck link dominates end-to-end throughput past this point).
+    hop_saturation: int = 7
+    #: lognormal sigma of per-download measurement noise.
+    measurement_noise_sigma: float = 0.06
+    #: lognormal sigma of per-round (transient congestion) noise.
+    round_noise_sigma: float = 0.04
+
+    def validate(self) -> None:
+        if self.server_base_speed_mean <= 0:
+            raise ConfigError("server_base_speed_mean must be positive")
+        if self.hop_slowdown < 0:
+            raise ConfigError("hop_slowdown must be >= 0")
+        if self.hop_saturation < 1:
+            raise ConfigError("hop_saturation must be >= 1")
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Parameters of the monitoring tool (the paper's Fig 2 pipeline)."""
+
+    #: maximum sites monitored in parallel (the paper caps at 25).
+    max_concurrent: int = 25
+    #: page-identity threshold: byte counts within this fraction are
+    #: declared "identical" (the paper uses 6%).
+    identity_threshold: float = 0.06
+    #: confidence level of the download-time confidence interval.
+    confidence: float = 0.95
+    #: stopping rule: CI half-width must be within this fraction of the mean.
+    ci_relative_width: float = 0.10
+    #: bounds on the repeated-download loop within a round.
+    min_downloads: int = 5
+    max_downloads: int = 40
+    #: minimum number of rounds of data for a site to be analysable.
+    min_rounds: int = 12
+
+    def validate(self) -> None:
+        if self.max_concurrent < 1:
+            raise ConfigError("max_concurrent must be >= 1")
+        if not 0.0 < self.confidence < 1.0:
+            raise ConfigError("confidence must be in (0, 1)")
+        if not 0.0 < self.ci_relative_width < 1.0:
+            raise ConfigError("ci_relative_width must be in (0, 1)")
+        if self.min_downloads < 2:
+            raise ConfigError("min_downloads must be >= 2 to form a CI")
+        if self.max_downloads < self.min_downloads:
+            raise ConfigError("max_downloads must be >= min_downloads")
+        if not 0.0 < self.identity_threshold < 1.0:
+            raise ConfigError("identity_threshold must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Parameters of the analysis pipeline (Section 4 / 5 of the paper)."""
+
+    #: comparable-performance band: |v6 - v4| / v4 <= this (paper: 10%).
+    comparable_threshold: float = 0.10
+    #: median filter length for step detection (paper: 11).
+    median_filter_length: int = 11
+    #: step magnitude threshold (paper: 30%).
+    step_threshold: float = 0.30
+    #: consecutive deviating samples to call a step (paper: 6).
+    step_persistence: int = 6
+    #: |slope| per round (relative to mean) above which a significant linear
+    #: regression counts as a trend.
+    trend_slope_threshold: float = 0.004
+    #: p-value threshold for trend significance.
+    trend_p_value: float = 0.01
+    #: ASes with fewer sites than this are "small number of sites" (paper: <4).
+    small_as_site_count: int = 4
+
+    def validate(self) -> None:
+        if self.median_filter_length % 2 != 1:
+            raise ConfigError("median_filter_length must be odd")
+        if not 0.0 < self.comparable_threshold < 1.0:
+            raise ConfigError("comparable_threshold must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """The shape of a monitoring campaign."""
+
+    #: number of weekly monitoring rounds (the paper spans ~12 months).
+    n_rounds: int = 40
+    #: per-vantage cap on sites monitored per round (0 = no cap); lets tests
+    #: and examples bound runtime without changing behaviour.
+    max_sites_per_round: int = 0
+
+    def validate(self) -> None:
+        if self.n_rounds < 1:
+            raise ConfigError("n_rounds must be >= 1")
+        if self.max_sites_per_round < 0:
+            raise ConfigError("max_sites_per_round must be >= 0")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Top-level scenario: one synthetic Internet plus one campaign."""
+
+    seed: int = 20111206  # CoNEXT 2011 started December 6, 2011
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    dualstack: DualStackConfig = field(default_factory=DualStackConfig)
+    sites: SiteConfig = field(default_factory=SiteConfig)
+    adoption: AdoptionConfig = field(default_factory=AdoptionConfig)
+    performance: PerformanceConfig = field(default_factory=PerformanceConfig)
+    monitor: MonitorConfig = field(default_factory=MonitorConfig)
+    analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
+    campaign: CampaignConfig = field(default_factory=CampaignConfig)
+
+    def validate(self) -> None:
+        """Validate every sub-config; raises :class:`ConfigError` on issues."""
+        self.topology.validate()
+        self.dualstack.validate()
+        self.sites.validate()
+        self.adoption.validate()
+        self.performance.validate()
+        self.monitor.validate()
+        self.analysis.validate()
+        self.campaign.validate()
+
+    def scaled(self, factor: float) -> "ScenarioConfig":
+        """Return a copy with the world size scaled by ``factor``.
+
+        Scales AS counts and the site population; everything else is left
+        untouched.  Useful for quick tests (factor < 1) and for stress
+        benchmarks (factor > 1).
+        """
+        if factor <= 0:
+            raise ConfigError("scale factor must be positive")
+        topo = replace(
+            self.topology,
+            n_tier1=max(2, round(self.topology.n_tier1 * min(factor, 1.0))),
+            n_transit=max(4, round(self.topology.n_transit * factor)),
+            n_stub=max(8, round(self.topology.n_stub * factor)),
+            n_content=max(8, round(self.topology.n_content * factor)),
+            n_cdn=max(1, round(self.topology.n_cdn * min(factor, 1.0))),
+        )
+        sites = replace(self.sites, n_sites=max(50, round(self.sites.n_sites * factor)))
+        return replace(self, topology=topo, sites=sites)
+
+
+def small_config(seed: int = 7) -> ScenarioConfig:
+    """A deliberately small scenario for unit tests (seconds, not minutes).
+
+    Adoption is boosted well above the paper's ~1% so the handful of
+    monitored sites still yields a usable dual-stack population; the two
+    adoption events are moved inside the shortened campaign window.
+    """
+    cfg = ScenarioConfig(seed=seed).scaled(0.15)
+    return replace(
+        cfg,
+        campaign=CampaignConfig(n_rounds=12),
+        adoption=replace(
+            cfg.adoption,
+            base_adoption=0.04,
+            iana_depletion_round=3,
+            world_ipv6_day_round=8,
+        ),
+        monitor=replace(cfg.monitor, min_rounds=5),
+    )
+
+
+def default_config(seed: int = 20111206) -> ScenarioConfig:
+    """The reference scenario used by the experiments and benchmarks."""
+    return ScenarioConfig(seed=seed)

@@ -1,0 +1,24 @@
+"""High-level API: build a synthetic dual-stack Internet and run campaigns.
+
+This is the package most users need::
+
+    from repro.core import build_world, run_campaign
+    from repro.config import default_config
+
+    world = build_world(default_config())
+    result = run_campaign(world)
+
+``result.repository`` then feeds every analysis in :mod:`repro.analysis`
+and every experiment in :mod:`repro.experiments`.
+"""
+
+from .world import World, build_world
+from .campaign import CampaignResult, run_campaign, run_world_ipv6_day
+
+__all__ = [
+    "World",
+    "build_world",
+    "CampaignResult",
+    "run_campaign",
+    "run_world_ipv6_day",
+]

@@ -1,0 +1,179 @@
+"""Campaign drivers.
+
+``run_campaign`` runs the weekly monitoring campaign from every vantage
+point (each joining at its start round) and aggregates the databases into
+a central repository — the paper's data-collection phase end to end.
+
+``run_world_ipv6_day`` reproduces the special World IPv6 Day experiment:
+30-minute monitoring rounds for one day, restricted to the sites that
+advertised participation in the event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ScenarioConfig
+from ..dataplane.clock import SimulationClock
+from ..errors import ConfigError
+from ..monitor.aggregate import CentralRepository
+from ..monitor.tool import MonitoringTool, RoundReport, VantageEnvironment
+from ..monitor.vantage import VantagePoint
+from ..net.addresses import AddressFamily
+from ..web.http import ContentEndpoint, HttpClient
+from ..dns.resolver import Resolver
+from .world import World
+
+#: Number of 30-minute rounds in the World IPv6 Day experiment (24h).
+W6D_ROUNDS = 48
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced."""
+
+    world: World
+    repository: CentralRepository
+    reports: dict[str, list[RoundReport]] = field(default_factory=dict)
+
+    def total_measurements(self) -> int:
+        return sum(len(self.repository.database(v)) for v in self.repository.vantage_names)
+
+
+def run_campaign(
+    world: World,
+    n_rounds: int | None = None,
+    max_sites_per_round: int | None = None,
+) -> CampaignResult:
+    """Run the full weekly campaign on ``world``.
+
+    ``n_rounds`` and ``max_sites_per_round`` default to the world's
+    campaign config.
+    """
+    config: ScenarioConfig = world.config
+    if n_rounds is None:
+        n_rounds = config.campaign.n_rounds
+    if max_sites_per_round is None:
+        max_sites_per_round = config.campaign.max_sites_per_round
+    if n_rounds < 1:
+        raise ConfigError("need at least one round")
+
+    tools: dict[str, MonitoringTool] = {}
+    for vantage in world.vantages:
+        tools[vantage.name] = MonitoringTool(
+            vantage=vantage,
+            env=world.environment_for(vantage),
+            config=config.monitor,
+            rng=world.monitor_rng(vantage),
+            max_sites_per_round=max_sites_per_round,
+        )
+
+    reports: dict[str, list[RoundReport]] = {name: [] for name in tools}
+    for round_idx in range(n_rounds):
+        world.advance_to_round(round_idx)
+        for name, tool in tools.items():
+            reports[name].append(tool.run_round(round_idx))
+
+    repository = CentralRepository()
+    for vantage in world.vantages:
+        repository.add(vantage, tools[vantage.name].database)
+    return CampaignResult(world=world, repository=repository, reports=reports)
+
+
+def _w6d_environment(world: World, vantage: VantagePoint) -> VantageEnvironment:
+    """A monitoring environment specialised for World IPv6 Day.
+
+    Differences from the regular campaign: the site list is the
+    participant roster, and participants who provisioned their IPv6
+    presence well (``w6d_good_v6``) serve IPv6 at parity with IPv4 - the
+    path-induced deficit is offset server-side (multi-homed event
+    presence), without changing the BGP paths the monitor records.
+    """
+    participants = world.catalog.w6d_participants()
+    names = [site.name for site in participants]
+    base_endpoint = world.content_endpoint
+
+    def content_lookup(
+        name: str, family: AddressFamily, round_idx: int
+    ) -> ContentEndpoint:
+        endpoint = base_endpoint(name, family, round_idx)
+        site = world.catalog.by_name(name)
+        if family is AddressFamily.IPV6 and site.w6d_good_v6:
+            v4_path = world.forwarding_path(
+                vantage.asn, site.dest_asn(AddressFamily.IPV4),
+                AddressFamily.IPV4, alternate=False,
+            )
+            v6_path = world.forwarding_path(
+                vantage.asn, site.dest_asn(AddressFamily.IPV6),
+                AddressFamily.IPV6, alternate=False,
+            )
+            if v4_path is not None and v6_path is not None:
+                f_v4 = world.model.path_factor(v4_path)
+                f_v6 = world.model.path_factor(v6_path)
+                if f_v6 < f_v4:
+                    endpoint = ContentEndpoint(
+                        site_id=endpoint.site_id,
+                        server_asn=endpoint.server_asn,
+                        server_speed=endpoint.server_speed * (f_v4 / f_v6),
+                        page_bytes=endpoint.page_bytes,
+                    )
+        return endpoint
+
+    client = HttpClient(
+        model=world.model,
+        content_lookup=content_lookup,
+        path_provider=world._path_provider(vantage.asn),
+        owner_lookup=world.owner_of_address,
+    )
+    w6d_round = world.config.adoption.world_ipv6_day_round
+    return VantageEnvironment(
+        resolver=Resolver(store=world.zone_snapshot(w6d_round)),
+        client=client,
+        clock=SimulationClock.world_ipv6_day(),
+        site_list=lambda round_idx: list(names),
+        external_inputs=lambda round_idx: [],
+        site_id_of=lambda name: world.catalog.by_name(name).site_id,
+    )
+
+
+def run_world_ipv6_day(
+    world: World,
+    vantage_names: tuple[str, ...] = ("Penn", "LU", "UPCB"),
+    n_rounds: int = W6D_ROUNDS,
+) -> CampaignResult:
+    """Run the World IPv6 Day experiment.
+
+    The paper ran 30-minute rounds during the event from all AS_PATH
+    vantage points except Comcast ("the data was not available"), against
+    the participant roster only.
+    """
+    if n_rounds < 1:
+        raise ConfigError("need at least one W6D round")
+
+    repository = CentralRepository()
+    reports: dict[str, list[RoundReport]] = {}
+    for vantage in world.vantages:
+        if vantage.name not in vantage_names:
+            continue
+        active = VantagePoint(
+            name=vantage.name,
+            location=vantage.location,
+            asn=vantage.asn,
+            start_round=0,
+            as_path_available=vantage.as_path_available,
+            white_listed=vantage.white_listed,
+            kind=vantage.kind,
+            external_inputs=False,
+        )
+        tool = MonitoringTool(
+            vantage=active,
+            env=_w6d_environment(world, active),
+            config=world.config.monitor,
+            rng=world.rngs.stream(f"w6d:{vantage.name}"),
+        )
+        rounds = []
+        for round_idx in range(n_rounds):
+            rounds.append(tool.run_round(round_idx))
+        repository.add(active, tool.database)
+        reports[vantage.name] = rounds
+    return CampaignResult(world=world, repository=repository, reports=reports)

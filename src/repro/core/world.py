@@ -1,0 +1,431 @@
+"""World assembly.
+
+``build_world`` turns a :class:`~repro.config.ScenarioConfig` into a fully
+wired synthetic Internet: topology, IPv6 overlay, addressing, DNS, site
+catalog, servers, vantage points, and the per-vantage monitoring
+environments (resolver + HTTP client + list feeds) the monitoring tool
+consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from ..bgp.routing import PathOracle, Route
+from ..config import ScenarioConfig
+from ..dataplane.clock import SimulationClock
+from ..dataplane.path import ForwardingPath
+from ..dataplane.performance import ThroughputModel
+from ..dns.records import RecordType, ResourceRecord
+from ..dns.resolver import Resolver
+from ..dns.zone import ZoneStore
+from ..errors import ConfigError
+from ..monitor.vantage import VantageKind, VantagePoint
+from ..net.addresses import Address, AddressFamily
+from ..net.tunnels import TunnelKind
+from ..rng import RngStreams
+from ..sites.catalog import Site, SiteCatalog, build_catalog
+from ..topology.asys import ASType
+from ..topology.dualstack import DualStackTopology, deploy_ipv6
+from ..topology.generator import Topology, generate_topology
+from ..web.http import ContentEndpoint, HttpClient
+from ..monitor.tool import VantageEnvironment
+
+#: The paper's six vantage points (Table 1): name, location, start offset
+#: (as a fraction of the campaign), AS_PATH availability, white-listing,
+#: type, and whether external site inputs are fed in (Penn's DNS cache).
+VANTAGE_TEMPLATES = (
+    ("Penn", "Philadelphia, PA", 0.00, True, False, VantageKind.ACADEMIC, True),
+    ("Comcast", "Denver, CO", 0.35, True, False, VantageKind.COMMERCIAL, False),
+    ("UPCB", "Netherlands", 0.40, True, True, VantageKind.COMMERCIAL, False),
+    ("Tsinghua", "China", 0.45, False, False, VantageKind.ACADEMIC, False),
+    ("LU", "Great Britain", 0.50, True, False, VantageKind.ACADEMIC, False),
+    ("Go6", "Slovenia", 0.55, False, False, VantageKind.COMMERCIAL, False),
+)
+
+
+@dataclass
+class World:
+    """A fully wired scenario, ready to be monitored."""
+
+    config: ScenarioConfig
+    rngs: RngStreams
+    topology: Topology
+    dualstack: DualStackTopology
+    catalog: SiteCatalog
+    model: ThroughputModel
+    zones: ZoneStore
+    clock: SimulationClock
+    vantages: list[VantagePoint]
+    oracle: PathOracle
+    #: per-site addresses by family.
+    _addresses: dict[tuple[int, AddressFamily], Address] = field(
+        default_factory=dict, repr=False
+    )
+    _path_cache: dict[tuple[int, int, AddressFamily, bool], ForwardingPath | None] = (
+        field(default_factory=dict, repr=False)
+    )
+    _owner_cache: dict[Address, int] = field(default_factory=dict, repr=False)
+    _endpoint_cache: dict[tuple[int, AddressFamily, int], ContentEndpoint] = field(
+        default_factory=dict, repr=False
+    )
+    _zone_round: int = -1
+
+    # -- addressing -------------------------------------------------------------
+
+    def address_of(self, site: Site, family: AddressFamily) -> Address:
+        key = (site.site_id, family)
+        cached = self._addresses.get(key)
+        if cached is not None:
+            return cached
+        owner = site.dest_asn(family)
+        prefix = self.dualstack.allocator.prefix_of(owner, family)
+        host = site.site_id + 1
+        if host > prefix.host_mask:
+            raise ConfigError(
+                f"site id {site.site_id} exceeds host space of {prefix}; "
+                "shrink the site universe or widen allocations"
+            )
+        address = prefix.address(host)
+        self._addresses[key] = address
+        return address
+
+    # -- DNS lifecycle ------------------------------------------------------------
+
+    def advance_to_round(self, round_idx: int) -> None:
+        """Publish DNS records that exist as of ``round_idx``.
+
+        A records for every site are published up front; each site's AAAA
+        record appears at its adoption round.  Idempotent and monotone.
+        """
+        if round_idx <= self._zone_round:
+            return
+        zone = self.zones.zone_for("example.")
+        start = self._zone_round + 1
+        if self._zone_round < 0:
+            for site in self.catalog.sites:
+                zone.add(
+                    ResourceRecord(
+                        name=site.name,
+                        rtype=RecordType.A,
+                        value=self.address_of(site, AddressFamily.IPV4),
+                    )
+                )
+        for site in self.catalog.sites:
+            published = site.v6_accessible_at(self._zone_round) if (
+                self._zone_round >= 0
+            ) else False
+            target = site.v6_accessible_at(round_idx)
+            # Event-day-only AAAA records may need an add *and* a remove
+            # within the advanced window (e.g. jumping past the event).
+            event = site.w6d_event_round
+            transient_event = (
+                event is not None
+                and start <= event <= round_idx
+                and not target
+                and not published
+            )
+            if target and not published:
+                zone.add(
+                    ResourceRecord(
+                        name=site.name,
+                        rtype=RecordType.AAAA,
+                        value=self.address_of(site, AddressFamily.IPV6),
+                    )
+                )
+            elif published and not target:
+                zone.remove(site.name, RecordType.AAAA)
+            elif transient_event:
+                # The event came and went entirely inside this window; the
+                # zone ends up unchanged.
+                pass
+        self._zone_round = round_idx
+
+    def zone_snapshot(self, round_idx: int) -> ZoneStore:
+        """A standalone ZoneStore reflecting DNS as of ``round_idx``.
+
+        The live store mutates as the campaign advances; experiments that
+        revisit a past round (the World IPv6 Day campaign monitors *at*
+        the event round) resolve against a snapshot instead.
+        """
+        store = ZoneStore()
+        zone = store.zone_for("example.")
+        for site in self.catalog.sites:
+            zone.add(
+                ResourceRecord(
+                    name=site.name,
+                    rtype=RecordType.A,
+                    value=self.address_of(site, AddressFamily.IPV4),
+                )
+            )
+            if site.v6_accessible_at(round_idx):
+                zone.add(
+                    ResourceRecord(
+                        name=site.name,
+                        rtype=RecordType.AAAA,
+                        value=self.address_of(site, AddressFamily.IPV6),
+                    )
+                )
+        return store
+
+    # -- per-vantage wiring ---------------------------------------------------------
+
+    def forwarding_path(
+        self, vantage_asn: int, owner_asn: int, family: AddressFamily, alternate: bool
+    ) -> ForwardingPath | None:
+        """Cached forwarding path from a vantage AS to an owner AS.
+
+        6to4 owners are special: their 2002::/x prefix is announced by the
+        *relay* AS (RFC 3056 routing), so the observable AS path ends at
+        the relay while forwarding continues over the hidden IPv4 detour
+        to the client - the BGP view under-reports both the destination AS
+        and the hop count, exactly the effect the paper attributes to
+        tunnels.
+        """
+        key = (vantage_asn, owner_asn, family, alternate)
+        if key in self._path_cache:
+            return self._path_cache[key]
+        target = owner_asn
+        six_to_four = None
+        if family is AddressFamily.IPV6:
+            tunnel = self.dualstack.tunnel_of(owner_asn)
+            if tunnel is not None and tunnel.kind is TunnelKind.SIX_TO_FOUR:
+                six_to_four = tunnel
+                target = tunnel.relay_asn
+        route: Route | None
+        if alternate:
+            route = self.oracle.alternate_route(vantage_asn, target, family)
+            if route is None:
+                route = self.oracle.detour_route(vantage_asn, target, family)
+            if route is None:
+                route = self.oracle.route(vantage_asn, target, family)
+        else:
+            route = self.oracle.route(vantage_asn, target, family)
+        if route is None:
+            path = None
+        else:
+            path = ForwardingPath.from_as_path(self.dualstack, route.path, family)
+            if six_to_four is not None:
+                path = replace(path, tunnels=path.tunnels + (six_to_four,))
+        self._path_cache[key] = path
+        return path
+
+    def content_endpoint(
+        self, name: str, family: AddressFamily, round_idx: int
+    ) -> ContentEndpoint:
+        """What serves ``name`` over ``family`` at ``round_idx`` (cached)."""
+        site = self.catalog.by_name(name)
+        key = (site.site_id, family, round_idx)
+        cached = self._endpoint_cache.get(key)
+        if cached is not None:
+            return cached
+        if family is AddressFamily.IPV4 and site.cdn is not None:
+            server = site.cdn.provider.edge_server()
+        else:
+            server = site.server
+        speed = server.speed(family) * site.behaviour.multiplier(family, round_idx)
+        endpoint = ContentEndpoint(
+            site_id=site.site_id,
+            server_asn=server.asn,
+            server_speed=speed,
+            page_bytes=site.page.size(family),
+        )
+        self._endpoint_cache[key] = endpoint
+        return endpoint
+
+    def owner_of_address(self, address: Address) -> int:
+        """Cached address-to-owner-AS lookup (one hot path per download)."""
+        owner = self._owner_cache.get(address)
+        if owner is None:
+            owner = self.dualstack.allocator.owner_of_address(address)
+            self._owner_cache[address] = owner
+        return owner
+
+    def _path_provider(self, vantage_asn: int):
+        def provide(
+            owner_asn: int, site_id: int, family: AddressFamily, round_idx: int
+        ) -> ForwardingPath | None:
+            site = self.catalog.site(site_id)
+            alternate = site.behaviour.path_changes_at(family, round_idx)
+            return self.forwarding_path(vantage_asn, owner_asn, family, alternate)
+
+        return provide
+
+    def environment_for(self, vantage: VantagePoint) -> VantageEnvironment:
+        """Build the monitoring environment of one vantage point."""
+        client = HttpClient(
+            model=self.model,
+            content_lookup=self.content_endpoint,
+            path_provider=self._path_provider(vantage.asn),
+            owner_lookup=self.owner_of_address,
+        )
+        n_rounds = self.config.campaign.n_rounds
+        external_ids = self.external_site_ids()
+
+        def site_list(round_idx: int) -> list[str]:
+            return [
+                self.catalog.site(sid).name
+                for sid in self.catalog.ranking.list_at_round(round_idx)
+            ]
+
+        def external_inputs(round_idx: int) -> list[str]:
+            if not vantage.external_inputs or not external_ids:
+                return []
+            # Trickle the external pool in evenly over the campaign.
+            per_round = max(1, len(external_ids) // max(1, n_rounds))
+            upto = min(len(external_ids), per_round * (round_idx + 1))
+            return [self.catalog.site(sid).name for sid in external_ids[:upto]]
+
+        return VantageEnvironment(
+            resolver=Resolver(store=self.zones),
+            client=client,
+            clock=self.clock,
+            site_list=site_list,
+            external_inputs=external_inputs,
+            site_id_of=lambda name: self.catalog.by_name(name).site_id,
+        )
+
+    def external_site_ids(self) -> list[int]:
+        """Sites outside the ranked universe (Penn's DNS-cache feed)."""
+        return list(
+            range(self.catalog.ranking.universe_size, len(self.catalog.sites))
+        )
+
+    def monitor_rng(self, vantage: VantagePoint) -> random.Random:
+        return self.rngs.stream(f"monitor:{vantage.name}")
+
+
+def _vantage_candidates(topo: DualStackTopology) -> list[int]:
+    """ASes suitable to host a monitor: v6-enabled edge ASes, no tunnel.
+
+    The paper's vantage points all had "high quality native IPv6", so
+    tunneled ASes are excluded.
+    """
+    out = []
+    for asn in topo.asn_list:
+        asys = topo.base.ases[asn]
+        if asys.type not in (ASType.STUB, ASType.CONTENT):
+            continue
+        if asn not in topo.v6_enabled or topo.tunnel_of(asn) is not None:
+            continue
+        out.append(asn)
+    return out
+
+
+def _v6_richness(topo: DualStackTopology, asn: int) -> int:
+    """Proxy for how well an AS's neighbourhood peers over IPv6.
+
+    Counts the v6 peering adjacencies of the AS and of its providers: the
+    richer this neighbourhood, the more often the v6 path matches the v4
+    path (more SP destinations), which is what differentiated vantage
+    points like UPCB from Penn in the paper.
+    """
+    v6 = AddressFamily.IPV6
+    score = len(topo.peers_of(asn, v6))
+    for provider in topo.providers_of(asn, v6):
+        score += len(topo.peers_of(provider, v6))
+    return score
+
+
+def select_vantage_ases(
+    topo: DualStackTopology, count: int, rng: random.Random
+) -> list[int]:
+    """Pick ``count`` diverse vantage ASes, poorest v6 neighbourhood first.
+
+    The returned order matches :data:`VANTAGE_TEMPLATES`: the first slot
+    (Penn, which saw mostly DP destinations) gets the AS with the weakest
+    v6 peering neighbourhood; later slots get progressively richer ones.
+    """
+    candidates = _vantage_candidates(topo)
+    if len(candidates) < count:
+        # Tiny scaled-down worlds may lack natively-connected edges; relax
+        # to any v6-enabled edge AS before giving up.
+        fallback = [
+            asn
+            for asn in topo.asn_list
+            if topo.base.ases[asn].type in (ASType.STUB, ASType.CONTENT)
+            and asn in topo.v6_enabled
+            and asn not in candidates
+        ]
+        candidates = candidates + fallback
+    if len(candidates) < count:
+        raise ConfigError(
+            f"only {len(candidates)} vantage-capable ASes; need {count} - "
+            "raise v6 enablement probabilities or the topology size"
+        )
+    ranked = sorted(candidates, key=lambda asn: (_v6_richness(topo, asn), asn))
+    # Spread selections over the richness range, regions permitting.
+    picks: list[int] = []
+    used_regions: set[int] = set()
+    step = max(1, len(ranked) // count)
+    cursor = 0
+    for slot in range(count):
+        window = ranked[cursor : cursor + step] or ranked[-step:]
+        preferred = [
+            asn
+            for asn in window
+            if topo.base.ases[asn].region not in used_regions
+        ]
+        choice = rng.choice(preferred or window)
+        picks.append(choice)
+        used_regions.add(topo.base.ases[choice].region)
+        cursor += step
+    return picks
+
+
+def build_vantages(
+    topo: DualStackTopology, n_rounds: int, rng: random.Random
+) -> list[VantagePoint]:
+    """Instantiate the paper's six vantage points on the topology."""
+    ases = select_vantage_ases(topo, len(VANTAGE_TEMPLATES), rng)
+    vantages = []
+    for (name, location, start_frac, as_path, wl, kind, ext), asn in zip(
+        VANTAGE_TEMPLATES, ases
+    ):
+        vantages.append(
+            VantagePoint(
+                name=name,
+                location=location,
+                asn=asn,
+                start_round=int(start_frac * n_rounds),
+                as_path_available=as_path,
+                white_listed=wl,
+                kind=kind,
+                external_inputs=ext,
+            )
+        )
+    return vantages
+
+
+def build_world(config: ScenarioConfig) -> World:
+    """Assemble the full scenario described by ``config``."""
+    config.validate()
+    rngs = RngStreams(config.seed)
+    topology = generate_topology(config.topology, rngs.stream("topology"))
+    dualstack = deploy_ipv6(topology, config.dualstack, rngs.stream("dualstack"))
+    model = ThroughputModel(config.performance, rngs)
+    n_rounds = config.campaign.n_rounds
+    catalog = build_catalog(
+        config.sites,
+        config.adoption,
+        dualstack,
+        model,
+        n_rounds=n_rounds,
+        rng=rngs.stream("sites"),
+    )
+    vantages = build_vantages(dualstack, n_rounds, rngs.stream("vantages"))
+    oracle = PathOracle(dualstack, sources=[v.asn for v in vantages])
+    world = World(
+        config=config,
+        rngs=rngs,
+        topology=topology,
+        dualstack=dualstack,
+        catalog=catalog,
+        model=model,
+        zones=ZoneStore(),
+        clock=SimulationClock.weekly(),
+        vantages=vantages,
+        oracle=oracle,
+    )
+    return world

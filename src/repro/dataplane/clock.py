@@ -1,0 +1,50 @@
+"""Simulation time.
+
+The paper's campaign is organised in *rounds* (roughly weekly; every 30
+minutes during World IPv6 Day).  The clock maps rounds to seconds so that
+DNS TTLs, monitoring timestamps, and the concurrency scheduler all share
+one time base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+#: One week, the paper's nominal monitoring cadence.
+WEEK_SECONDS = 7 * 24 * 3600.0
+#: Thirty minutes, the World IPv6 Day cadence.
+HALF_HOUR_SECONDS = 1800.0
+
+
+@dataclass
+class SimulationClock:
+    """Maps monitoring rounds to wall-clock seconds."""
+
+    round_interval: float = WEEK_SECONDS
+    origin: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.round_interval <= 0:
+            raise ConfigError("round_interval must be positive")
+
+    def time_of_round(self, round_idx: int) -> float:
+        """Start time of a round."""
+        if round_idx < 0:
+            raise ConfigError("round index must be >= 0")
+        return self.origin + round_idx * self.round_interval
+
+    def round_of_time(self, time: float) -> int:
+        """The round in progress at ``time`` (clamped at 0)."""
+        if time < self.origin:
+            return 0
+        return int((time - self.origin) // self.round_interval)
+
+    @classmethod
+    def weekly(cls) -> "SimulationClock":
+        return cls(round_interval=WEEK_SECONDS)
+
+    @classmethod
+    def world_ipv6_day(cls, origin: float = 0.0) -> "SimulationClock":
+        return cls(round_interval=HALF_HOUR_SECONDS, origin=origin)

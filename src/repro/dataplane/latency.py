@@ -1,0 +1,66 @@
+"""Round-trip time model.
+
+The paper measures download speed, but its successors (Happy Eyeballs
+deployment studies, RIPE Atlas comparisons) reason about RTT.  This
+model derives RTTs from the same forwarding paths the throughput model
+uses: a per-hop propagation/queueing cost, inter-region long-haul
+penalties baked into per-AS jitter, and tunnel encapsulation overhead —
+family-blind like the rest of the data plane (H1).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..rng import RngStreams
+from .path import ForwardingPath
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Parameters of the RTT model."""
+
+    #: base one-way per-hop latency in milliseconds.
+    per_hop_ms: float = 8.0
+    #: fixed access/serialisation overhead per connection (one-way, ms).
+    access_ms: float = 4.0
+    #: extra one-way cost of each tunnelled segment (encap/decap + relay).
+    tunnel_ms: float = 12.0
+    #: lognormal sigma of per-path jitter.
+    jitter_sigma: float = 0.10
+
+    def validate(self) -> None:
+        if self.per_hop_ms <= 0:
+            raise ConfigError("per_hop_ms must be positive")
+        if self.access_ms < 0 or self.tunnel_ms < 0:
+            raise ConfigError("latency overheads must be >= 0")
+        if self.jitter_sigma < 0:
+            raise ConfigError("jitter_sigma must be >= 0")
+
+
+class LatencyModel:
+    """Derives RTTs from forwarding paths."""
+
+    def __init__(self, config: LatencyConfig, rngs: RngStreams) -> None:
+        config.validate()
+        self.config = config
+        self._rngs = rngs
+
+    def base_rtt_ms(self, path: ForwardingPath) -> float:
+        """Deterministic RTT of a path (before jitter)."""
+        one_way = (
+            self.config.access_ms
+            + self.config.per_hop_ms * max(1, path.effective_hops)
+            + self.config.tunnel_ms * len(path.tunnels)
+        )
+        return 2.0 * one_way
+
+    def sample_rtt_ms(self, path: ForwardingPath, rng: random.Random) -> float:
+        """One measured RTT around the base value."""
+        base = self.base_rtt_ms(path)
+        if self.config.jitter_sigma <= 0:
+            return base
+        return base * math.exp(rng.gauss(0.0, self.config.jitter_sigma))

@@ -1,0 +1,15 @@
+"""DNS substrate: records, authoritative zones, caching resolver."""
+
+from .records import RecordType, ResourceRecord, RRSet
+from .zone import Zone, ZoneStore
+from .resolver import Resolver, ResolutionResult
+
+__all__ = [
+    "RecordType",
+    "ResourceRecord",
+    "RRSet",
+    "Zone",
+    "ZoneStore",
+    "Resolver",
+    "ResolutionResult",
+]

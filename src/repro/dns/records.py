@@ -1,0 +1,102 @@
+"""DNS resource records.
+
+Only the record types the monitoring pipeline touches are modelled: A and
+AAAA (the accessibility probe of Fig 2) plus CNAME, which is how CDN-hosted
+sites point their web name at the CDN's edge name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import DnsError
+from ..net.addresses import Address, AddressFamily, IPv4Address, IPv6Address
+
+
+class RecordType(Enum):
+    """Supported DNS record types."""
+
+    A = "A"
+    AAAA = "AAAA"
+    CNAME = "CNAME"
+
+    @classmethod
+    def for_family(cls, family: AddressFamily) -> "RecordType":
+        """The address record type of a family (A for v4, AAAA for v6)."""
+        if family is AddressFamily.IPV4:
+            return cls.A
+        return cls.AAAA
+
+    @property
+    def family(self) -> AddressFamily:
+        if self is RecordType.A:
+            return AddressFamily.IPV4
+        if self is RecordType.AAAA:
+            return AddressFamily.IPV6
+        raise DnsError(f"{self} records carry no address family")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """One DNS record: ``name TTL type value``."""
+
+    name: str
+    rtype: RecordType
+    value: object  # Address for A/AAAA, str target for CNAME
+    ttl: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name != self.name.lower():
+            raise DnsError(f"record names must be non-empty lowercase: {self.name!r}")
+        if self.ttl < 0:
+            raise DnsError("TTL must be non-negative")
+        if self.rtype is RecordType.A and not isinstance(self.value, IPv4Address):
+            raise DnsError(f"A record for {self.name} needs an IPv4 address")
+        if self.rtype is RecordType.AAAA and not isinstance(self.value, IPv6Address):
+            raise DnsError(f"AAAA record for {self.name} needs an IPv6 address")
+        if self.rtype is RecordType.CNAME and not isinstance(self.value, str):
+            raise DnsError(f"CNAME record for {self.name} needs a target name")
+
+    @property
+    def address(self) -> Address:
+        """The address payload (A/AAAA only)."""
+        if self.rtype is RecordType.CNAME:
+            raise DnsError(f"CNAME record for {self.name} has no address")
+        return self.value  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class RRSet:
+    """All records of one (name, type), as returned by a query."""
+
+    name: str
+    rtype: RecordType
+    records: tuple[ResourceRecord, ...]
+
+    def __post_init__(self) -> None:
+        for record in self.records:
+            if record.name != self.name or record.rtype is not self.rtype:
+                raise DnsError(
+                    f"record {record} does not belong in RRSet "
+                    f"({self.name}, {self.rtype})"
+                )
+
+    @property
+    def ttl(self) -> float:
+        """Effective TTL of the set (minimum over members)."""
+        if not self.records:
+            return 0.0
+        return min(record.ttl for record in self.records)
+
+    def addresses(self) -> list[Address]:
+        return [record.address for record in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)

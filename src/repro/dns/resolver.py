@@ -1,0 +1,134 @@
+"""A caching recursive resolver.
+
+Each vantage point runs one resolver instance.  It follows CNAME chains
+(bounded depth), caches positive and negative answers by TTL against the
+simulation clock, and reports whether an answer came from cache — which
+the tests use to verify cache behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DnsError, NoRecord, NxDomain
+from ..net.addresses import Address, AddressFamily
+from .records import RecordType, RRSet
+from .zone import ZoneStore
+
+#: Maximum CNAME chain length before we declare a loop.
+MAX_CNAME_DEPTH = 8
+#: TTL used to cache negative answers (NXDOMAIN / no such type).
+NEGATIVE_TTL = 900.0
+
+
+@dataclass(frozen=True)
+class ResolutionResult:
+    """The outcome of one query: final name, addresses, cache provenance."""
+
+    query_name: str
+    final_name: str
+    rtype: RecordType
+    addresses: tuple[Address, ...]
+    from_cache: bool
+
+    def __bool__(self) -> bool:
+        return bool(self.addresses)
+
+
+@dataclass
+class _CacheEntry:
+    rrset: RRSet | None  # None encodes a negative answer
+    expires_at: float
+
+
+@dataclass
+class Resolver:
+    """Caching resolver over a :class:`ZoneStore`."""
+
+    store: ZoneStore
+    _cache: dict[tuple[str, RecordType], _CacheEntry] = field(default_factory=dict)
+    #: statistics: (hits, misses) for observability and tests.
+    hits: int = 0
+    misses: int = 0
+
+    def _cached(
+        self, name: str, rtype: RecordType, now: float
+    ) -> tuple[bool, RRSet | None]:
+        entry = self._cache.get((name, rtype))
+        if entry is None or entry.expires_at <= now:
+            return False, None
+        return True, entry.rrset
+
+    def _store_cache(
+        self, name: str, rtype: RecordType, rrset: RRSet | None, now: float
+    ) -> None:
+        ttl = rrset.ttl if rrset else NEGATIVE_TTL
+        self._cache[(name, rtype)] = _CacheEntry(
+            rrset=rrset, expires_at=now + ttl
+        )
+
+    def _lookup_one(
+        self, name: str, rtype: RecordType, now: float
+    ) -> tuple[RRSet | None, bool]:
+        """One non-recursive lookup step, via cache then authority."""
+        hit, rrset = self._cached(name, rtype, now)
+        if hit:
+            self.hits += 1
+            return rrset, True
+        self.misses += 1
+        try:
+            rrset = self.store.authoritative_lookup(name, rtype)
+        except NxDomain:
+            self._store_cache(name, rtype, None, now)
+            raise
+        result = rrset if rrset else None
+        self._store_cache(name, rtype, result, now)
+        return result, False
+
+    def resolve(
+        self, name: str, family: AddressFamily, now: float = 0.0
+    ) -> ResolutionResult:
+        """Resolve ``name`` to addresses of ``family`` at time ``now``.
+
+        Raises :class:`NxDomain` for unknown names and :class:`NoRecord`
+        when the name exists but has no address of the family (a site with
+        an A record but no AAAA raises NoRecord for IPv6 — that is exactly
+        the "not IPv6 accessible" signal of the paper's first phase).
+        """
+        rtype = RecordType.for_family(family)
+        current = name.lower()
+        from_cache = True
+        for _ in range(MAX_CNAME_DEPTH):
+            rrset, was_cached = self._lookup_one(current, rtype, now)
+            from_cache = from_cache and was_cached
+            if rrset is not None:
+                return ResolutionResult(
+                    query_name=name,
+                    final_name=current,
+                    rtype=rtype,
+                    addresses=tuple(rrset.addresses()),
+                    from_cache=from_cache,
+                )
+            # No address record: try a CNAME hop.
+            cname_set, was_cached = self._lookup_one(current, RecordType.CNAME, now)
+            from_cache = from_cache and was_cached
+            if cname_set is None:
+                raise NoRecord(f"{current} has no {rtype} record")
+            current = str(cname_set.records[0].value)
+        raise DnsError(f"CNAME chain too deep resolving {name}")
+
+    def query_both(
+        self, name: str, now: float = 0.0
+    ) -> dict[AddressFamily, ResolutionResult | None]:
+        """The monitor's first phase: A and AAAA queries for one site."""
+        results: dict[AddressFamily, ResolutionResult | None] = {}
+        for family in (AddressFamily.IPV4, AddressFamily.IPV6):
+            try:
+                results[family] = self.resolve(name, family, now)
+            except (NxDomain, NoRecord):
+                results[family] = None
+        return results
+
+    def flush(self) -> None:
+        """Drop the whole cache (used between monitoring rounds)."""
+        self._cache.clear()

@@ -1,0 +1,104 @@
+"""Authoritative DNS zones.
+
+A :class:`ZoneStore` is the world's authoritative namespace: every site's
+A/AAAA (and CNAME, for CDN customers) records live here.  The resolver
+queries the store; there is no delegation tree because the paper's tool
+only ever issues direct A/AAAA lookups for site names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DnsError, NxDomain
+from .records import RecordType, ResourceRecord, RRSet
+
+
+@dataclass
+class Zone:
+    """One authoritative zone: a bag of records grouped by (name, type)."""
+
+    origin: str
+    _records: dict[tuple[str, RecordType], list[ResourceRecord]] = field(
+        default_factory=dict
+    )
+    #: names with at least one record (O(1) NXDOMAIN checks).
+    _names: set[str] = field(default_factory=set)
+
+    def add(self, record: ResourceRecord) -> None:
+        key = (record.name, record.rtype)
+        existing = self._records.setdefault(key, [])
+        if record.rtype is RecordType.CNAME and existing:
+            raise DnsError(f"{record.name} already has a CNAME")
+        if record in existing:
+            raise DnsError(f"duplicate record {record}")
+        other_types = [
+            rt for (name, rt) in self._records
+            if name == record.name and self._records[(name, rt)]
+        ]
+        if record.rtype is RecordType.CNAME and any(
+            rt is not RecordType.CNAME for rt in other_types
+        ):
+            raise DnsError(f"{record.name}: CNAME cannot coexist with other records")
+        if record.rtype is not RecordType.CNAME and any(
+            rt is RecordType.CNAME for rt in other_types
+        ):
+            raise DnsError(f"{record.name}: other records cannot coexist with CNAME")
+        existing.append(record)
+        self._names.add(record.name)
+
+    def remove(self, name: str, rtype: RecordType) -> int:
+        """Delete all records of (name, type); returns how many were removed."""
+        removed = self._records.pop((name, rtype), [])
+        if removed and not any(key[0] == name for key in self._records):
+            self._names.discard(name)
+        return len(removed)
+
+    def lookup(self, name: str, rtype: RecordType) -> RRSet:
+        """The RRSet for (name, type); empty set if the name exists but the
+        type does not; raises :class:`NxDomain` if the name is unknown."""
+        records = self._records.get((name, rtype))
+        if records:
+            return RRSet(name=name, rtype=rtype, records=tuple(records))
+        if name in self._names:
+            return RRSet(name=name, rtype=rtype, records=())
+        raise NxDomain(f"{name} does not exist in zone {self.origin}")
+
+    def names(self) -> set[str]:
+        return set(self._names)
+
+    def __len__(self) -> int:
+        return sum(len(records) for records in self._records.values())
+
+
+@dataclass
+class ZoneStore:
+    """The union of all authoritative zones, queried by exact name."""
+
+    zones: dict[str, Zone] = field(default_factory=dict)
+
+    def zone_for(self, origin: str) -> Zone:
+        """Get or create the zone with the given origin."""
+        zone = self.zones.get(origin)
+        if zone is None:
+            zone = Zone(origin=origin)
+            self.zones[origin] = zone
+        return zone
+
+    def authoritative_lookup(self, name: str, rtype: RecordType) -> RRSet:
+        """Find (name, type) in whichever zone holds the name."""
+        missing_type = None
+        for zone in self.zones.values():
+            try:
+                rrset = zone.lookup(name, rtype)
+            except NxDomain:
+                continue
+            if rrset:
+                return rrset
+            missing_type = rrset
+        if missing_type is not None:
+            return missing_type
+        raise NxDomain(f"{name} does not exist in any zone")
+
+    def __len__(self) -> int:
+        return sum(len(zone) for zone in self.zones.values())

@@ -1,0 +1,25 @@
+"""One module per paper artifact (figures 1/3a/3b, tables 1-13).
+
+All experiments share a cached campaign (see :mod:`scenario`) so that a
+full ``repro-experiments`` run — or the benchmark suite — builds the
+world and runs the monitoring once, then derives every table from the
+same repository, exactly like the paper's analysis did.
+"""
+
+from .scenario import (
+    AnalysisContext,
+    ExperimentData,
+    experiment_config,
+    get_experiment_data,
+    get_w6d_data,
+)
+from .report import Table
+
+__all__ = [
+    "AnalysisContext",
+    "ExperimentData",
+    "experiment_config",
+    "get_experiment_data",
+    "get_w6d_data",
+    "Table",
+]

@@ -1,0 +1,102 @@
+"""Run every experiment and print the paper-style report.
+
+Usage::
+
+    python -m repro.experiments.run_all [--scale FACTOR] [--seed SEED]
+
+Builds one world, runs the weekly campaign plus the World IPv6 Day
+campaign, and prints all figures/tables with the paper's reference
+numbers attached.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+
+from ..config import default_config
+from . import scenario
+from . import (  # noqa: F401 - imported for table registry below
+    fig1,
+    fig3a,
+    fig3b,
+    section55,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+    table11,
+    table13,
+    worldipv6day,
+)
+
+#: (label, module-level runner, needs_w6d) in paper order.
+EXPERIMENTS = (
+    ("Fig 1", fig1.run, False),
+    ("Fig 3a", fig3a.run, False),
+    ("Fig 3b", fig3b.run, False),
+    ("Table 1", table1.run, False),
+    ("Table 2", table2.run, False),
+    ("Table 3", table3.run, False),
+    ("Table 4", table4.run, False),
+    ("Table 5", table5.run, False),
+    ("Table 6", table6.run, False),
+    ("Table 7", table7.run, False),
+    ("Table 8", table8.run, False),
+    ("Table 9", table9.run, False),
+    ("Table 10", worldipv6day.run_table10, True),
+    ("Table 11", table11.run, False),
+    ("Table 12", worldipv6day.run_table12, True),
+    ("Table 13", table13.run, False),
+    ("Section 5.5", section55.run, False),
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=scenario.EXPERIMENT_SCALE,
+        help="world scale relative to the default config",
+    )
+    parser.add_argument("--seed", type=int, default=20111206)
+    args = parser.parse_args(argv)
+
+    # Same recipe as scenario.experiment_config: scale the world and
+    # oversample adoption so per-AS statistics have enough sites.
+    config = default_config(args.seed).scaled(args.scale)
+    config = replace(
+        config,
+        adoption=replace(
+            config.adoption,
+            base_adoption=(
+                config.adoption.base_adoption * scenario.ADOPTION_OVERSAMPLING
+            ),
+        ),
+    )
+    t0 = time.time()
+    data = scenario.get_experiment_data(config)
+    print(f"# campaign built and run in {time.time() - t0:.1f}s", file=sys.stderr)
+    t0 = time.time()
+    w6d = scenario.get_w6d_data(config)
+    print(f"# World IPv6 Day campaign in {time.time() - t0:.1f}s", file=sys.stderr)
+
+    for label, runner, needs_w6d in EXPERIMENTS:
+        table = runner(w6d if needs_w6d else data)
+        print(table.render())
+        print()
+    print("# H1 holds:", table8.h1_holds(data))
+    print("# H2 holds:", table11.h2_holds(data))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

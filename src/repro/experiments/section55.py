@@ -1,0 +1,61 @@
+"""Section 5.5 — the negative finding.
+
+Do sites where IPv6 beats IPv4 share a common trait (category, AS,
+region)?  The paper looked and found none; this experiment repeats the
+scan and reports whether any dominant trait emerged.
+"""
+
+from __future__ import annotations
+
+from ..analysis.misc import TraitReport, trait_analysis
+from .report import Table, pct
+from .scenario import ExperimentData, get_experiment_data
+from .table2 import VANTAGE_ORDER
+
+PAPER_REFERENCE = [
+    "\"no such grouping emerged, so that no dominant trait could be "
+    "associated with better IPv6 performers\"",
+]
+
+
+def reports_by_vantage(data: ExperimentData) -> dict[str, TraitReport]:
+    """Run the trait scan at every vantage point."""
+    out: dict[str, TraitReport] = {}
+    for name in VANTAGE_ORDER:
+        context = data.context(name)
+        catalog = data.world.catalog
+        region_of = lambda sid: data.world.topology.ases[
+            catalog.site(sid).origin_asn
+        ].region
+        out[name] = trait_analysis(
+            context.db,
+            context.classifications,
+            extra_traits={"region": region_of},
+        )
+    return out
+
+
+def run(data: ExperimentData | None = None) -> Table:
+    """Build the Section 5.5 summary table."""
+    if data is None:
+        data = get_experiment_data()
+    reports = reports_by_vantage(data)
+    table = Table(
+        title="Section 5.5 - common traits among better-IPv6 sites",
+        columns=("vantage", "# v6-better", "dominant trait?", "top trait share"),
+        paper_reference=PAPER_REFERENCE,
+    )
+    for name in VANTAGE_ORDER:
+        report = reports[name]
+        top = report.shares[0] if report.shares else None
+        table.add_row(
+            name,
+            report.n_winners,
+            "none" if report.no_dominant_trait else str(report.dominant_traits[0]),
+            pct(top.winner_share) if top else "-",
+        )
+    table.notes.append(
+        "'dominant' requires lift >= 1.5 over baseline and >= 50% support; "
+        "the reproduction expects 'none' everywhere"
+    )
+    return table

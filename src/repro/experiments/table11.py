@@ -1,0 +1,72 @@
+"""Table 11 — H2: IPv6 vs IPv4 for DP destination ASes.
+
+When routing differs, comparable performance collapses: only 3-11% of DP
+ASes see IPv6 on par with IPv4 (plus a small zero-mode share).  Set
+against Table 8's ~80%, the one differing factor — routing — stands
+indicted; that is hypothesis H2.
+"""
+
+from __future__ import annotations
+
+from ..analysis.hypotheses import ASVerdict, verdict_fractions
+from .report import Table, pct
+from .scenario import ExperimentData, get_experiment_data
+from .table2 import VANTAGE_ORDER
+
+PAPER_REFERENCE = [
+    "            Penn  Comcast  LU    UPCB",
+    "IPv6~=IPv4  3%    11%      10%   8%",
+    "Zero mode   12%   5%       3%    6%",
+    "# ASes      587   266      341   422",
+]
+
+
+def run(data: ExperimentData | None = None) -> Table:
+    """Build the DP destination-AS table (H2)."""
+    if data is None:
+        data = get_experiment_data()
+    fractions = {}
+    counts = {}
+    for name in VANTAGE_ORDER:
+        evaluations = data.context(name).dp_evaluations
+        fractions[name] = verdict_fractions(evaluations.values())
+        counts[name] = len(evaluations)
+    table = Table(
+        title="Table 11 - IPv6 vs IPv4 for DP destination ASes (H2)",
+        columns=("row", *VANTAGE_ORDER),
+        paper_reference=PAPER_REFERENCE,
+    )
+    table.add_row(
+        "IPv6~=IPv4",
+        *(pct(fractions[n][ASVerdict.COMPARABLE]) for n in VANTAGE_ORDER),
+    )
+    table.add_row(
+        "Zero mode",
+        *(pct(fractions[n][ASVerdict.ZERO_MODE]) for n in VANTAGE_ORDER),
+    )
+    table.add_row("# ASes", *(counts[n] for n in VANTAGE_ORDER))
+    table.notes.append(
+        "no x-check rows: path deviations vary per vantage point, so "
+        "cross-vantage comparisons are not meaningful (as in the paper)"
+    )
+    return table
+
+
+def h2_holds(data: ExperimentData | None = None, gap: float = 0.3) -> bool:
+    """Programmatic H2 verdict: DP comparability far below SP's.
+
+    True when, at every vantage, the comparable share among DP ASes is at
+    least ``gap`` lower than among SP ASes.
+    """
+    if data is None:
+        data = get_experiment_data()
+    for name in VANTAGE_ORDER:
+        sp = data.context(name).sp_evaluations
+        dp = data.context(name).dp_evaluations
+        if not sp or not dp:
+            return False
+        sp_comp = verdict_fractions(sp.values())[ASVerdict.COMPARABLE]
+        dp_comp = verdict_fractions(dp.values())[ASVerdict.COMPARABLE]
+        if sp_comp - dp_comp < gap:
+            return False
+    return True

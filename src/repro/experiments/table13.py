@@ -1,0 +1,67 @@
+"""Table 13 — "good AS" coverage of DP paths.
+
+Most DP paths consist mostly — but rarely entirely — of ASes that also
+appear on good IPv6 paths (paths to comparable SP destinations).  The
+paper reads this as: the data plane of those ASes is exonerated, and no
+"bad apple" AS could be identified either, leaving routing (H2) as the
+explanation for poor DP performance.
+"""
+
+from __future__ import annotations
+
+from ..analysis.classify import SiteCategory
+from ..analysis.goodas import (
+    GOODNESS_BUCKETS,
+    collect_good_ases,
+    dp_path_goodness,
+    goodness_buckets,
+)
+from .report import Table, pct
+from .scenario import ExperimentData, get_experiment_data
+from .table2 import VANTAGE_ORDER
+
+PAPER_REFERENCE = [
+    "% good ASes  Penn   Comcast  LU     UPCB",
+    "100%         3.2%   11.1%    6.4%   17.2%",
+    "[75,100)     20.8%  8.3%     0.9%   22.4%",
+    "[50,75)      58.8%  45.8%    68.8%  52.6%",
+    "[25,50)      15.8%  27.8%    19.3%  7.8%",
+    "[0,25)       1.4%   6.9%     4.6%   0%",
+]
+
+
+def coverage_by_vantage(data: ExperimentData) -> dict[str, dict[str, float]]:
+    """Per vantage, the share of DP paths in each goodness bucket."""
+    good = collect_good_ases(
+        {
+            name: (data.context(name).db, data.context(name).sp_evaluations)
+            for name in VANTAGE_ORDER
+        }
+    )
+    out: dict[str, dict[str, float]] = {}
+    for name in VANTAGE_ORDER:
+        context = data.context(name)
+        fractions = dp_path_goodness(
+            context.db, context.groups_in(SiteCategory.DP), good
+        )
+        out[name] = goodness_buckets(fractions.values())
+    return out
+
+
+def run(data: ExperimentData | None = None) -> Table:
+    """Build the good-AS coverage table."""
+    if data is None:
+        data = get_experiment_data()
+    coverage = coverage_by_vantage(data)
+    table = Table(
+        title="Table 13 - 'good' AS coverage in DP paths",
+        columns=("% good ASes in path", *VANTAGE_ORDER),
+        paper_reference=PAPER_REFERENCE,
+    )
+    for bucket in GOODNESS_BUCKETS:
+        table.add_row(bucket, *(pct(coverage[n][bucket]) for n in VANTAGE_ORDER))
+    table.notes.append(
+        "expected shape: mass concentrated in the middle buckets - most "
+        "paths are mostly good, few are entirely good"
+    )
+    return table

@@ -1,0 +1,54 @@
+"""Table 3 — causes of confidence-target failures."""
+
+from __future__ import annotations
+
+from ..analysis.sanitize import categorise_failures
+from .report import Table
+from .scenario import ExperimentData, get_experiment_data
+from .table2 import VANTAGE_ORDER
+
+PAPER_REFERENCE = [
+    "         insuff  ^    v    /    \\   (of steps, path changes)",
+    "Penn     2807    180  103  732  569  (64 of 283)",
+    "Comcast  251     83   52   530  127  (64 of 135)",
+    "LU       258     49   63   419  374  (43 of 112)",
+    "UPCB     1146    233  214  1033 799  (169 of 447)",
+]
+
+
+def run(data: ExperimentData | None = None) -> Table:
+    """Build the failure-cause table."""
+    if data is None:
+        data = get_experiment_data()
+    table = Table(
+        title="Table 3 - causes of confidence target failures",
+        columns=(
+            "vantage",
+            "insufficient",
+            "step up",
+            "step down",
+            "trend up",
+            "trend down",
+            "unstable",
+            "steps w/ path change",
+        ),
+        paper_reference=PAPER_REFERENCE,
+    )
+    for name in VANTAGE_ORDER:
+        context = data.context(name)
+        causes = categorise_failures(name, context.screenings)
+        table.add_row(
+            name,
+            causes.insufficient,
+            causes.step_up,
+            causes.step_down,
+            causes.trend_up,
+            causes.trend_down,
+            causes.unstable,
+            f"{causes.steps_from_path_changes} of {causes.total_steps}",
+        )
+    table.notes.append(
+        "'unstable' = CI failures without an identified step/trend; the "
+        "paper folds these into its transition columns"
+    )
+    return table

@@ -1,0 +1,49 @@
+"""Table 4 — site classification (DL / SP / DP) per vantage point."""
+
+from __future__ import annotations
+
+from ..analysis.classify import SiteCategory
+from .report import Table
+from .scenario import ExperimentData, get_experiment_data
+from .table2 import VANTAGE_ORDER
+
+PAPER_REFERENCE = [
+    "          Penn  Comcast  LU    UPCB",
+    "# DL      784   450      352   485",
+    "# SP      424   1113     2291  2597",
+    "# DP      6786  1962     1263  1336",
+]
+
+
+def classification_counts(data: ExperimentData) -> dict[str, dict[str, int]]:
+    """``{vantage: {category: count}}`` over kept sites."""
+    out: dict[str, dict[str, int]] = {}
+    for name in VANTAGE_ORDER:
+        context = data.context(name)
+        out[name] = {
+            category.value: len(context.sites_in(category))
+            for category in SiteCategory
+        }
+    return out
+
+
+def run(data: ExperimentData | None = None) -> Table:
+    """Build the site-classification table."""
+    if data is None:
+        data = get_experiment_data()
+    counts = classification_counts(data)
+    table = Table(
+        title="Table 4 - sites classification",
+        columns=("category", *VANTAGE_ORDER),
+        paper_reference=PAPER_REFERENCE,
+    )
+    for category in (SiteCategory.DL, SiteCategory.SP, SiteCategory.DP):
+        table.add_row(
+            f"# {category.value} sites",
+            *(counts[name][category.value] for name in VANTAGE_ORDER),
+        )
+    table.notes.append(
+        "expected shape: every vantage has a nontrivial DL population "
+        "(CDN users) and a vantage-dependent SP/DP split"
+    )
+    return table

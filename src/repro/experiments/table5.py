@@ -1,0 +1,53 @@
+"""Table 5 — classification of removed sites (bias audit)."""
+
+from __future__ import annotations
+
+from ..analysis.removed import audit_removed_sites
+from .report import Table
+from .scenario import ExperimentData, get_experiment_data
+from .table2 import VANTAGE_ORDER
+
+PAPER_REFERENCE = [
+    "              Penn  Comcast  LU   UPCB",
+    "SP good perf  64    185      462  1242",
+    "SP bad perf   8     64       42   163",
+    "DP good perf  404   346      206  463",
+    "DP bad perf   880   93       106  216",
+    "DL good perf  111   54       65   103",
+    "DL bad perf   117   50       24   92",
+]
+
+
+def run(data: ExperimentData | None = None) -> Table:
+    """Build the removed-site audit table."""
+    if data is None:
+        data = get_experiment_data()
+    audits = {
+        name: audit_removed_sites(
+            name,
+            data.context(name).db,
+            data.context(name).screenings,
+            data.config.analysis.comparable_threshold,
+        )
+        for name in VANTAGE_ORDER
+    }
+    table = Table(
+        title="Table 5 - classification of removed sites",
+        columns=("row", *VANTAGE_ORDER),
+        paper_reference=PAPER_REFERENCE,
+    )
+    rows = (
+        ("SP good perf.", lambda a: a.sp_good),
+        ("SP bad perf.", lambda a: a.sp_bad),
+        ("DP good perf.", lambda a: a.dp_good),
+        ("DP bad perf.", lambda a: a.dp_bad),
+        ("DL good perf.", lambda a: a.dl_good),
+        ("DL bad perf.", lambda a: a.dl_bad),
+    )
+    for label, getter in rows:
+        table.add_row(label, *(getter(audits[name]) for name in VANTAGE_ORDER))
+    table.notes.append(
+        "'good' = removed site's IPv6 mean within 10% of IPv4 or better; "
+        "insufficient-sample removals are not auditable and are excluded"
+    )
+    return table

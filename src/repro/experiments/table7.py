@@ -1,0 +1,61 @@
+"""Table 7 — DL+DP performance by AS-path hop count.
+
+Sites whose IPv6 and IPv4 paths differ, bucketed by each family's own
+path length.  The paper's signature artifact: 1-2 hop IPv6 entries
+under-perform their IPv4 counterparts because tunnels make IPv6 paths
+*appear* shorter than the forwarding detour they hide; at higher hop
+counts (tunnels unlikely) IPv6 converges to IPv4 — supporting H1.
+"""
+
+from __future__ import annotations
+
+from ..analysis.classify import SiteCategory
+from ..analysis.hopcount import BUCKETS, performance_by_hopcount
+from ..net.addresses import AddressFamily
+from .report import Table
+from .scenario import ExperimentData, get_experiment_data
+from .table2 import VANTAGE_ORDER
+
+PAPER_REFERENCE = [
+    "Penn IPv4: 25.4/5 39.5/4327 31.1/2318 28.5/567 22.7/179 (speed/#sites per bucket)",
+    "Penn IPv6: -/0 104.0/6 33.9/742 28.7/3296 22.1/3352",
+    "pattern: IPv4 speed decreases with hop count; low-hop IPv6 entries",
+    "are sparse/anomalous (tunnels); at 3+ hops IPv6 ~ IPv4",
+]
+
+
+def hopcount_table(
+    data: ExperimentData, vantage_name: str
+) -> dict[AddressFamily, dict[str, object]]:
+    """Bucketed DL+DP performance for one vantage point."""
+    context = data.context(vantage_name)
+    sites = context.sites_in(SiteCategory.DL) + context.sites_in(SiteCategory.DP)
+    return performance_by_hopcount(context.db, sites)
+
+
+def run(data: ExperimentData | None = None) -> Table:
+    """Build the DL+DP hop-count table."""
+    if data is None:
+        data = get_experiment_data()
+    columns = ["vantage", "family"]
+    for bucket in BUCKETS:
+        columns.extend((f"{bucket} hops", f"# sites ({bucket})"))
+    table = Table(
+        title="Table 7 - DL+DP sites: performance (kbytes/sec) by hop count",
+        columns=tuple(columns),
+        paper_reference=PAPER_REFERENCE,
+    )
+    for name in VANTAGE_ORDER:
+        buckets = hopcount_table(data, name)
+        for family in (AddressFamily.IPV4, AddressFamily.IPV6):
+            cells: list[object] = [name, str(family)]
+            for bucket in BUCKETS:
+                cell = buckets[family][bucket]
+                cells.append(cell.mean_speed)
+                cells.append(cell.n_sites)
+            table.add_row(*cells)
+    table.notes.append(
+        "hop counts are apparent AS-path lengths; tunneled IPv6 paths "
+        "under-count their true forwarding length"
+    )
+    return table

@@ -1,0 +1,100 @@
+"""Table 8 — H1: IPv6 vs IPv4 for SP destination ASes.
+
+When the paths coincide, the overwhelming majority of destination ASes
+see comparable IPv6 and IPv4 performance; the residue is explained by
+zero-modes (server-side IPv6 impairments) or is too small to judge.
+Cross-checks across vantage points all agree — the core evidence for H1.
+"""
+
+from __future__ import annotations
+
+from ..analysis.classify import SiteCategory
+from ..analysis.crosscheck import cross_check_common_sites
+from ..analysis.hypotheses import ASVerdict, verdict_fractions
+from .report import Table, pct
+from .scenario import ExperimentData, get_experiment_data
+from .table2 import VANTAGE_ORDER
+
+PAPER_REFERENCE = [
+    "            Penn   Comcast  LU     UPCB",
+    "IPv6~=IPv4  81.3%  80.7%    70.2%  79.8%",
+    "Zero mode   9.4%   6%       10.8%  7.3%",
+    "Small #     9.3%   13.3%    19.0%  12.9%",
+    "# ASes      75     233      248    124",
+    "x-check(+)  47     129      164    82",
+    "x-check(-)  0      0        0      0",
+]
+
+
+def run(data: ExperimentData | None = None) -> Table:
+    """Build the SP destination-AS table (H1)."""
+    if data is None:
+        data = get_experiment_data()
+    fractions = {}
+    counts = {}
+    for name in VANTAGE_ORDER:
+        evaluations = data.context(name).sp_evaluations
+        fractions[name] = verdict_fractions(evaluations.values())
+        counts[name] = len(evaluations)
+    check = cross_check_common_sites(
+        {
+            name: (
+                data.context(name).db,
+                {
+                    g.asn: g
+                    for g in data.context(name).groups_in(SiteCategory.SP)
+                },
+            )
+            for name in VANTAGE_ORDER
+        },
+        data.config.analysis,
+    )
+    table = Table(
+        title="Table 8 - IPv6 vs IPv4 for SP destination ASes (H1)",
+        columns=("row", *VANTAGE_ORDER),
+        paper_reference=PAPER_REFERENCE,
+    )
+    table.add_row(
+        "IPv6~=IPv4",
+        *(pct(fractions[n][ASVerdict.COMPARABLE]) for n in VANTAGE_ORDER),
+    )
+    table.add_row(
+        "Zero mode",
+        *(pct(fractions[n][ASVerdict.ZERO_MODE]) for n in VANTAGE_ORDER),
+    )
+    table.add_row(
+        "Small # of sites",
+        *(pct(fractions[n][ASVerdict.SMALL_N]) for n in VANTAGE_ORDER),
+    )
+    table.add_row(
+        "Unexplained worse",
+        *(pct(fractions[n][ASVerdict.WORSE]) for n in VANTAGE_ORDER),
+    )
+    table.add_row("# ASes", *(counts[n] for n in VANTAGE_ORDER))
+    table.add_row("x-check (+)", check.positive, "", "", "")
+    table.add_row("x-check (-)", check.negative, "", "", "")
+    table.notes.append(
+        "x-checks are cross-vantage (one number, shown in the first "
+        "column); H1 expects the comparable row to dominate and no "
+        "negative cross-checks"
+    )
+    return table
+
+
+def h1_holds(data: ExperimentData | None = None, threshold: float = 0.6) -> bool:
+    """Programmatic H1 verdict: comparable+zero-mode majority everywhere."""
+    if data is None:
+        data = get_experiment_data()
+    for name in VANTAGE_ORDER:
+        evaluations = data.context(name).sp_evaluations
+        if not evaluations:
+            return False
+        fractions = verdict_fractions(evaluations.values())
+        explained = (
+            fractions[ASVerdict.COMPARABLE]
+            + fractions[ASVerdict.ZERO_MODE]
+            + fractions[ASVerdict.SMALL_N]
+        )
+        if explained < threshold:
+            return False
+    return True

@@ -1,0 +1,52 @@
+"""Table 9 — SP destination ASes: performance by hop count.
+
+The finer-grained H1 check: within each AS-path-length bucket, SP sites
+see near-identical IPv6 and IPv4 speeds (the paths coincide, so — unlike
+Table 7 — the hop count means the same thing in both families).
+"""
+
+from __future__ import annotations
+
+from ..analysis.classify import SiteCategory
+from ..analysis.hopcount import BUCKETS, performance_by_hopcount
+from ..net.addresses import AddressFamily
+from .report import Table
+from .scenario import ExperimentData, get_experiment_data
+from .table2 import VANTAGE_ORDER
+
+PAPER_REFERENCE = [
+    "Comcast IPv4: 64.2/137 41.6/632 36.0/304 36.8/10 -/0",
+    "Comcast IPv6: 59.9/137 42.1/632 35.4/304 34.0/10 -/0",
+    "pattern: per-bucket v6 ~ v4 (within a few percent), same # sites",
+]
+
+
+def run(data: ExperimentData | None = None) -> Table:
+    """Build the SP hop-count table."""
+    if data is None:
+        data = get_experiment_data()
+    columns = ["vantage", "family"]
+    for bucket in BUCKETS:
+        columns.extend((f"{bucket} hops", f"# sites ({bucket})"))
+    table = Table(
+        title="Table 9 - SP destination ASes: performance (kbytes/sec) by hop count",
+        columns=tuple(columns),
+        paper_reference=PAPER_REFERENCE,
+    )
+    for name in VANTAGE_ORDER:
+        context = data.context(name)
+        buckets = performance_by_hopcount(
+            context.db, context.sites_in(SiteCategory.SP)
+        )
+        for family in (AddressFamily.IPV4, AddressFamily.IPV6):
+            cells: list[object] = [name, str(family)]
+            for bucket in BUCKETS:
+                cell = buckets[family][bucket]
+                cells.append(cell.mean_speed)
+                cells.append(cell.n_sites)
+            table.add_row(*cells)
+    table.notes.append(
+        "SP sites share one path per family pair, so per-bucket site "
+        "counts match between IPv4 and IPv6 rows"
+    )
+    return table

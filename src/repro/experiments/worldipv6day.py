@@ -1,0 +1,111 @@
+"""Tables 10 and 12 — the World IPv6 Day experiment.
+
+During the event the monitors ran every 30 minutes against the
+participant roster.  Table 10 (SP ASes) comes out even cleaner than
+Table 8 — participants made sure their end systems were fully IPv6
+qualified, so no zero-mode row exists.  Table 12 (DP ASes) improves
+dramatically over Table 11 (~50% comparable): participants provisioned
+their IPv6 presence well enough to offset routing detours, though DP
+still trails SP — consistent with H2.
+"""
+
+from __future__ import annotations
+
+from ..analysis.classify import SiteCategory
+from ..analysis.crosscheck import cross_check_common_sites
+from ..analysis.hypotheses import ASVerdict, verdict_fractions
+from .report import Table, pct
+from .scenario import ExperimentData, get_w6d_data
+
+#: Comcast's W6D data "was not available" (paper, Section 5.3).
+W6D_VANTAGES = ("Penn", "LU", "UPCB")
+
+PAPER_REFERENCE_T10 = [
+    "            Penn   LU     UPCB",
+    "IPv6~=IPv4  92.3%  85.7%  72.2%",
+    "Other       7.7%   14.3%  27.8%",
+    "# ASes      13     42     36",
+    "x-check(+)  8      17     13",
+]
+
+PAPER_REFERENCE_T12 = [
+    "            Penn   LU     UPCB",
+    "IPv6~=IPv4  53.5%  48.9%  51.0%",
+    "# ASes      114    92     102",
+]
+
+
+def run_table10(data: ExperimentData | None = None) -> Table:
+    """Build Table 10 — W6D, SP ASes."""
+    if data is None:
+        data = get_w6d_data()
+    fractions = {}
+    counts = {}
+    for name in W6D_VANTAGES:
+        evaluations = data.context(name).sp_evaluations
+        fractions[name] = verdict_fractions(evaluations.values())
+        counts[name] = len(evaluations)
+    check = cross_check_common_sites(
+        {
+            name: (
+                data.context(name).db,
+                {
+                    g.asn: g
+                    for g in data.context(name).groups_in(SiteCategory.SP)
+                },
+            )
+            for name in W6D_VANTAGES
+        },
+        data.config.analysis,
+    )
+    table = Table(
+        title="Table 10 - World IPv6 Day: IPv6 vs IPv4 for SP ASes",
+        columns=("row", *W6D_VANTAGES),
+        paper_reference=PAPER_REFERENCE_T10,
+    )
+    table.add_row(
+        "IPv6~=IPv4",
+        *(pct(fractions[n][ASVerdict.COMPARABLE]) for n in W6D_VANTAGES),
+    )
+    table.add_row(
+        "Other",
+        *(
+            pct(1.0 - fractions[n][ASVerdict.COMPARABLE])
+            for n in W6D_VANTAGES
+        ),
+    )
+    table.add_row("# ASes", *(counts[n] for n in W6D_VANTAGES))
+    table.add_row("x-check (+)", check.positive, "", "")
+    table.add_row("x-check (-)", check.negative, "", "")
+    table.notes.append(
+        "no zero-mode row: participants made their end systems fully "
+        "IPv6 qualified (impaired servers absent by construction)"
+    )
+    return table
+
+
+def run_table12(data: ExperimentData | None = None) -> Table:
+    """Build Table 12 — W6D, DP ASes."""
+    if data is None:
+        data = get_w6d_data()
+    table = Table(
+        title="Table 12 - World IPv6 Day: IPv6 vs IPv4 for DP ASes",
+        columns=("row", *W6D_VANTAGES),
+        paper_reference=PAPER_REFERENCE_T12,
+    )
+    fractions = {}
+    counts = {}
+    for name in W6D_VANTAGES:
+        evaluations = data.context(name).dp_evaluations
+        fractions[name] = verdict_fractions(evaluations.values())
+        counts[name] = len(evaluations)
+    table.add_row(
+        "IPv6~=IPv4",
+        *(pct(fractions[n][ASVerdict.COMPARABLE]) for n in W6D_VANTAGES),
+    )
+    table.add_row("# ASes", *(counts[n] for n in W6D_VANTAGES))
+    table.notes.append(
+        "expected shape: around half of DP participants comparable - far "
+        "above Table 11, still below Table 10's SP results"
+    )
+    return table

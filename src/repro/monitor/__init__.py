@@ -1,0 +1,32 @@
+"""The paper's monitoring tool (Fig 2) and its measurement database."""
+
+from .vantage import VantagePoint, VantageKind
+from .database import (
+    DnsObservation,
+    DownloadObservation,
+    MeasurementDatabase,
+    PageCheck,
+    PathObservation,
+)
+from .download import RepeatedDownloader
+from .scheduler import SlotScheduler
+from .tool import MonitoringTool, VantageEnvironment
+from .aggregate import CentralRepository
+from .export import export_database, export_repository
+
+__all__ = [
+    "VantagePoint",
+    "VantageKind",
+    "DnsObservation",
+    "DownloadObservation",
+    "MeasurementDatabase",
+    "PageCheck",
+    "PathObservation",
+    "RepeatedDownloader",
+    "SlotScheduler",
+    "MonitoringTool",
+    "VantageEnvironment",
+    "CentralRepository",
+    "export_database",
+    "export_repository",
+]

@@ -1,0 +1,229 @@
+"""The measurement database.
+
+The paper's tool stores each round's results "in several tables in a
+mysql database".  :class:`MeasurementDatabase` is that schema in memory:
+DNS observations, page-identity checks, per-round download statistics,
+and AS-path observations — one database per vantage point, merged later
+by the central repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import MonitorError
+from ..net.addresses import AddressFamily
+
+
+@dataclass(frozen=True)
+class DnsObservation:
+    """Outcome of the A/AAAA query phase for one site-round."""
+
+    site_id: int
+    name: str
+    round_idx: int
+    has_v4: bool
+    has_v6: bool
+    #: whether the site was on the *current* top list this round (the
+    #: monitor also re-queries previously seen and externally fed sites).
+    listed: bool = True
+
+    @property
+    def dual_stack(self) -> bool:
+        return self.has_v4 and self.has_v6
+
+
+@dataclass(frozen=True)
+class PageCheck:
+    """Outcome of the page-identity phase for one site-round."""
+
+    site_id: int
+    round_idx: int
+    v4_bytes: int
+    v6_bytes: int
+    identical: bool
+
+
+@dataclass(frozen=True)
+class DownloadObservation:
+    """The repeated-download statistics of one (site, family, round)."""
+
+    site_id: int
+    round_idx: int
+    family: AddressFamily
+    n_samples: int
+    mean_speed: float  # kbytes/sec
+    ci_half_width: float
+    converged: bool
+    page_bytes: int
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class PathObservation:
+    """The BGP view of one (site, family, round)."""
+
+    site_id: int
+    round_idx: int
+    family: AddressFamily
+    dest_asn: int
+    as_path: tuple[int, ...]
+
+
+@dataclass
+class MeasurementDatabase:
+    """All tables for one vantage point, with query helpers."""
+
+    vantage_name: str
+    #: full DNS observations are retained for dual-stack sites only; the
+    #: v4-only majority is aggregated into per-round counters to keep
+    #: memory proportional to the interesting population.
+    dns: dict[int, list[DnsObservation]] = field(default_factory=dict)
+    #: round -> (n_queried, n_with_v4, n_with_v6).
+    dns_counts: dict[int, tuple[int, int, int]] = field(default_factory=dict)
+    page_checks: dict[int, list[PageCheck]] = field(default_factory=dict)
+    downloads: dict[tuple[int, AddressFamily], list[DownloadObservation]] = field(
+        default_factory=dict
+    )
+    paths: dict[tuple[int, AddressFamily], list[PathObservation]] = field(
+        default_factory=dict
+    )
+
+    # -- writes --------------------------------------------------------------
+
+    def add_dns(self, obs: DnsObservation) -> None:
+        if obs.listed:
+            queried, v4, v6 = self.dns_counts.get(obs.round_idx, (0, 0, 0))
+            self.dns_counts[obs.round_idx] = (
+                queried + 1,
+                v4 + int(obs.has_v4),
+                v6 + int(obs.has_v6),
+            )
+        if obs.dual_stack:
+            self._append_in_order(self.dns.setdefault(obs.site_id, []), obs)
+
+    def v6_reachability(self, round_idx: int) -> float:
+        """AAAA share among the round's *top-list* queries (Fig 1's metric).
+
+        Previously-seen and externally-imported sites keep being
+        monitored but do not enter this fraction, matching the paper's
+        definition over the current top list.
+        """
+        queried, _, v6 = self.dns_counts.get(round_idx, (0, 0, 0))
+        return v6 / queried if queried else 0.0
+
+    def add_page_check(self, check: PageCheck) -> None:
+        self._append_in_order(self.page_checks.setdefault(check.site_id, []), check)
+
+    def add_download(self, obs: DownloadObservation) -> None:
+        key = (obs.site_id, obs.family)
+        self._append_in_order(self.downloads.setdefault(key, []), obs)
+
+    def add_path(self, obs: PathObservation) -> None:
+        key = (obs.site_id, obs.family)
+        rows = self.paths.setdefault(key, [])
+        self._append_in_order(rows, obs)
+
+    @staticmethod
+    def _append_in_order(rows: list, obs) -> None:
+        if rows and rows[-1].round_idx >= obs.round_idx:
+            raise MonitorError(
+                f"out-of-order insert for site {obs.site_id}: "
+                f"round {obs.round_idx} after {rows[-1].round_idx}"
+            )
+        rows.append(obs)
+
+    # -- per-site queries ------------------------------------------------------
+
+    def speeds(self, site_id: int, family: AddressFamily) -> list[float]:
+        """Per-round mean speeds, in round order (converged rounds only)."""
+        rows = self.downloads.get((site_id, family), [])
+        return [row.mean_speed for row in rows if row.converged]
+
+    def download_rounds(self, site_id: int, family: AddressFamily) -> list[int]:
+        rows = self.downloads.get((site_id, family), [])
+        return [row.round_idx for row in rows if row.converged]
+
+    def sample_count(self, site_id: int, family: AddressFamily) -> int:
+        """Number of converged measurement rounds for a site-family."""
+        return len(self.speeds(site_id, family))
+
+    def dest_asn(self, site_id: int, family: AddressFamily) -> int | None:
+        """Destination AS of the site's address in ``family`` (latest)."""
+        rows = self.paths.get((site_id, family), [])
+        return rows[-1].dest_asn if rows else None
+
+    def as_path(self, site_id: int, family: AddressFamily) -> tuple[int, ...] | None:
+        """The most frequently observed AS path (ties: latest wins)."""
+        rows = self.paths.get((site_id, family), [])
+        if not rows:
+            return None
+        counts: dict[tuple[int, ...], int] = {}
+        for row in rows:
+            counts[row.as_path] = counts.get(row.as_path, 0) + 1
+        best = max(counts.values())
+        for row in reversed(rows):
+            if counts[row.as_path] == best:
+                return row.as_path
+        return rows[-1].as_path  # pragma: no cover - unreachable
+
+    def path_change_rounds(self, site_id: int, family: AddressFamily) -> list[int]:
+        """Rounds at which the observed AS path differed from the previous."""
+        rows = self.paths.get((site_id, family), [])
+        changes: list[int] = []
+        for prev, cur in zip(rows, rows[1:]):
+            if prev.as_path != cur.as_path:
+                changes.append(cur.round_idx)
+        return changes
+
+    def had_path_change(self, site_id: int) -> bool:
+        """Whether either family's path changed during the campaign."""
+        return any(
+            self.path_change_rounds(site_id, family)
+            for family in (AddressFamily.IPV4, AddressFamily.IPV6)
+        )
+
+    # -- population queries ------------------------------------------------------
+
+    def sites_seen(self) -> list[int]:
+        """Every site with at least one DNS observation."""
+        return sorted(self.dns)
+
+    def dual_stack_sites(self) -> list[int]:
+        """Sites with converged download data in both families.
+
+        This is Table 2's "Sites (total)" population: accessible — and
+        measured — over both IPv4 and IPv6.
+        """
+        v4 = {sid for (sid, fam) in self.downloads if fam is AddressFamily.IPV4}
+        v6 = {sid for (sid, fam) in self.downloads if fam is AddressFamily.IPV6}
+        return sorted(
+            sid
+            for sid in v4 & v6
+            if self.sample_count(sid, AddressFamily.IPV4) > 0
+            and self.sample_count(sid, AddressFamily.IPV6) > 0
+        )
+
+    def destination_ases(self, family: AddressFamily) -> set[int]:
+        """Distinct destination ASes across measured sites (Table 2)."""
+        return {
+            rows[-1].dest_asn
+            for (sid, fam), rows in self.paths.items()
+            if fam is family and rows
+        }
+
+    def ases_crossed(self, family: AddressFamily) -> set[int]:
+        """All ASes on any observed path, destination included (Table 2).
+
+        The vantage point's own AS is not counted as "crossed".
+        """
+        crossed: set[int] = set()
+        for (sid, fam), rows in self.paths.items():
+            if fam is not family:
+                continue
+            for row in rows:
+                crossed.update(row.as_path[1:])
+        return crossed
+
+    def __len__(self) -> int:
+        return sum(len(rows) for rows in self.downloads.values())

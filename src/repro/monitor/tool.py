@@ -1,0 +1,243 @@
+"""The monitoring tool — the paper's Fig 2 pipeline.
+
+Each round:
+
+1. retrieve the latest top list (plus any external inputs) and add
+   never-before-seen sites to the monitored set — once monitored, a site
+   is tracked "from this point onward";
+2. randomise the monitoring order (to avoid time-of-day bias);
+3. per site: DNS A + AAAA queries; if dual-stack, download the main page
+   over both families and compare byte counts (identical within 6%); if
+   identical, run the repeated-download loop per family and record the
+   statistics and the BGP path.
+
+Sites are dispatched to a bounded worker pool (<= 25 concurrent) whose
+schedule stamps every measurement with its simulated wall-clock time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from ..config import MonitorConfig
+from ..dataplane.clock import SimulationClock
+from ..dns.resolver import Resolver
+from ..errors import MonitorError, UnreachableError
+from ..net.addresses import AddressFamily
+from ..web.http import HttpClient
+from .database import (
+    DnsObservation,
+    DownloadObservation,
+    MeasurementDatabase,
+    PageCheck,
+    PathObservation,
+)
+from .download import RepeatedDownloader
+from .vantage import VantagePoint
+
+#: nominal seconds spent on a site that fails an early phase.
+DNS_PHASE_SECONDS = 0.2
+PAGE_CHECK_SECONDS = 1.0
+
+
+@dataclass
+class VantageEnvironment:
+    """Everything one monitor needs from the world, injected as callables."""
+
+    resolver: Resolver
+    client: HttpClient
+    clock: SimulationClock
+    #: round -> ranked site names (the freshly retrieved top list).
+    site_list: Callable[[int], list[str]]
+    #: round -> extra names manually imported (Penn's DNS-cache feed).
+    external_inputs: Callable[[int], list[str]]
+    #: site name -> stable site id.
+    site_id_of: Callable[[str], int]
+
+
+@dataclass(frozen=True)
+class RoundReport:
+    """Summary of one monitoring round (for logs and tests)."""
+
+    round_idx: int
+    n_monitored: int
+    n_new: int
+    n_dual_stack: int
+    n_measured: int
+    makespan_seconds: float
+
+
+class MonitoringTool:
+    """One vantage point's monitor, accumulating into its own database."""
+
+    def __init__(
+        self,
+        vantage: VantagePoint,
+        env: VantageEnvironment,
+        config: MonitorConfig,
+        rng: random.Random,
+        max_sites_per_round: int = 0,
+    ) -> None:
+        config.validate()
+        if max_sites_per_round < 0:
+            raise MonitorError("max_sites_per_round must be >= 0")
+        self.vantage = vantage
+        self.env = env
+        self.config = config
+        self.rng = rng
+        self.max_sites_per_round = max_sites_per_round
+        self.database = MeasurementDatabase(vantage_name=vantage.name)
+        self.downloader = RepeatedDownloader(env.client, config)
+        self._monitored: list[str] = []
+        self._monitored_set: set[str] = set()
+        self._last_round: int | None = None
+
+    # -- public API -----------------------------------------------------------
+
+    def run_round(self, round_idx: int) -> RoundReport:
+        """Run one full monitoring round; returns a summary report."""
+        if self._last_round is not None and round_idx <= self._last_round:
+            raise MonitorError(
+                f"rounds must be monotonically increasing "
+                f"(got {round_idx} after {self._last_round})"
+            )
+        self._last_round = round_idx
+        if not self.vantage.active_at(round_idx):
+            return RoundReport(round_idx, 0, 0, 0, 0, 0.0)
+
+        listed_now = set(self.env.site_list(round_idx))
+        n_new = self._ingest_lists(round_idx)
+        order = list(self._monitored)
+        self.rng.shuffle(order)
+        if self.max_sites_per_round:
+            order = order[: self.max_sites_per_round]
+
+        round_start = self.env.clock.time_of_round(round_idx)
+        # The worker pool: heap of (free_at, slot), dispatch in order.
+        slots = [(round_start, slot) for slot in range(self.config.max_concurrent)]
+        heapq.heapify(slots)
+        n_dual_stack = 0
+        n_measured = 0
+        makespan = round_start
+        for name in order:
+            free_at, slot = heapq.heappop(slots)
+            duration, dual_stack, measured = self._monitor_site(
+                name, round_idx, free_at, listed=name in listed_now
+            )
+            finish = free_at + duration
+            heapq.heappush(slots, (finish, slot))
+            makespan = max(makespan, finish)
+            n_dual_stack += int(dual_stack)
+            n_measured += int(measured)
+        return RoundReport(
+            round_idx=round_idx,
+            n_monitored=len(order),
+            n_new=n_new,
+            n_dual_stack=n_dual_stack,
+            n_measured=n_measured,
+            makespan_seconds=makespan - round_start,
+        )
+
+    @property
+    def monitored_sites(self) -> list[str]:
+        """All sites ever seen, in first-seen order."""
+        return list(self._monitored)
+
+    # -- internals --------------------------------------------------------------
+
+    def _ingest_lists(self, round_idx: int) -> int:
+        names = self.env.site_list(round_idx)
+        if self.vantage.external_inputs:
+            names = names + self.env.external_inputs(round_idx)
+        n_new = 0
+        for name in names:
+            if name not in self._monitored_set:
+                self._monitored_set.add(name)
+                self._monitored.append(name)
+                n_new += 1
+        return n_new
+
+    def _monitor_site(
+        self, name: str, round_idx: int, now: float, listed: bool = True
+    ) -> tuple[float, bool, bool]:
+        """Monitor one site; returns (duration, dual_stack, fully_measured)."""
+        site_id = self.env.site_id_of(name)
+        answers = self.env.resolver.query_both(name, now)
+        v4 = answers[AddressFamily.IPV4]
+        v6 = answers[AddressFamily.IPV6]
+        self.database.add_dns(
+            DnsObservation(
+                site_id=site_id,
+                name=name,
+                round_idx=round_idx,
+                has_v4=v4 is not None,
+                has_v6=v6 is not None,
+                listed=listed,
+            )
+        )
+        if v4 is None or v6 is None:
+            return DNS_PHASE_SECONDS, False, False
+
+        # Page identity phase: one download per family, compare byte counts.
+        try:
+            probe_v4 = self.env.client.get(
+                v4.final_name, v4.addresses[0], AddressFamily.IPV4, round_idx, self.rng
+            )
+            probe_v6 = self.env.client.get(
+                v6.final_name, v6.addresses[0], AddressFamily.IPV6, round_idx, self.rng
+            )
+        except UnreachableError:
+            return DNS_PHASE_SECONDS + PAGE_CHECK_SECONDS, True, False
+        larger = max(probe_v4.page_bytes, probe_v6.page_bytes)
+        identical = (
+            abs(probe_v4.page_bytes - probe_v6.page_bytes) / larger
+            <= self.config.identity_threshold
+        )
+        self.database.add_page_check(
+            PageCheck(
+                site_id=site_id,
+                round_idx=round_idx,
+                v4_bytes=probe_v4.page_bytes,
+                v6_bytes=probe_v6.page_bytes,
+                identical=identical,
+            )
+        )
+        duration = probe_v4.seconds + probe_v6.seconds + DNS_PHASE_SECONDS
+        if not identical:
+            return duration, True, False
+
+        # Performance phase: repeated downloads, IPv4 first then IPv6.
+        for family, answer in (
+            (AddressFamily.IPV4, v4),
+            (AddressFamily.IPV6, v6),
+        ):
+            outcome = self.downloader.run(
+                answer.final_name, answer.addresses[0], family, round_idx, self.rng
+            )
+            duration += outcome.total_seconds
+            self.database.add_download(
+                DownloadObservation(
+                    site_id=site_id,
+                    round_idx=round_idx,
+                    family=family,
+                    n_samples=outcome.n_samples,
+                    mean_speed=outcome.mean_speed,
+                    ci_half_width=outcome.ci_half_width,
+                    converged=outcome.converged,
+                    page_bytes=outcome.page_bytes,
+                    timestamp=now,
+                )
+            )
+            self.database.add_path(
+                PathObservation(
+                    site_id=site_id,
+                    round_idx=round_idx,
+                    family=family,
+                    dest_asn=outcome.first_result.as_path[-1],
+                    as_path=outcome.first_result.as_path,
+                )
+            )
+        return duration, True, True

@@ -1,0 +1,24 @@
+"""Network-layer value types: addresses, prefixes, allocation, tunnels."""
+
+from .addresses import (
+    AddressFamily,
+    IPv4Address,
+    IPv6Address,
+    Prefix,
+    parse_address,
+)
+from .allocation import PrefixAllocator
+from .tunnels import Tunnel, TunnelKind, SIX_TO_FOUR_PREFIX, is_6to4
+
+__all__ = [
+    "AddressFamily",
+    "IPv4Address",
+    "IPv6Address",
+    "Prefix",
+    "parse_address",
+    "PrefixAllocator",
+    "Tunnel",
+    "TunnelKind",
+    "SIX_TO_FOUR_PREFIX",
+    "is_6to4",
+]

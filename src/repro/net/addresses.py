@@ -1,0 +1,295 @@
+"""IPv4 / IPv6 address and prefix value types.
+
+Implemented from scratch (rather than on :mod:`ipaddress`) so the codec
+behaviour is part of the reproduced system and can be property-tested:
+parsing, canonical RFC 5952 text form for IPv6 (longest zero-run
+compression, lowercase hex), prefix containment, and ordering.
+
+Addresses are immutable and hashable; they are used as DNS record values
+and as keys in routing tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from functools import total_ordering
+from typing import Union
+
+from ..errors import AddressError
+
+
+class AddressFamily(Enum):
+    """The two address families the paper compares."""
+
+    IPV4 = "IPv4"
+    IPV6 = "IPv6"
+
+    @property
+    def bits(self) -> int:
+        """Address width in bits."""
+        return 32 if self is AddressFamily.IPV4 else 128
+
+    @property
+    def other(self) -> "AddressFamily":
+        """The opposite family (handy when iterating v4/v6 symmetrically)."""
+        if self is AddressFamily.IPV4:
+            return AddressFamily.IPV6
+        return AddressFamily.IPV4
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@total_ordering
+@dataclass(frozen=True)
+class IPv4Address:
+    """A 32-bit IPv4 address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < 2**32:
+            raise AddressError(f"IPv4 value out of range: {self.value}")
+
+    @property
+    def family(self) -> AddressFamily:
+        return AddressFamily.IPV4
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        """Parse dotted-quad text (strict: exactly 4 decimal octets)."""
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise AddressError(f"not a dotted quad: {text!r}")
+        value = 0
+        for part in parts:
+            if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+                raise AddressError(f"bad IPv4 octet {part!r} in {text!r}")
+            octet = int(part)
+            if octet > 255:
+                raise AddressError(f"IPv4 octet out of range in {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    def __str__(self) -> str:
+        return ".".join(
+            str((self.value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+        )
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        if not isinstance(other, IPv4Address):
+            return NotImplemented
+        return self.value < other.value
+
+    def __int__(self) -> int:
+        return self.value
+
+
+@total_ordering
+@dataclass(frozen=True)
+class IPv6Address:
+    """A 128-bit IPv6 address with RFC 5952 canonical text output."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < 2**128:
+            raise AddressError(f"IPv6 value out of range: {self.value}")
+
+    @property
+    def family(self) -> AddressFamily:
+        return AddressFamily.IPV6
+
+    @property
+    def groups(self) -> tuple[int, ...]:
+        """The eight 16-bit groups, most significant first."""
+        return tuple(
+            (self.value >> shift) & 0xFFFF for shift in range(112, -16, -16)
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv6Address":
+        """Parse IPv6 text, including ``::`` compression.
+
+        Embedded IPv4 dotted-quad tails (``::ffff:1.2.3.4``) are accepted.
+        """
+        if text.count("::") > 1:
+            raise AddressError(f"multiple '::' in {text!r}")
+        if ":::" in text:
+            raise AddressError(f"':::' in {text!r}")
+
+        # Handle an embedded IPv4 tail by converting it to two groups.
+        if "." in text:
+            head, _, tail = text.rpartition(":")
+            if not head:
+                raise AddressError(f"bad embedded IPv4 in {text!r}")
+            v4 = IPv4Address.parse(tail)
+            text = f"{head}:{v4.value >> 16:x}:{v4.value & 0xFFFF:x}"
+
+        if "::" in text:
+            left_text, right_text = text.split("::")
+            left = left_text.split(":") if left_text else []
+            right = right_text.split(":") if right_text else []
+            if len(left) + len(right) > 7:
+                raise AddressError(f"too many groups in {text!r}")
+            middle = ["0"] * (8 - len(left) - len(right))
+            parts = left + middle + right
+        else:
+            parts = text.split(":")
+            if len(parts) != 8:
+                raise AddressError(f"expected 8 groups in {text!r}")
+
+        value = 0
+        for part in parts:
+            if not part or len(part) > 4:
+                raise AddressError(f"bad group {part!r} in {text!r}")
+            try:
+                group = int(part, 16)
+            except ValueError as exc:
+                raise AddressError(f"bad hex group {part!r} in {text!r}") from exc
+            value = (value << 16) | group
+        return cls(value)
+
+    def __str__(self) -> str:
+        groups = self.groups
+        # Find the longest run of zero groups (length >= 2) for compression.
+        best_start, best_len = -1, 0
+        run_start, run_len = -1, 0
+        for i, g in enumerate(groups):
+            if g == 0:
+                if run_start < 0:
+                    run_start, run_len = i, 0
+                run_len += 1
+                if run_len > best_len:
+                    best_start, best_len = run_start, run_len
+            else:
+                run_start, run_len = -1, 0
+        if best_len < 2:
+            return ":".join(f"{g:x}" for g in groups)
+        head = ":".join(f"{g:x}" for g in groups[:best_start])
+        tail = ":".join(f"{g:x}" for g in groups[best_start + best_len:])
+        return f"{head}::{tail}"
+
+    def __lt__(self, other: "IPv6Address") -> bool:
+        if not isinstance(other, IPv6Address):
+            return NotImplemented
+        return self.value < other.value
+
+    def __int__(self) -> int:
+        return self.value
+
+
+Address = Union[IPv4Address, IPv6Address]
+
+
+def parse_address(text: str) -> Address:
+    """Parse either family from text, dispatching on the separator."""
+    if ":" in text:
+        return IPv6Address.parse(text)
+    return IPv4Address.parse(text)
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Prefix:
+    """An address prefix (network) in either family.
+
+    ``network`` is the masked integer value; constructing a prefix with
+    host bits set raises :class:`AddressError` (be strict, catch bugs).
+    """
+
+    family: AddressFamily
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        bits = self.family.bits
+        if not 0 <= self.length <= bits:
+            raise AddressError(
+                f"prefix length {self.length} out of range for {self.family}"
+            )
+        if not 0 <= self.network < 2**bits:
+            raise AddressError("network value out of range")
+        if self.network & self.host_mask:
+            raise AddressError(
+                f"host bits set in prefix {self.network:#x}/{self.length}"
+            )
+
+    @property
+    def host_bits(self) -> int:
+        return self.family.bits - self.length
+
+    @property
+    def host_mask(self) -> int:
+        return (1 << self.host_bits) - 1
+
+    @property
+    def netmask(self) -> int:
+        return ((1 << self.family.bits) - 1) ^ self.host_mask
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``address/length`` text in either family."""
+        addr_text, sep, len_text = text.partition("/")
+        if not sep or not len_text.isdigit():
+            raise AddressError(f"not a prefix: {text!r}")
+        address = parse_address(addr_text)
+        return cls(address.family, int(address), int(len_text))
+
+    @classmethod
+    def of(cls, address: Address, length: int) -> "Prefix":
+        """The prefix of the given length containing ``address``."""
+        bits = address.family.bits
+        if not 0 <= length <= bits:
+            raise AddressError(f"bad prefix length {length}")
+        mask = ((1 << bits) - 1) ^ ((1 << (bits - length)) - 1)
+        return cls(address.family, int(address) & mask, length)
+
+    def contains(self, item: Union[Address, "Prefix"]) -> bool:
+        """True if an address, or every address of a prefix, is inside us."""
+        if isinstance(item, Prefix):
+            if item.family is not self.family or item.length < self.length:
+                return False
+            return (item.network & self.netmask) == self.network
+        if item.family is not self.family:
+            return False
+        return (int(item) & self.netmask) == self.network
+
+    def address(self, host: int) -> Address:
+        """The ``host``-th address inside this prefix."""
+        if not 0 <= host <= self.host_mask:
+            raise AddressError(
+                f"host index {host} out of range for /{self.length}"
+            )
+        value = self.network | host
+        if self.family is AddressFamily.IPV4:
+            return IPv4Address(value)
+        return IPv6Address(value)
+
+    def subnets(self, new_length: int) -> list["Prefix"]:
+        """Split into all subnets of ``new_length`` (bounded, be careful)."""
+        if new_length < self.length or new_length > self.family.bits:
+            raise AddressError(f"cannot split /{self.length} into /{new_length}")
+        count = 1 << (new_length - self.length)
+        if count > 1 << 20:
+            raise AddressError("refusing to enumerate more than 2^20 subnets")
+        step = 1 << (self.family.bits - new_length)
+        return [
+            Prefix(self.family, self.network + i * step, new_length)
+            for i in range(count)
+        ]
+
+    def __str__(self) -> str:
+        if self.family is AddressFamily.IPV4:
+            return f"{IPv4Address(self.network)}/{self.length}"
+        return f"{IPv6Address(self.network)}/{self.length}"
+
+    def __lt__(self, other: "Prefix") -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return (self.family.value, self.network, self.length) < (
+            other.family.value,
+            other.network,
+            other.length,
+        )

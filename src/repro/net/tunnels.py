@@ -1,0 +1,76 @@
+"""IPv6-over-IPv4 transition tunnels.
+
+In 2011 an AS without a native IPv6 uplink could still originate IPv6 by
+tunnelling over IPv4 — automatically via 6to4 (RFC 3056) or through a
+tunnel broker.  Tunnels matter to the paper twice:
+
+* they make IPv6 AS paths look *shorter* than the forwarding path really
+  is (the tunnelled segment collapses a multi-hop IPv4 detour into what
+  BGP shows as one logical hop), which the paper invokes to explain the
+  1-2 hop anomaly of Table 7; and
+* they add encapsulation overhead, a mild throughput penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .addresses import AddressFamily, Prefix
+
+#: The 6to4 well-known prefix from RFC 3056.
+SIX_TO_FOUR_PREFIX = Prefix.parse("2002::/16")
+#: The Teredo prefix from RFC 4380 (modelled for completeness).
+TEREDO_PREFIX = Prefix.parse("2001::/32")
+
+
+class TunnelKind(Enum):
+    """Transition tunnel mechanisms the model distinguishes."""
+
+    SIX_TO_FOUR = "6to4"
+    BROKER = "broker"
+    TEREDO = "teredo"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Tunnel:
+    """A provisioned tunnel from ``client_asn`` to ``relay_asn``.
+
+    ``hidden_hops`` is the number of IPv4 AS hops the encapsulated traffic
+    actually crosses between client and relay; BGP sees the tunnel as a
+    single logical adjacency, so the apparent AS path under-counts by
+    ``hidden_hops - 1``.
+    """
+
+    client_asn: int
+    relay_asn: int
+    kind: TunnelKind
+    hidden_hops: int
+
+    def __post_init__(self) -> None:
+        if self.hidden_hops < 1:
+            raise ValueError("a tunnel must cross at least one IPv4 hop")
+        if self.client_asn == self.relay_asn:
+            raise ValueError("tunnel client and relay must differ")
+
+    @property
+    def extra_hops(self) -> int:
+        """Hops hidden from the AS path by the encapsulation."""
+        return self.hidden_hops - 1
+
+
+def is_6to4(prefix: Prefix) -> bool:
+    """True if ``prefix`` is carved from the 6to4 well-known prefix."""
+    if prefix.family is not AddressFamily.IPV6:
+        return False
+    return SIX_TO_FOUR_PREFIX.contains(prefix)
+
+
+def is_teredo(prefix: Prefix) -> bool:
+    """True if ``prefix`` is carved from the Teredo prefix."""
+    if prefix.family is not AddressFamily.IPV6:
+        return False
+    return TEREDO_PREFIX.contains(prefix)

@@ -1,0 +1,16 @@
+"""The measured website population: catalog, ranking, adoption, behaviour."""
+
+from .behaviour import BehaviourKind, SiteBehaviour
+from .adoption import AdoptionModel
+from .ranking import SiteRanking
+from .catalog import Site, SiteCatalog, build_catalog
+
+__all__ = [
+    "BehaviourKind",
+    "SiteBehaviour",
+    "AdoptionModel",
+    "SiteRanking",
+    "Site",
+    "SiteCatalog",
+    "build_catalog",
+]

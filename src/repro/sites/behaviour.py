@@ -1,0 +1,97 @@
+"""Site performance behaviour over time.
+
+The paper's Table 3 decomposes why sites fail the cross-round confidence
+target: not enough samples, a sharp upward/downward *step* in performance
+(sometimes coinciding with a path change), or a steady linear *trend*.
+These are behaviours of the measured population, so they are modelled
+here as properties of a site: a multiplicative factor applied to its
+server speed as a function of the monitoring round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..net.addresses import AddressFamily
+
+
+class BehaviourKind(Enum):
+    """How a site's latent performance evolves across rounds."""
+
+    STATIONARY = "stationary"
+    STEP_UP = "step_up"
+    STEP_DOWN = "step_down"
+    TREND_UP = "trend_up"
+    TREND_DOWN = "trend_down"
+
+    @property
+    def is_step(self) -> bool:
+        return self in (BehaviourKind.STEP_UP, BehaviourKind.STEP_DOWN)
+
+    @property
+    def is_trend(self) -> bool:
+        return self in (BehaviourKind.TREND_UP, BehaviourKind.TREND_DOWN)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class SiteBehaviour:
+    """One site's temporal behaviour.
+
+    * step sites multiply speed by ``1 + magnitude`` (up) or
+      ``1 / (1 + magnitude)`` (down) from ``change_round`` onward;
+    * trend sites drift by ``slope_per_round`` (relative) every round;
+    * ``path_change`` marks a step caused by a routing change: the
+      recorded AS path of the affected family flips at the same round.
+    """
+
+    kind: BehaviourKind
+    change_round: int = 0
+    magnitude: float = 0.0
+    slope_per_round: float = 0.0
+    path_change: bool = False
+    #: which family a path-change step reroutes (None = both families step).
+    affected_family: AddressFamily | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind.is_step and self.magnitude <= 0:
+            raise ValueError("step behaviours need a positive magnitude")
+        if self.kind.is_trend and self.slope_per_round == 0:
+            raise ValueError("trend behaviours need a nonzero slope")
+        if self.path_change and not self.kind.is_step:
+            raise ValueError("only step behaviours can be path changes")
+
+    def multiplier(self, family: AddressFamily, round_idx: int) -> float:
+        """Speed factor this behaviour applies at ``round_idx``."""
+        if self.affected_family is not None and family is not self.affected_family:
+            return 1.0
+        if self.kind is BehaviourKind.STATIONARY:
+            return 1.0
+        if self.kind.is_step:
+            if round_idx < self.change_round:
+                return 1.0
+            if self.kind is BehaviourKind.STEP_UP:
+                return 1.0 + self.magnitude
+            return 1.0 / (1.0 + self.magnitude)
+        # Trend: geometric drift so speed stays positive forever.
+        slope = (
+            self.slope_per_round
+            if self.kind is BehaviourKind.TREND_UP
+            else -self.slope_per_round
+        )
+        return (1.0 + slope) ** round_idx
+
+    def path_changes_at(self, family: AddressFamily, round_idx: int) -> bool:
+        """True if the recorded path of ``family`` flips at this round."""
+        if not self.path_change:
+            return False
+        if self.affected_family is not None and family is not self.affected_family:
+            return False
+        return round_idx >= self.change_round
+
+    @classmethod
+    def stationary(cls) -> "SiteBehaviour":
+        return cls(kind=BehaviourKind.STATIONARY)

@@ -1,0 +1,20 @@
+"""Statistics primitives used by the monitor and the analysis pipeline."""
+
+from .descriptive import RunningStats, mean, stdev
+from .intervals import ConfidenceInterval, t_confidence_interval, within_relative
+from .medianfilter import median_filter, detect_step
+from .regression import LinearFit, linear_regression, detect_trend
+
+__all__ = [
+    "RunningStats",
+    "mean",
+    "stdev",
+    "ConfidenceInterval",
+    "t_confidence_interval",
+    "within_relative",
+    "median_filter",
+    "detect_step",
+    "LinearFit",
+    "linear_regression",
+    "detect_trend",
+]

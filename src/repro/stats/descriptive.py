@@ -1,0 +1,86 @@
+"""Descriptive statistics.
+
+:class:`RunningStats` is a Welford accumulator — the repeated-download
+loop feeds it one measurement at a time and asks after each sample
+whether the confidence target is met, so numerical stability at small n
+matters more than vectorised throughput here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input (no silent NaNs)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1); 0.0 for a single value."""
+    n = len(values)
+    if n == 0:
+        raise ValueError("stdev of empty sequence")
+    if n == 1:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (n - 1))
+
+
+@dataclass
+class RunningStats:
+    """Welford's online mean/variance accumulator."""
+
+    n: int = 0
+    _mean: float = 0.0
+    _m2: float = 0.0
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        delta = value - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (value - self._mean)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        if self.n == 0:
+            raise ValueError("no samples accumulated")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1); 0.0 below two samples."""
+        if self.n < 2:
+            return 0.0
+        return self._m2 / (self.n - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.n == 0:
+            raise ValueError("no samples accumulated")
+        return self.stdev / math.sqrt(self.n)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Chan-style parallel merge of two accumulators."""
+        if other.n == 0:
+            return RunningStats(self.n, self._mean, self._m2)
+        if self.n == 0:
+            return RunningStats(other.n, other._mean, other._m2)
+        n = self.n + other.n
+        delta = other._mean - self._mean
+        merged_mean = self._mean + delta * other.n / n
+        m2 = self._m2 + other._m2 + delta * delta * self.n * other.n / n
+        return RunningStats(n, merged_mean, m2)

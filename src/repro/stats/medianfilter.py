@@ -1,0 +1,88 @@
+"""Median filtering and step detection.
+
+The paper (Table 3, footnote 16): "Transitions were detected using a
+median filter of length 11 configured to report changes in performance of
+magnitude greater than 30%, i.e., it triggered after 6 or more
+consecutive samples 30% higher (lower) than the previous ones."
+
+``detect_step`` implements exactly that: it median-filters the series,
+then looks for a round where the filtered level settles at least 30%
+above (below) the level established before it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+from typing import Sequence
+
+
+def median_filter(values: Sequence[float], length: int) -> list[float]:
+    """Centered median filter with edge truncation (windows shrink at ends)."""
+    if length < 1 or length % 2 == 0:
+        raise ValueError("median filter length must be odd and >= 1")
+    if not values:
+        return []
+    half = length // 2
+    out: list[float] = []
+    for i in range(len(values)):
+        lo = max(0, i - half)
+        hi = min(len(values), i + half + 1)
+        out.append(median(values[lo:hi]))
+    return out
+
+
+@dataclass(frozen=True)
+class StepDetection:
+    """A detected sharp transition in a performance series."""
+
+    index: int
+    direction: int  # +1 up, -1 down
+    before_level: float
+    after_level: float
+
+    @property
+    def magnitude(self) -> float:
+        """Relative change from before-level to after-level."""
+        if self.before_level == 0:
+            return float("inf")
+        return abs(self.after_level - self.before_level) / self.before_level
+
+
+def detect_step(
+    values: Sequence[float],
+    filter_length: int = 11,
+    threshold: float = 0.30,
+    persistence: int = 6,
+) -> StepDetection | None:
+    """Find the first sharp, persistent transition in ``values``.
+
+    A step at index ``i`` requires ``persistence`` consecutive filtered
+    samples from ``i`` on that all sit more than ``threshold`` above (or
+    below) the median of the filtered samples before ``i``.
+    """
+    if persistence < 1:
+        raise ValueError("persistence must be >= 1")
+    if len(values) < persistence + 2:
+        return None
+    filtered = median_filter(values, filter_length)
+    for i in range(2, len(filtered) - persistence + 1):
+        before = median(filtered[:i])
+        if before <= 0:
+            continue
+        window = filtered[i : i + persistence]
+        if all(v > before * (1.0 + threshold) for v in window):
+            return StepDetection(
+                index=i,
+                direction=+1,
+                before_level=before,
+                after_level=median(window),
+            )
+        if all(v < before * (1.0 - threshold) for v in window):
+            return StepDetection(
+                index=i,
+                direction=-1,
+                before_level=before,
+                after_level=median(window),
+            )
+    return None

@@ -1,0 +1,85 @@
+"""Linear regression and trend detection.
+
+The last two columns of the paper's Table 3 count sites "for which a
+linear regression revealed a steady upward (downward) trend in
+performance" — non-stationary sites whose average is meaningless.
+``detect_trend`` regresses performance on round index and reports a
+trend when the slope is both statistically significant and practically
+large (relative to the series mean).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Ordinary least squares fit of y on x."""
+
+    slope: float
+    intercept: float
+    r_value: float
+    p_value: float
+    stderr: float
+
+    def predict(self, x: float) -> float:
+        return self.intercept + self.slope * x
+
+
+def linear_regression(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """OLS fit; requires at least three points and matching lengths."""
+    if len(x) != len(y):
+        raise ValueError("x and y must have the same length")
+    if len(x) < 3:
+        raise ValueError("need at least three points to regress")
+    result = scipy_stats.linregress(x, y)
+    p_value = float(result.pvalue)
+    if math.isnan(p_value):  # constant input -> no evidence of a trend
+        p_value = 1.0
+    return LinearFit(
+        slope=float(result.slope),
+        intercept=float(result.intercept),
+        r_value=float(result.rvalue) if not math.isnan(result.rvalue) else 0.0,
+        p_value=p_value,
+        stderr=float(result.stderr) if not math.isnan(result.stderr) else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class TrendDetection:
+    """A detected steady trend in a performance series."""
+
+    direction: int  # +1 up, -1 down
+    relative_slope: float  # per-round slope as a fraction of the mean
+    p_value: float
+
+
+def detect_trend(
+    values: Sequence[float],
+    slope_threshold: float = 0.004,
+    p_value_threshold: float = 0.01,
+) -> TrendDetection | None:
+    """Detect a steady per-round trend in ``values``.
+
+    The slope is normalised by the series mean so the threshold is a
+    relative drift per round (e.g. 0.004 = 0.4%/round).
+    """
+    if len(values) < 3:
+        return None
+    series_mean = sum(values) / len(values)
+    if series_mean <= 0:
+        return None
+    fit = linear_regression(list(range(len(values))), list(values))
+    relative_slope = fit.slope / series_mean
+    if abs(relative_slope) < slope_threshold or fit.p_value > p_value_threshold:
+        return None
+    return TrendDetection(
+        direction=1 if relative_slope > 0 else -1,
+        relative_slope=relative_slope,
+        p_value=fit.p_value,
+    )

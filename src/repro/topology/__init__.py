@@ -1,0 +1,17 @@
+"""The synthetic AS-level Internet: ASes, links, and IPv6 deployment."""
+
+from .asys import ASType, AutonomousSystem
+from .relationships import Link, Relationship
+from .generator import Topology, generate_topology
+from .dualstack import DualStackTopology, deploy_ipv6
+
+__all__ = [
+    "ASType",
+    "AutonomousSystem",
+    "Link",
+    "Relationship",
+    "Topology",
+    "generate_topology",
+    "DualStackTopology",
+    "deploy_ipv6",
+]

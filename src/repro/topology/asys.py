@@ -1,0 +1,65 @@
+"""Autonomous Systems.
+
+An AS is the unit of the paper's path analysis: AS paths come from BGP,
+sites live in destination ASes, and performance is attributed per AS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class ASType(Enum):
+    """Coarse AS roles used by the topology generator."""
+
+    TIER1 = "tier1"
+    TRANSIT = "transit"
+    STUB = "stub"
+    CONTENT = "content"
+    CDN = "cdn"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_edge(self) -> bool:
+        """Edge ASes originate content / eyeballs but sell no transit."""
+        return self in (ASType.STUB, ASType.CONTENT, ASType.CDN)
+
+
+@dataclass
+class AutonomousSystem:
+    """One AS in the synthetic Internet.
+
+    ``v4_quality`` / ``v6_quality`` are multiplicative data-plane quality
+    factors for traffic *crossing* this AS (1.0 = nominal).  A handful of
+    ASes with poor IPv6 forwarding would show up here; by default the two
+    are drawn from the same distribution, which is exactly hypothesis H1.
+    """
+
+    asn: int
+    type: ASType
+    region: int
+    v4_quality: float = 1.0
+    v6_quality: float = 1.0
+    v6_enabled: bool = False
+    #: filled by the dual-stack overlay when this AS reaches v6 via a tunnel.
+    tunnel: object | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"ASN must be positive, got {self.asn}")
+        if self.v4_quality <= 0 or self.v6_quality <= 0:
+            raise ValueError("link quality factors must be positive")
+
+    def quality(self, family) -> float:
+        """Quality factor for the given :class:`AddressFamily`."""
+        from ..net.addresses import AddressFamily
+
+        if family is AddressFamily.IPV4:
+            return self.v4_quality
+        return self.v6_quality
+
+    def __hash__(self) -> int:
+        return hash(self.asn)

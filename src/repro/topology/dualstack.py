@@ -1,0 +1,338 @@
+"""IPv6 deployment on top of the IPv4 topology.
+
+This module is where hypothesis **H2**'s root cause is planted.  The IPv6
+"Internet" of 2011 was not a separate network — it was a *subset overlay*
+of the IPv4 one:
+
+* only some ASes enabled IPv6 at all (rates differ by AS type);
+* of the links between two v6-enabled ASes, customer-provider links were
+  usually mirrored (providers sell v6 transit) but **peering links often
+  were not** — that missing *peering parity* forces IPv6 traffic onto
+  longer transit detours, which is exactly what the paper blames for
+  poorer IPv6 performance;
+* v6-enabled ASes left without any native v6 uplink either tunnel (6to4
+  or broker) over IPv4, or give up on v6.
+
+The overlay therefore exposes, per family, the adjacency views that the
+route computation consumes, plus the tunnel inventory the data plane
+charges for.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..config import DualStackConfig
+from ..errors import TopologyError
+from ..net.addresses import AddressFamily
+from ..net.allocation import PrefixAllocator
+from ..net.tunnels import Tunnel, TunnelKind
+from .asys import ASType, AutonomousSystem
+from .generator import Topology
+from .relationships import Link, Relationship
+
+#: Per-AS-type v6 enablement probability config attribute names.
+_ENABLE_ATTR = {
+    ASType.TIER1: "v6_enable_prob_tier1",
+    ASType.TRANSIT: "v6_enable_prob_transit",
+    ASType.STUB: "v6_enable_prob_stub",
+    ASType.CONTENT: "v6_enable_prob_content",
+    ASType.CDN: "v6_enable_prob_cdn",
+}
+
+
+@dataclass
+class DualStackTopology:
+    """The dual-stack Internet: IPv4 base plus the IPv6 overlay.
+
+    ``v6_links`` contains only native IPv6 adjacencies; tunnels live in
+    ``tunnels`` and are exposed to routing as virtual customer-provider
+    adjacencies (client = customer of the relay).
+    """
+
+    base: Topology
+    v6_enabled: frozenset[int]
+    v6_links: list[Link]
+    tunnels: dict[int, Tunnel]
+    allocator: PrefixAllocator
+    config: DualStackConfig
+
+    def __post_init__(self) -> None:
+        self._v6_providers: dict[int, set[int]] = {}
+        self._v6_customers: dict[int, set[int]] = {}
+        self._v6_peers: dict[int, set[int]] = {}
+        for link in self.v6_links:
+            if link.relationship is Relationship.CUSTOMER_PROVIDER:
+                self._v6_providers.setdefault(link.a, set()).add(link.b)
+                self._v6_customers.setdefault(link.b, set()).add(link.a)
+            else:
+                self._v6_peers.setdefault(link.a, set()).add(link.b)
+                self._v6_peers.setdefault(link.b, set()).add(link.a)
+        for tunnel in self.tunnels.values():
+            self._v6_providers.setdefault(tunnel.client_asn, set()).add(
+                tunnel.relay_asn
+            )
+            self._v6_customers.setdefault(tunnel.relay_asn, set()).add(
+                tunnel.client_asn
+            )
+
+    # -- per-family adjacency ----------------------------------------------
+
+    def providers_of(self, asn: int, family: AddressFamily) -> frozenset[int]:
+        if family is AddressFamily.IPV4:
+            return self.base.providers_of(asn)
+        return frozenset(self._v6_providers.get(asn, ()))
+
+    def customers_of(self, asn: int, family: AddressFamily) -> frozenset[int]:
+        if family is AddressFamily.IPV4:
+            return self.base.customers_of(asn)
+        return frozenset(self._v6_customers.get(asn, ()))
+
+    def peers_of(self, asn: int, family: AddressFamily) -> frozenset[int]:
+        if family is AddressFamily.IPV4:
+            return self.base.peers_of(asn)
+        return frozenset(self._v6_peers.get(asn, ()))
+
+    def reaches(self, asn: int, family: AddressFamily) -> bool:
+        """True if ``asn`` participates in the ``family`` Internet at all."""
+        if family is AddressFamily.IPV4:
+            return asn in self.base.ases
+        return asn in self.v6_enabled
+
+    def tunnel_of(self, asn: int) -> Tunnel | None:
+        """The tunnel ``asn`` uses for its v6 uplink, if any."""
+        return self.tunnels.get(asn)
+
+    def tunnel_on_edge(self, a: int, b: int) -> Tunnel | None:
+        """The tunnel realising the v6 adjacency ``a``-``b``, if any."""
+        for asn in (a, b):
+            tunnel = self.tunnels.get(asn)
+            if tunnel is not None and {tunnel.client_asn, tunnel.relay_asn} == {a, b}:
+                return tunnel
+        return None
+
+    @property
+    def asn_list(self) -> list[int]:
+        return sorted(self.base.ases)
+
+    def summary(self) -> dict[str, int]:
+        """Headline overlay statistics (handy for reports and tests)."""
+        return {
+            "ases": len(self.base.ases),
+            "v6_enabled": len(self.v6_enabled),
+            "v4_links": len(self.base.links),
+            "v6_links": len(self.v6_links),
+            "tunnels": len(self.tunnels),
+        }
+
+
+def valley_free_distances(topo: Topology, dest: int) -> dict[int, int]:
+    """Valley-free (Gao-Rexford) AS-path lengths from every AS to ``dest``.
+
+    Used to size tunnels: the IPv4 forwarding underneath a tunnel follows
+    BGP policy routing, so the hop count hidden inside a tunnel is the
+    valley-free distance between relay and client, not the undirected
+    graph distance (which ignores business relationships and badly
+    underestimates real detours).
+    """
+    import heapq as _heapq
+
+    # Sweep 1: customer routes - BFS up provider links from dest.
+    dist_c: dict[int, int] = {dest: 0}
+    frontier = [dest]
+    while frontier:
+        nxt: list[int] = []
+        for asn in frontier:
+            for provider in topo.providers_of(asn):
+                if provider not in dist_c:
+                    dist_c[provider] = dist_c[asn] + 1
+                    nxt.append(provider)
+        frontier = nxt
+    # Preference classes: customer(0) < peer(1) < provider(2).
+    best: dict[int, tuple[int, int]] = {
+        asn: (0, d) for asn, d in dist_c.items() if asn != dest
+    }
+    # Sweep 2: one peering hop into the customer cone.
+    for asn, d in dist_c.items():
+        for peer in topo.peers_of(asn):
+            if peer == dest:
+                continue
+            cand = (1, d + 1)
+            if peer not in best or cand < best[peer]:
+                best[peer] = cand
+    # Sweep 3: provider routes propagate down customer links.
+    heap = [(length, asn) for asn, (_, length) in best.items()]
+    heap.append((0, dest))
+    _heapq.heapify(heap)
+    settled: set[int] = set()
+    while heap:
+        length, asn = _heapq.heappop(heap)
+        if asn in settled:
+            continue
+        settled.add(asn)
+        exported = 0 if asn == dest else best[asn][1]
+        for customer in topo.customers_of(asn):
+            if customer == dest:
+                continue
+            cand = (2, exported + 1)
+            if customer not in best or cand < best[customer]:
+                best[customer] = cand
+                _heapq.heappush(heap, (cand[1], customer))
+    out = {asn: length for asn, (_, length) in best.items()}
+    out[dest] = 0
+    return out
+
+
+def _v6_core_reachable(
+    enabled: set[int],
+    links: list[Link],
+    topo: Topology,
+) -> set[int]:
+    """ASes with a native v6 provider chain ending at a v6 tier-1."""
+    providers: dict[int, set[int]] = {}
+    for link in links:
+        if link.relationship is Relationship.CUSTOMER_PROVIDER:
+            providers.setdefault(link.a, set()).add(link.b)
+    reachable = {
+        asn for asn in enabled if topo.ases[asn].type is ASType.TIER1
+    }
+    changed = True
+    while changed:
+        changed = False
+        for asn in enabled:
+            if asn in reachable:
+                continue
+            if providers.get(asn, set()) & reachable:
+                reachable.add(asn)
+                changed = True
+    return reachable
+
+
+def deploy_ipv6(
+    topo: Topology,
+    config: DualStackConfig,
+    rng: random.Random,
+    allocator: PrefixAllocator | None = None,
+) -> DualStackTopology:
+    """Deploy IPv6 on ``topo`` per ``config``.
+
+    Returns a :class:`DualStackTopology` whose every v6-enabled AS either
+    has a native provider chain to a v6 tier-1 or a tunnel; ASes that end
+    up with neither are disabled (they stay v4-only).
+    """
+    config.validate()
+    if allocator is None:
+        allocator = PrefixAllocator()
+
+    # Every AS gets an IPv4 block.
+    for asn in sorted(topo.ases):
+        allocator.allocate(asn, AddressFamily.IPV4)
+
+    # Phase 1: per-type enablement coin flips.
+    enabled: set[int] = set()
+    for asn in sorted(topo.ases):
+        asys = topo.ases[asn]
+        if rng.random() < getattr(config, _ENABLE_ATTR[asys.type]):
+            enabled.add(asn)
+    if not any(topo.ases[a].type is ASType.TIER1 for a in enabled):
+        # The v6 core must exist: force-enable one tier-1.
+        tier1s = sorted(a.asn for a in topo.ases_of_type(ASType.TIER1))
+        if not tier1s:
+            raise TopologyError("topology has no tier-1 AS")
+        enabled.add(tier1s[0])
+
+    # Phase 2: mirror links with family-specific parity.
+    v6_links: list[Link] = []
+    for link in topo.links:
+        if link.a not in enabled or link.b not in enabled:
+            continue
+        both_tier1 = (
+            topo.ases[link.a].type is ASType.TIER1
+            and topo.ases[link.b].type is ASType.TIER1
+        )
+        if link.relationship is Relationship.CUSTOMER_PROVIDER:
+            keep = rng.random() < config.c2p_parity
+        elif both_tier1:
+            keep = True  # the v6 core peers fully, else v6 partitions
+        else:
+            keep = rng.random() < config.peering_parity
+        if keep:
+            v6_links.append(link)
+
+    # Phase 2b: an AS that enabled IPv6 and has a v6-capable provider buys
+    # v6 transit from (at least) one of them - enabling v6 without any
+    # uplink would be pointless.  This keeps provider chains intact and
+    # leaves tunnels for genuinely stranded ASes, as in the 2011 Internet.
+    mirrored_up: set[int] = {
+        link.a for link in v6_links
+        if link.relationship is Relationship.CUSTOMER_PROVIDER
+    }
+    mirrored_pairs = {(link.a, link.b) for link in v6_links}
+    for asn in sorted(enabled):
+        if asn in mirrored_up or topo.ases[asn].type is ASType.TIER1:
+            continue
+        enabled_providers = sorted(
+            p for p in topo.providers_of(asn) if p in enabled
+        )
+        if not enabled_providers:
+            continue
+        provider = rng.choice(enabled_providers)
+        if (asn, provider) not in mirrored_pairs:
+            v6_links.append(Link.customer_provider(asn, provider))
+            mirrored_pairs.add((asn, provider))
+        mirrored_up.add(asn)
+
+    # Phase 3: connectivity repair via tunnels (or disablement).
+    reachable = _v6_core_reachable(enabled, v6_links, topo)
+    tunnels: dict[int, Tunnel] = {}
+    relay_pool = sorted(
+        asn for asn in reachable
+        if topo.ases[asn].type in (ASType.TIER1, ASType.TRANSIT)
+    )
+    distance_cache: dict[int, dict[int, int]] = {}
+    for asn in sorted(enabled - reachable):
+        if relay_pool and rng.random() < config.tunnel_prob:
+            relay = rng.choice(relay_pool)
+            # The encapsulated traffic crosses the IPv4 (policy-routed)
+            # path between relay and client.
+            distances = distance_cache.get(asn)
+            if distances is None:
+                distances = valley_free_distances(topo, asn)
+                distance_cache[asn] = distances
+            hops = distances.get(relay, 3)
+            kind = (
+                TunnelKind.SIX_TO_FOUR
+                if rng.random() < config.six_to_four_fraction
+                else TunnelKind.BROKER
+            )
+            tunnels[asn] = Tunnel(
+                client_asn=asn,
+                relay_asn=relay,
+                kind=kind,
+                hidden_hops=max(1, hops),
+            )
+        else:
+            enabled.discard(asn)
+
+    # Drop v6 links that now dangle on a disabled endpoint.
+    v6_links = [
+        link for link in v6_links if link.a in enabled and link.b in enabled
+    ]
+
+    # Phase 4: v6 address allocation (6to4 clients derive, others native).
+    for asn in sorted(enabled):
+        tunnel = tunnels.get(asn)
+        if tunnel is not None and tunnel.kind is TunnelKind.SIX_TO_FOUR:
+            allocator.register_6to4(asn)
+        else:
+            allocator.allocate(asn, AddressFamily.IPV6)
+
+    return DualStackTopology(
+        base=topo,
+        v6_enabled=frozenset(enabled),
+        v6_links=v6_links,
+        tunnels=tunnels,
+        allocator=allocator,
+        config=config,
+    )

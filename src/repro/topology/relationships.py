@@ -1,0 +1,71 @@
+"""Inter-AS business relationships.
+
+The model follows Gao-Rexford: every link is either customer-to-provider
+(the customer pays) or settlement-free peering.  Valley-free routing and
+export rules in :mod:`repro.bgp.routing` are defined over these types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import TopologyError
+
+
+class Relationship(Enum):
+    """Business relationship of a link, read in the ``(a, b)`` direction."""
+
+    #: ``a`` is a customer of ``b`` (a pays b for transit).
+    CUSTOMER_PROVIDER = "c2p"
+    #: settlement-free peering between ``a`` and ``b``.
+    PEER = "p2p"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Link:
+    """An adjacency between two ASes.
+
+    For :attr:`Relationship.CUSTOMER_PROVIDER` links, ``a`` is the customer
+    and ``b`` the provider.  Peering links are symmetric; they are stored
+    with ``a < b`` to keep them unique.
+    """
+
+    a: int
+    b: int
+    relationship: Relationship
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise TopologyError(f"self-link at AS{self.a}")
+        if self.relationship is Relationship.PEER and self.a > self.b:
+            raise TopologyError("peering links must be stored with a < b")
+
+    @property
+    def endpoints(self) -> tuple[int, int]:
+        return (self.a, self.b)
+
+    def involves(self, asn: int) -> bool:
+        return asn in (self.a, self.b)
+
+    def peer_of(self, asn: int) -> int:
+        """The other endpoint, given one endpoint."""
+        if asn == self.a:
+            return self.b
+        if asn == self.b:
+            return self.a
+        raise TopologyError(f"AS{asn} is not on link {self.a}-{self.b}")
+
+    @staticmethod
+    def peering(x: int, y: int) -> "Link":
+        """Construct a canonical peering link between ``x`` and ``y``."""
+        lo, hi = (x, y) if x < y else (y, x)
+        return Link(lo, hi, Relationship.PEER)
+
+    @staticmethod
+    def customer_provider(customer: int, provider: int) -> "Link":
+        """Construct a c2p link (``customer`` pays ``provider``)."""
+        return Link(customer, provider, Relationship.CUSTOMER_PROVIDER)

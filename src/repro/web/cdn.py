@@ -1,0 +1,58 @@
+"""Content delivery networks.
+
+In 2011 no major CDN offered production IPv6 (the paper cites Akamai's
+status page), so a CDN customer's A record resolves into the CDN's AS
+while its AAAA record still points at the origin — making the site a
+**different-locations (DL)** site in the paper's taxonomy, and usually a
+faster IPv4 experience (Table 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.addresses import AddressFamily
+from .server import OriginServer
+
+
+@dataclass(frozen=True)
+class CDNProvider:
+    """A CDN: one AS in the topology, broadly attached, v4-only by default."""
+
+    name: str
+    asn: int
+    #: CDN edge capacity, usually above typical origin servers.
+    edge_speed: float = 115.0
+    dual_stack: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name != self.name.lower():
+            raise ValueError("CDN names must be non-empty lowercase")
+        if self.edge_speed <= 0:
+            raise ValueError("edge_speed must be positive")
+
+    def edge_hostname(self, site_name: str) -> str:
+        """The CNAME target a customer's web name points at."""
+        return f"{site_name}.{self.name}.net"
+
+    def edge_server(self) -> OriginServer:
+        """The edge node serving a customer's content."""
+        return OriginServer(asn=self.asn, base_speed=self.edge_speed)
+
+    def serves(self, family: AddressFamily) -> bool:
+        """Whether the CDN serves a given family at all."""
+        if family is AddressFamily.IPV4:
+            return True
+        return self.dual_stack
+
+
+@dataclass(frozen=True)
+class CdnDeployment:
+    """A site's CDN subscription: which provider fronts which families."""
+
+    provider: CDNProvider
+
+    def fronted_families(self) -> tuple[AddressFamily, ...]:
+        if self.provider.dual_stack:
+            return (AddressFamily.IPV4, AddressFamily.IPV6)
+        return (AddressFamily.IPV4,)

@@ -1,0 +1,117 @@
+"""Happy Eyeballs (RFC 6555) — dual-stack connection racing.
+
+A future-work thread the paper opens: if IPv6 underperforms on some
+paths, what do *clients* experience once browsers race connections?
+RFC 6555 answers: try IPv6 first, fall back to IPv4 if the v6 connection
+hasn't completed within a grace period (~300 ms in 2012 implementations,
+the "Preference" delay).  This module models that race on top of the
+reproduction's RTT model, so one can quantify how often 2011-era routing
+would still have pushed users onto IPv6 — and at what latency cost.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..dataplane.latency import LatencyModel
+from ..dataplane.path import ForwardingPath
+from ..errors import ConfigError
+from ..net.addresses import AddressFamily
+
+#: RFC 6555 recommends waiting 150-250 ms for IPv6 before starting IPv4;
+#: 300 ms matches early browser implementations.
+DEFAULT_PREFERENCE_DELAY_MS = 300.0
+
+
+@dataclass(frozen=True)
+class RaceOutcome:
+    """Result of one connection race."""
+
+    winner: AddressFamily
+    connect_ms: float
+    v6_rtt_ms: float | None
+    v4_rtt_ms: float
+
+    @property
+    def v6_used(self) -> bool:
+        return self.winner is AddressFamily.IPV6
+
+    @property
+    def fallback_penalty_ms(self) -> float:
+        """Extra wait the user paid versus always connecting over IPv4."""
+        return max(0.0, self.connect_ms - self.v4_rtt_ms)
+
+
+class HappyEyeballsClient:
+    """Races IPv6 against delayed IPv4 per RFC 6555.
+
+    The connection time over a family is approximated as one RTT (the
+    TCP handshake's SYN/SYN-ACK dominates).  IPv6 starts at t=0; IPv4
+    starts at ``preference_delay_ms``; the first to complete wins.
+    """
+
+    def __init__(
+        self,
+        latency: LatencyModel,
+        preference_delay_ms: float = DEFAULT_PREFERENCE_DELAY_MS,
+    ) -> None:
+        if preference_delay_ms < 0:
+            raise ConfigError("preference_delay_ms must be >= 0")
+        self.latency = latency
+        self.preference_delay_ms = preference_delay_ms
+
+    def race(
+        self,
+        v4_path: ForwardingPath,
+        v6_path: ForwardingPath | None,
+        rng: random.Random,
+    ) -> RaceOutcome:
+        """Run one race; ``v6_path=None`` models a v4-only destination."""
+        v4_rtt = self.latency.sample_rtt_ms(v4_path, rng)
+        if v6_path is None:
+            return RaceOutcome(
+                winner=AddressFamily.IPV4,
+                connect_ms=v4_rtt,
+                v6_rtt_ms=None,
+                v4_rtt_ms=v4_rtt,
+            )
+        v6_rtt = self.latency.sample_rtt_ms(v6_path, rng)
+        v6_done = v6_rtt
+        v4_done = self.preference_delay_ms + v4_rtt
+        if v6_done <= v4_done:
+            winner, connect = AddressFamily.IPV6, v6_done
+        else:
+            winner, connect = AddressFamily.IPV4, v4_done
+        return RaceOutcome(
+            winner=winner,
+            connect_ms=connect,
+            v6_rtt_ms=v6_rtt,
+            v4_rtt_ms=v4_rtt,
+        )
+
+
+@dataclass(frozen=True)
+class RaceStatistics:
+    """Aggregates over many races."""
+
+    n_races: int
+    v6_share: float
+    mean_connect_ms: float
+    mean_fallback_penalty_ms: float
+
+
+def summarise_races(outcomes: Iterable[RaceOutcome]) -> RaceStatistics:
+    """Aggregate a batch of race outcomes."""
+    outcomes = list(outcomes)
+    if not outcomes:
+        return RaceStatistics(0, 0.0, 0.0, 0.0)
+    return RaceStatistics(
+        n_races=len(outcomes),
+        v6_share=sum(o.v6_used for o in outcomes) / len(outcomes),
+        mean_connect_ms=sum(o.connect_ms for o in outcomes) / len(outcomes),
+        mean_fallback_penalty_ms=(
+            sum(o.fallback_penalty_ms for o in outcomes) / len(outcomes)
+        ),
+    )

@@ -1,0 +1,114 @@
+"""The simulated HTTP GET.
+
+:class:`HttpClient` is the seam between the monitoring tool and the
+substrates: given a resolved address, it locates the serving endpoint,
+obtains the forwarding path, and samples a download from the throughput
+model.  Dependencies are injected as callables so the client is equally
+usable against the full world or against hand-built fixtures in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..dataplane.path import ForwardingPath
+from ..dataplane.performance import ThroughputModel
+from ..errors import DownloadError, UnreachableError
+from ..net.addresses import Address, AddressFamily
+
+
+@dataclass(frozen=True)
+class ContentEndpoint:
+    """What serves a given (name, family, round): speed and page bytes."""
+
+    site_id: int
+    server_asn: int
+    #: effective server-side speed (base x efficiency x behaviour) in kB/s.
+    server_speed: float
+    page_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.server_speed <= 0:
+            raise DownloadError("endpoint server_speed must be positive")
+        if self.page_bytes <= 0:
+            raise DownloadError("endpoint page_bytes must be positive")
+
+
+#: (final_name, family, round) -> endpoint serving that name.
+ContentLookup = Callable[[str, AddressFamily, int], ContentEndpoint]
+#: (owner_asn, site_id, family, round) -> forwarding path or None.
+PathProvider = Callable[[int, int, AddressFamily, int], Optional[ForwardingPath]]
+#: address -> owning ASN.
+OwnerLookup = Callable[[Address], int]
+
+
+@dataclass(frozen=True)
+class DownloadResult:
+    """One completed page download."""
+
+    final_name: str
+    family: AddressFamily
+    address: Address
+    server_asn: int
+    as_path: tuple[int, ...]
+    page_bytes: int
+    speed_kbytes_per_sec: float
+    seconds: float
+
+
+class HttpClient:
+    """Simulates main-page downloads from one vantage point."""
+
+    def __init__(
+        self,
+        model: ThroughputModel,
+        content_lookup: ContentLookup,
+        path_provider: PathProvider,
+        owner_lookup: OwnerLookup,
+    ) -> None:
+        self._model = model
+        self._content_lookup = content_lookup
+        self._path_provider = path_provider
+        self._owner_lookup = owner_lookup
+
+    def get(
+        self,
+        final_name: str,
+        address: Address,
+        family: AddressFamily,
+        round_idx: int,
+        rng: random.Random,
+    ) -> DownloadResult:
+        """Fetch the main page at ``address`` once.
+
+        Raises :class:`UnreachableError` when no forwarding path exists
+        (the destination is v6-dark from this vantage, say).
+        """
+        if address.family is not family:
+            raise DownloadError(
+                f"address {address} is not an {family} address"
+            )
+        endpoint = self._content_lookup(final_name, family, round_idx)
+        owner_asn = self._owner_lookup(address)
+        path = self._path_provider(owner_asn, endpoint.site_id, family, round_idx)
+        if path is None:
+            raise UnreachableError(
+                f"no {family} path to AS{owner_asn} for {final_name}"
+            )
+        round_mean = self._model.round_mean_speed(
+            endpoint.server_speed, path, endpoint.site_id, round_idx
+        )
+        speed = self._model.sample_download_speed(round_mean, rng)
+        seconds = self._model.download_seconds(endpoint.page_bytes, speed)
+        return DownloadResult(
+            final_name=final_name,
+            family=family,
+            address=address,
+            server_asn=endpoint.server_asn,
+            as_path=path.as_path,
+            page_bytes=endpoint.page_bytes,
+            speed_kbytes_per_sec=speed,
+            seconds=seconds,
+        )

@@ -1,0 +1,44 @@
+"""Main pages.
+
+The monitoring tool only ever fetches a site's main page and compares the
+IPv4 and IPv6 byte counts (within 6% = "identical").  Most sites serve
+the same bytes on both families; a small fraction serve different content
+per family (v6-specific landing pages, different ad payloads), which the
+identity check is designed to filter out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.addresses import AddressFamily
+
+
+@dataclass(frozen=True)
+class WebPage:
+    """A site's main page, with per-family byte counts."""
+
+    v4_bytes: int
+    v6_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.v4_bytes <= 0 or self.v6_bytes <= 0:
+            raise ValueError("page sizes must be positive")
+
+    def size(self, family: AddressFamily) -> int:
+        if family is AddressFamily.IPV4:
+            return self.v4_bytes
+        return self.v6_bytes
+
+    def relative_size_difference(self) -> float:
+        """``|v4 - v6|`` relative to the larger page."""
+        larger = max(self.v4_bytes, self.v6_bytes)
+        return abs(self.v4_bytes - self.v6_bytes) / larger
+
+    def identical_within(self, threshold: float) -> bool:
+        """The paper's identity check (byte counts within ``threshold``)."""
+        return self.relative_size_difference() <= threshold
+
+    @classmethod
+    def same_content(cls, size_bytes: int) -> "WebPage":
+        return cls(v4_bytes=size_bytes, v6_bytes=size_bytes)

@@ -1,0 +1,49 @@
+"""Origin servers.
+
+A server contributes two things to a measured speed: its base capacity
+and its per-family efficiency.  The paper's factor (S): server-side IPv6
+impairments (untuned stacks, software terminating v6 in userspace, v6 on
+a weaker front-end) make an AS look worse over IPv6 even when the network
+is fine — producing the zero-modes of Section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.addresses import AddressFamily
+
+
+@dataclass
+class OriginServer:
+    """One site's web server (or a CDN edge node).
+
+    ``v6_efficiency`` is the multiplicative speed factor applied to IPv6
+    service; 1.0 means the server is family-blind, values below 1 model
+    the impaired-v6 population.
+    """
+
+    asn: int
+    base_speed: float  # kbytes/sec before network effects
+    v6_efficiency: float = 1.0
+    v4_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.base_speed <= 0:
+            raise ValueError("base_speed must be positive")
+        if not 0 < self.v6_efficiency <= 2.0 or not 0 < self.v4_efficiency <= 2.0:
+            raise ValueError("efficiencies must be in (0, 2]")
+
+    def efficiency(self, family: AddressFamily) -> float:
+        if family is AddressFamily.IPV4:
+            return self.v4_efficiency
+        return self.v6_efficiency
+
+    def speed(self, family: AddressFamily) -> float:
+        """Family-specific server speed before path effects."""
+        return self.base_speed * self.efficiency(family)
+
+    @property
+    def v6_impaired(self) -> bool:
+        """True when IPv6 service is noticeably slower than IPv4 here."""
+        return self.v6_efficiency < 0.9 * self.v4_efficiency

@@ -1,0 +1,139 @@
+"""RIB dump serialisation, parsing, and diffing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.ribdump import (
+    RouteChangeKind,
+    changed_origins,
+    diff_tables,
+    dump_table,
+    parse_dump,
+)
+from repro.bgp.table import RouteEntry, RoutingTable
+from repro.errors import RoutingError
+from repro.net.addresses import AddressFamily, Prefix
+
+V4 = AddressFamily.IPV4
+V6 = AddressFamily.IPV6
+
+
+def table_with(entries, vantage=1, family=V4) -> RoutingTable:
+    table = RoutingTable(vantage_asn=vantage, family=family)
+    for prefix_text, origin, path in entries:
+        table.insert(
+            RouteEntry(
+                prefix=Prefix.parse(prefix_text),
+                origin_asn=origin,
+                as_path=tuple(path),
+            )
+        )
+    return table
+
+
+@pytest.fixture()
+def table() -> RoutingTable:
+    return table_with(
+        [
+            ("20.0.0.0/16", 3, (1, 2, 3)),
+            ("20.1.0.0/16", 4, (1, 2, 4)),
+        ]
+    )
+
+
+class TestDumpAndParse:
+    def test_roundtrip(self, table):
+        parsed = parse_dump(dump_table(table))
+        assert parsed.vantage_asn == table.vantage_asn
+        assert parsed.family is table.family
+        assert parsed.entries.keys() == table.entries.keys()
+        for prefix, entry in table.entries.items():
+            assert parsed.entries[prefix].as_path == entry.as_path
+
+    def test_dump_is_sorted_and_stable(self, table):
+        assert dump_table(table) == dump_table(table)
+        lines = dump_table(table).splitlines()
+        assert lines[2].startswith("20.0.0.0/16")
+
+    def test_v6_roundtrip(self):
+        table = table_with(
+            [("2001:db8::/48", 7, (1, 5, 7))], family=V6
+        )
+        parsed = parse_dump(dump_table(table))
+        assert parsed.family is V6
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(RoutingError):
+            parse_dump("not a dump\n")
+
+    def test_malformed_line_rejected(self, table):
+        text = dump_table(table) + "20.9.0.0/16\n"
+        with pytest.raises(RoutingError):
+            parse_dump(text)
+
+    def test_entry_count_mismatch_rejected(self, table):
+        text = dump_table(table).replace("entries=2", "entries=5")
+        with pytest.raises(RoutingError):
+            parse_dump(text)
+
+
+class TestDiff:
+    def test_no_changes(self, table):
+        assert diff_tables(table, table) == []
+
+    def test_announced_and_withdrawn(self, table):
+        newer = table_with(
+            [
+                ("20.0.0.0/16", 3, (1, 2, 3)),
+                ("20.2.0.0/16", 9, (1, 2, 9)),
+            ]
+        )
+        changes = {c.kind: c for c in diff_tables(table, newer)}
+        assert changes[RouteChangeKind.ANNOUNCED].new_path == (1, 2, 9)
+        assert changes[RouteChangeKind.WITHDRAWN].old_path == (1, 2, 4)
+
+    def test_path_change(self, table):
+        newer = table_with(
+            [
+                ("20.0.0.0/16", 3, (1, 5, 3)),
+                ("20.1.0.0/16", 4, (1, 2, 4)),
+            ]
+        )
+        changes = diff_tables(table, newer)
+        assert len(changes) == 1
+        change = changes[0]
+        assert change.kind is RouteChangeKind.PATH_CHANGED
+        assert change.old_path == (1, 2, 3)
+        assert change.new_path == (1, 5, 3)
+
+    def test_changed_origins(self, table):
+        newer = table_with(
+            [
+                ("20.0.0.0/16", 3, (1, 5, 3)),
+                ("20.1.0.0/16", 4, (1, 2, 4)),
+            ]
+        )
+        assert changed_origins(diff_tables(table, newer)) == {3}
+
+    def test_family_and_vantage_guards(self, table):
+        with pytest.raises(RoutingError):
+            diff_tables(table, table_with([], family=V6))
+        with pytest.raises(RoutingError):
+            diff_tables(table, table_with([], vantage=2))
+
+
+class TestAgainstBuiltTables:
+    def test_world_table_roundtrips(self, small_world):
+        from repro.bgp.table import build_routing_table
+
+        vantage = small_world.vantages[0]
+        table = build_routing_table(
+            small_world.dualstack,
+            small_world.oracle,
+            vantage.asn,
+            V4,
+            destinations=small_world.dualstack.asn_list[:40],
+        )
+        parsed = parse_dump(dump_table(table))
+        assert len(parsed) == len(table)

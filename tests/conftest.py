@@ -1,0 +1,59 @@
+"""Shared fixtures.
+
+The expensive artifacts — a small world and its completed campaign — are
+session-scoped so the whole suite pays for them once.  Unit tests that
+need precise control build their own tiny fixtures instead.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import ScenarioConfig, small_config
+from repro.core.campaign import CampaignResult, run_campaign, run_world_ipv6_day
+from repro.core.world import World, build_world
+from repro.experiments.scenario import ExperimentData, build_contexts
+
+
+@pytest.fixture(scope="session")
+def small_cfg() -> ScenarioConfig:
+    # Seed 11 yields a miniature world that exhibits both of the paper's
+    # contrasts clearly (tiny worlds are seed-sensitive; the robust
+    # experiment-scale checks live in benchmarks/).
+    return small_config(seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_world(small_cfg) -> World:
+    return build_world(small_cfg)
+
+
+@pytest.fixture(scope="session")
+def small_campaign(small_world) -> CampaignResult:
+    return run_campaign(small_world)
+
+
+@pytest.fixture(scope="session")
+def small_data(small_cfg, small_campaign) -> ExperimentData:
+    return ExperimentData(
+        config=small_cfg,
+        campaign=small_campaign,
+        contexts=build_contexts(small_cfg, small_campaign),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_w6d(small_cfg, small_campaign) -> ExperimentData:
+    campaign = run_world_ipv6_day(small_campaign.world, n_rounds=24)
+    return ExperimentData(
+        config=small_cfg,
+        campaign=campaign,
+        contexts=build_contexts(small_cfg, campaign),
+    )
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(1234)

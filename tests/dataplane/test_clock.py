@@ -1,0 +1,43 @@
+"""Simulation clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane.clock import (
+    HALF_HOUR_SECONDS,
+    WEEK_SECONDS,
+    SimulationClock,
+)
+from repro.errors import ConfigError
+
+
+class TestSimulationClock:
+    def test_weekly_rounds(self):
+        clock = SimulationClock.weekly()
+        assert clock.time_of_round(0) == 0.0
+        assert clock.time_of_round(3) == 3 * WEEK_SECONDS
+
+    def test_w6d_rounds(self):
+        clock = SimulationClock.world_ipv6_day(origin=100.0)
+        assert clock.time_of_round(2) == 100.0 + 2 * HALF_HOUR_SECONDS
+
+    def test_round_of_time_inverts(self):
+        clock = SimulationClock.weekly()
+        for round_idx in (0, 1, 7):
+            assert clock.round_of_time(clock.time_of_round(round_idx)) == round_idx
+            assert (
+                clock.round_of_time(clock.time_of_round(round_idx) + 1.0) == round_idx
+            )
+
+    def test_time_before_origin_clamps(self):
+        clock = SimulationClock(round_interval=10.0, origin=50.0)
+        assert clock.round_of_time(0.0) == 0
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationClock.weekly().time_of_round(-1)
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationClock(round_interval=0.0)

@@ -1,0 +1,81 @@
+"""The RTT model."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro.dataplane.latency import LatencyConfig, LatencyModel
+from repro.dataplane.path import ForwardingPath
+from repro.errors import ConfigError
+from repro.net.addresses import AddressFamily
+from repro.net.tunnels import Tunnel, TunnelKind
+from repro.rng import RngStreams
+
+V4 = AddressFamily.IPV4
+V6 = AddressFamily.IPV6
+
+
+def path_of(hops: int, family=V4, tunnels=()) -> ForwardingPath:
+    return ForwardingPath(
+        family=family,
+        as_path=tuple(range(1, hops + 2)),
+        quality=1.0,
+        tunnels=tunnels,
+        tunnel_quality=0.8,
+    )
+
+
+@pytest.fixture()
+def model() -> LatencyModel:
+    return LatencyModel(LatencyConfig(), RngStreams(3))
+
+
+class TestBaseRtt:
+    def test_grows_with_hops(self, model):
+        rtts = [model.base_rtt_ms(path_of(h)) for h in (1, 3, 6)]
+        assert rtts == sorted(rtts)
+
+    def test_rtt_is_twice_one_way(self, model):
+        cfg = model.config
+        expected = 2.0 * (cfg.access_ms + cfg.per_hop_ms * 3)
+        assert model.base_rtt_ms(path_of(3)) == pytest.approx(expected)
+
+    def test_tunnel_adds_overhead_and_hidden_hops(self, model):
+        tunnel = Tunnel(client_asn=4, relay_asn=2, kind=TunnelKind.BROKER, hidden_hops=3)
+        tunneled = ForwardingPath(
+            family=V6, as_path=(1, 2, 4), quality=1.0,
+            tunnels=(tunnel,), tunnel_quality=0.8,
+        )
+        plain = path_of(2, V6)
+        assert model.base_rtt_ms(tunneled) > model.base_rtt_ms(plain)
+
+    def test_family_blind(self, model):
+        assert model.base_rtt_ms(path_of(4, V4)) == model.base_rtt_ms(
+            path_of(4, V6)
+        )
+
+
+class TestSampling:
+    def test_jitter_unbiased(self, model):
+        rng = random.Random(5)
+        base = model.base_rtt_ms(path_of(3))
+        samples = [model.sample_rtt_ms(path_of(3), rng) for _ in range(3000)]
+        assert statistics.mean(samples) == pytest.approx(base, rel=0.03)
+
+    def test_zero_jitter_is_deterministic(self):
+        model = LatencyModel(LatencyConfig(jitter_sigma=0.0), RngStreams(3))
+        rng = random.Random(5)
+        assert model.sample_rtt_ms(path_of(3), rng) == model.base_rtt_ms(path_of(3))
+
+
+class TestValidation:
+    def test_bad_configs_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyConfig(per_hop_ms=0).validate()
+        with pytest.raises(ConfigError):
+            LatencyConfig(access_ms=-1).validate()
+        with pytest.raises(ConfigError):
+            LatencyConfig(jitter_sigma=-0.1).validate()

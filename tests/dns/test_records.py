@@ -1,0 +1,84 @@
+"""DNS record types and RRSets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dns.records import RecordType, ResourceRecord, RRSet
+from repro.errors import DnsError
+from repro.net.addresses import AddressFamily, IPv4Address, IPv6Address
+
+
+class TestRecordType:
+    def test_for_family(self):
+        assert RecordType.for_family(AddressFamily.IPV4) is RecordType.A
+        assert RecordType.for_family(AddressFamily.IPV6) is RecordType.AAAA
+
+    def test_family_roundtrip(self):
+        assert RecordType.A.family is AddressFamily.IPV4
+        assert RecordType.AAAA.family is AddressFamily.IPV6
+
+    def test_cname_has_no_family(self):
+        with pytest.raises(DnsError):
+            RecordType.CNAME.family
+
+
+class TestResourceRecord:
+    def test_a_record(self):
+        r = ResourceRecord("www.example.", RecordType.A, IPv4Address.parse("1.2.3.4"))
+        assert str(r.address) == "1.2.3.4"
+
+    def test_aaaa_record(self):
+        r = ResourceRecord("www.example.", RecordType.AAAA, IPv6Address.parse("::1"))
+        assert str(r.address) == "::1"
+
+    def test_type_value_mismatch_rejected(self):
+        with pytest.raises(DnsError):
+            ResourceRecord("www.example.", RecordType.A, IPv6Address.parse("::1"))
+        with pytest.raises(DnsError):
+            ResourceRecord("www.example.", RecordType.AAAA, IPv4Address.parse("1.2.3.4"))
+        with pytest.raises(DnsError):
+            ResourceRecord("www.example.", RecordType.CNAME, IPv4Address.parse("1.2.3.4"))
+
+    def test_uppercase_name_rejected(self):
+        with pytest.raises(DnsError):
+            ResourceRecord("WWW.example.", RecordType.A, IPv4Address.parse("1.2.3.4"))
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(DnsError):
+            ResourceRecord(
+                "www.example.", RecordType.A, IPv4Address.parse("1.2.3.4"), ttl=-1
+            )
+
+    def test_cname_has_no_address(self):
+        r = ResourceRecord("www.example.", RecordType.CNAME, "cdn.example.")
+        with pytest.raises(DnsError):
+            r.address
+
+
+class TestRRSet:
+    def test_ttl_is_minimum(self):
+        records = (
+            ResourceRecord("a.example.", RecordType.A, IPv4Address(1), ttl=100),
+            ResourceRecord("a.example.", RecordType.A, IPv4Address(2), ttl=50),
+        )
+        rrset = RRSet("a.example.", RecordType.A, records)
+        assert rrset.ttl == 50
+        assert len(rrset) == 2
+        assert bool(rrset)
+
+    def test_empty_set_is_falsy(self):
+        rrset = RRSet("a.example.", RecordType.A, ())
+        assert not rrset
+        assert rrset.ttl == 0.0
+
+    def test_mismatched_member_rejected(self):
+        stray = ResourceRecord("b.example.", RecordType.A, IPv4Address(1))
+        with pytest.raises(DnsError):
+            RRSet("a.example.", RecordType.A, (stray,))
+
+    def test_addresses(self):
+        records = (
+            ResourceRecord("a.example.", RecordType.A, IPv4Address(7)),
+        )
+        assert RRSet("a.example.", RecordType.A, records).addresses() == [IPv4Address(7)]

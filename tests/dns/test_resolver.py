@@ -1,0 +1,120 @@
+"""Caching resolver: positive/negative caching, CNAME chains, query_both."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dns.records import RecordType, ResourceRecord
+from repro.dns.resolver import NEGATIVE_TTL, Resolver
+from repro.dns.zone import ZoneStore
+from repro.errors import DnsError, NoRecord, NxDomain
+from repro.net.addresses import AddressFamily, IPv4Address, IPv6Address
+
+V4 = AddressFamily.IPV4
+V6 = AddressFamily.IPV6
+
+
+@pytest.fixture()
+def store() -> ZoneStore:
+    store = ZoneStore()
+    zone = store.zone_for("example.")
+    zone.add(ResourceRecord("dual.example.", RecordType.A, IPv4Address(1), ttl=60))
+    zone.add(ResourceRecord("dual.example.", RecordType.AAAA, IPv6Address(1), ttl=60))
+    zone.add(ResourceRecord("v4only.example.", RecordType.A, IPv4Address(2), ttl=60))
+    zone.add(ResourceRecord("alias.example.", RecordType.CNAME, "dual.example."))
+    zone.add(ResourceRecord("loop-a.example.", RecordType.CNAME, "loop-b.example."))
+    zone.add(ResourceRecord("loop-b.example.", RecordType.CNAME, "loop-a.example."))
+    return store
+
+
+@pytest.fixture()
+def resolver(store) -> Resolver:
+    return Resolver(store=store)
+
+
+class TestResolve:
+    def test_resolves_address(self, resolver):
+        result = resolver.resolve("dual.example.", V4)
+        assert result.addresses == (IPv4Address(1),)
+        assert result.final_name == "dual.example."
+
+    def test_name_is_case_folded(self, resolver):
+        result = resolver.resolve("DUAL.example.", V4)
+        assert result.addresses == (IPv4Address(1),)
+
+    def test_missing_family_raises_norecord(self, resolver):
+        with pytest.raises(NoRecord):
+            resolver.resolve("v4only.example.", V6)
+
+    def test_unknown_name_raises_nxdomain(self, resolver):
+        with pytest.raises(NxDomain):
+            resolver.resolve("ghost.example.", V4)
+
+    def test_cname_chain_followed(self, resolver):
+        result = resolver.resolve("alias.example.", V4)
+        assert result.final_name == "dual.example."
+        assert result.addresses == (IPv4Address(1),)
+
+    def test_cname_loop_detected(self, resolver):
+        with pytest.raises(DnsError):
+            resolver.resolve("loop-a.example.", V4)
+
+
+class TestCaching:
+    def test_second_query_hits_cache(self, resolver):
+        first = resolver.resolve("dual.example.", V4, now=0.0)
+        second = resolver.resolve("dual.example.", V4, now=1.0)
+        assert not first.from_cache
+        assert second.from_cache
+        assert resolver.hits >= 1
+
+    def test_cache_expires_with_ttl(self, resolver):
+        resolver.resolve("dual.example.", V4, now=0.0)
+        later = resolver.resolve("dual.example.", V4, now=61.0)
+        assert not later.from_cache
+
+    def test_negative_answers_are_cached(self, resolver):
+        with pytest.raises(NoRecord):
+            resolver.resolve("v4only.example.", V6, now=0.0)
+        misses_before = resolver.misses
+        with pytest.raises(NoRecord):
+            resolver.resolve("v4only.example.", V6, now=1.0)
+        assert resolver.misses == misses_before  # served from negative cache
+
+    def test_negative_cache_expires(self, resolver):
+        with pytest.raises(NoRecord):
+            resolver.resolve("v4only.example.", V6, now=0.0)
+        misses_before = resolver.misses
+        with pytest.raises(NoRecord):
+            resolver.resolve("v4only.example.", V6, now=NEGATIVE_TTL + 1.0)
+        assert resolver.misses > misses_before
+
+    def test_cache_sees_new_records_after_expiry(self, resolver, store):
+        """A site adopting IPv6 becomes visible once the negative TTL lapses."""
+        with pytest.raises(NoRecord):
+            resolver.resolve("v4only.example.", V6, now=0.0)
+        store.zone_for("example.").add(
+            ResourceRecord("v4only.example.", RecordType.AAAA, IPv6Address(9))
+        )
+        result = resolver.resolve("v4only.example.", V6, now=NEGATIVE_TTL + 1.0)
+        assert result.addresses == (IPv6Address(9),)
+
+    def test_flush(self, resolver):
+        resolver.resolve("dual.example.", V4, now=0.0)
+        resolver.flush()
+        assert not resolver.resolve("dual.example.", V4, now=1.0).from_cache
+
+
+class TestQueryBoth:
+    def test_dual_stack_site(self, resolver):
+        answers = resolver.query_both("dual.example.")
+        assert answers[V4] is not None and answers[V6] is not None
+
+    def test_v4_only_site(self, resolver):
+        answers = resolver.query_both("v4only.example.")
+        assert answers[V4] is not None
+        assert answers[V6] is None
+
+    def test_unknown_site(self, resolver):
+        answers = resolver.query_both("ghost.example.")
+        assert answers[V4] is None and answers[V6] is None

@@ -1,0 +1,180 @@
+"""Every experiment runs on the small campaign and shows the paper's shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig1,
+    fig3a,
+    fig3b,
+    section55,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+    table11,
+    table13,
+    worldipv6day,
+)
+
+
+class TestFigures:
+    def test_fig1_series_rises_and_jumps(self, small_data, small_cfg):
+        table = fig1.run(small_data)
+        series = fig1.reachability_series(small_data)
+        first, last = series[0][1], series[-1][1]
+        assert last > first
+        w6d = small_cfg.adoption.world_ipv6_day_round
+        before = series[w6d - 1][1]
+        during = series[w6d][1]
+        assert during > before
+        assert len(table.rows) == small_cfg.campaign.n_rounds
+
+    def test_fig1_measured_tracks_ground_truth(self, small_data):
+        for _, measured, truth in fig1.reachability_series(small_data):
+            assert measured == pytest.approx(truth, abs=0.02)
+
+    def test_fig3a_rank_effect(self, small_data):
+        buckets = fig3a.reachability_by_rank(small_data)
+        assert len(buckets) >= 3
+        top_bucket = buckets[0][1]
+        bottom_bucket = buckets[-1][1]
+        assert top_bucket >= bottom_bucket
+        fig3a.run(small_data)  # renders without error
+
+    def test_fig3b_samples_are_close(self, small_data):
+        top, extended = fig3b.v6_faster_by_sample(small_data)
+        assert top is not None and extended is not None
+        assert 0.0 <= top <= 1.0
+        assert abs(top - extended) < 0.25
+        fig3b.run(small_data)
+
+
+class TestInventoryTables:
+    def test_table1_lists_six_vantages(self, small_data):
+        table = table1.run(small_data)
+        assert len(table.rows) == 6
+
+    def test_table2_shape(self, small_data):
+        rows = table2.profile_rows(small_data)
+        # Penn monitors the most dual-stack sites.
+        totals = rows["Sites (total)"][:-1]
+        assert totals[0] == max(totals)
+        # Kept never exceeds total.
+        for kept, total in zip(rows["Sites kept"][:-1], totals):
+            assert kept <= total
+        # ASes crossed in v6 at or below v4 (sparser v6 topology).
+        assert rows["ASes crossed (IPv6)"][-1] <= rows["ASes crossed (IPv4)"][-1]
+        table2.run(small_data)
+
+    def test_table3_insufficient_dominates(self, small_data):
+        table = table3.run(small_data)
+        for row in table.rows:
+            insufficient = row[1]
+            others = [c for c in row[2:7]]
+            assert insufficient >= max(others)
+
+    def test_table4_every_category_populated_somewhere(self, small_data):
+        table = table4.run(small_data)
+        for row in table.rows:
+            assert sum(row[1:]) > 0
+
+    def test_table5_runs(self, small_data):
+        table = table5.run(small_data)
+        assert len(table.rows) == 6
+
+
+class TestPerformanceTables:
+    def test_table6_v4_dominates_dl(self, small_data):
+        for name in ("Penn", "Comcast", "LU", "UPCB"):
+            stats = table6.dl_statistics(small_data, name)
+            if stats["n_sites"] == 0:
+                continue
+            assert stats["v4_ge_v6"] >= 0.6
+            assert stats["v4_perf"] > stats["v6_perf"]
+        table6.run(small_data)
+
+    def test_table7_v4_speed_decreases_with_hops(self, small_data):
+        from repro.net.addresses import AddressFamily
+
+        buckets = table7.hopcount_table(small_data, "Penn")
+        v4 = buckets[AddressFamily.IPV4]
+        speeds = [
+            v4[b].mean_speed
+            for b in ("2", "3", "4", ">=5")
+            if v4[b].n_sites >= 3
+        ]
+        if len(speeds) >= 2:
+            assert speeds[0] > speeds[-1]
+        table7.run(small_data)
+
+    def test_table9_sp_families_match(self, small_data):
+        from repro.analysis.classify import SiteCategory
+        from repro.analysis.hopcount import performance_by_hopcount
+        from repro.net.addresses import AddressFamily
+
+        context = small_data.context("Penn")
+        buckets = performance_by_hopcount(
+            context.db, context.sites_in(SiteCategory.SP)
+        )
+        for bucket in ("1", "2", "3", "4", ">=5"):
+            v4 = buckets[AddressFamily.IPV4][bucket]
+            v6 = buckets[AddressFamily.IPV6][bucket]
+            assert v4.n_sites == v6.n_sites
+            if v4.n_sites >= 3:
+                assert v6.mean_speed == pytest.approx(v4.mean_speed, rel=0.25)
+        table9.run(small_data)
+
+
+class TestHypothesisTables:
+    def test_table8_h1_shape(self, small_data):
+        assert table8.h1_holds(small_data)
+        table = table8.run(small_data)
+        assert len(table.rows) == 7
+
+    def test_table11_h2_shape(self, small_data):
+        assert table11.h2_holds(small_data, gap=0.25)
+        table11.run(small_data)
+
+    def test_sp_comparable_beats_dp_comparable(self, small_data):
+        from repro.analysis.hypotheses import ASVerdict, verdict_fractions
+
+        for name in ("Penn", "Comcast", "LU", "UPCB"):
+            context = small_data.context(name)
+            sp = verdict_fractions(context.sp_evaluations.values())
+            dp = verdict_fractions(context.dp_evaluations.values())
+            assert sp[ASVerdict.COMPARABLE] > dp[ASVerdict.COMPARABLE]
+
+    def test_table13_mass_not_all_at_extremes(self, small_data):
+        coverage = table13.coverage_by_vantage(small_data)
+        for name, shares in coverage.items():
+            assert sum(shares.values()) in (0.0, pytest.approx(1.0))
+        table13.run(small_data)
+
+    def test_section55_runs(self, small_data):
+        table = section55.run(small_data)
+        assert len(table.rows) == 4
+
+
+class TestWorldIpv6DayTables:
+    def test_table10_participants_mostly_comparable(self, small_w6d):
+        from repro.analysis.hypotheses import ASVerdict, verdict_fractions
+
+        table = worldipv6day.run_table10(small_w6d)
+        for name in worldipv6day.W6D_VANTAGES:
+            evaluations = small_w6d.context(name).sp_evaluations
+            if not evaluations:
+                continue
+            fractions = verdict_fractions(evaluations.values())
+            assert fractions[ASVerdict.COMPARABLE] >= 0.5
+        assert table.rows
+
+    def test_table12_runs(self, small_w6d):
+        table = worldipv6day.run_table12(small_w6d)
+        assert len(table.rows) == 2

@@ -1,0 +1,77 @@
+"""The repeated-download loop's stopping rule."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import MonitorConfig, PerformanceConfig
+from repro.dataplane.path import ForwardingPath
+from repro.dataplane.performance import ThroughputModel
+from repro.monitor.download import RepeatedDownloader
+from repro.net.addresses import AddressFamily, IPv4Address
+from repro.rng import RngStreams
+from repro.web.http import ContentEndpoint, HttpClient
+
+V4 = AddressFamily.IPV4
+
+
+def make_downloader(noise_sigma: float, config: MonitorConfig | None = None):
+    model = ThroughputModel(
+        PerformanceConfig(
+            measurement_noise_sigma=noise_sigma, round_noise_sigma=0.0
+        ),
+        RngStreams(1),
+    )
+    path = ForwardingPath(
+        family=V4, as_path=(1, 2), quality=1.0, tunnels=(), tunnel_quality=0.8
+    )
+    client = HttpClient(
+        model=model,
+        content_lookup=lambda name, family, r: ContentEndpoint(
+            site_id=1, server_asn=2, server_speed=80.0, page_bytes=30_000
+        ),
+        path_provider=lambda *a: path,
+        owner_lookup=lambda a: 2,
+    )
+    return RepeatedDownloader(client, config or MonitorConfig())
+
+
+class TestStoppingRule:
+    def test_low_noise_converges_at_min_downloads(self):
+        downloader = make_downloader(noise_sigma=0.01)
+        outcome = downloader.run("s", IPv4Address(1), V4, 0, random.Random(2))
+        assert outcome.converged
+        assert outcome.n_samples == MonitorConfig().min_downloads
+
+    def test_zero_noise_has_zero_width(self):
+        downloader = make_downloader(noise_sigma=0.0)
+        outcome = downloader.run("s", IPv4Address(1), V4, 0, random.Random(2))
+        assert outcome.converged
+        assert outcome.ci_half_width == 0.0
+
+    def test_moderate_noise_takes_more_samples(self):
+        downloader = make_downloader(noise_sigma=0.25)
+        outcome = downloader.run("s", IPv4Address(1), V4, 0, random.Random(2))
+        assert outcome.n_samples > MonitorConfig().min_downloads
+
+    def test_extreme_noise_hits_cap_unconverged(self):
+        config = MonitorConfig(max_downloads=8)
+        downloader = make_downloader(noise_sigma=1.2, config=config)
+        outcome = downloader.run("s", IPv4Address(1), V4, 0, random.Random(2))
+        assert outcome.n_samples == 8
+        assert not outcome.converged
+
+    def test_outcome_carries_page_and_timing(self):
+        downloader = make_downloader(noise_sigma=0.05)
+        outcome = downloader.run("s", IPv4Address(1), V4, 0, random.Random(2))
+        assert outcome.page_bytes == 30_000
+        assert outcome.total_seconds > 0
+        assert outcome.first_result.as_path == (1, 2)
+
+    def test_mean_speed_near_latent_speed(self):
+        downloader = make_downloader(noise_sigma=0.05)
+        outcome = downloader.run("s", IPv4Address(1), V4, 0, random.Random(2))
+        # latent = 80 (server) since path factor is 1 for a 1-hop path.
+        assert outcome.mean_speed == pytest.approx(80.0, rel=0.1)

@@ -1,0 +1,69 @@
+"""The bounded worker pool."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MonitorError
+from repro.monitor.scheduler import SlotScheduler
+
+
+class TestSlotScheduler:
+    def test_serial_with_one_slot(self):
+        jobs = SlotScheduler(1).schedule([2.0, 3.0, 1.0])
+        assert [j.start for j in jobs] == [0.0, 2.0, 5.0]
+        assert SlotScheduler(1).makespan([2.0, 3.0, 1.0]) == 6.0
+
+    def test_parallel_with_enough_slots(self):
+        jobs = SlotScheduler(3).schedule([2.0, 3.0, 1.0])
+        assert all(j.start == 0.0 for j in jobs)
+        assert SlotScheduler(3).makespan([2.0, 3.0, 1.0]) == 3.0
+
+    def test_earliest_free_slot_wins(self):
+        jobs = SlotScheduler(2).schedule([4.0, 1.0, 1.0])
+        # Slot 1 frees at t=1 and t=2; the long job holds slot 0.
+        assert jobs[1].slot == 1
+        assert jobs[2].start == 1.0 and jobs[2].slot == 1
+
+    def test_origin_offsets_everything(self):
+        jobs = SlotScheduler(1).schedule([1.0], origin=100.0)
+        assert jobs[0].start == 100.0 and jobs[0].finish == 101.0
+
+    def test_empty_jobs(self):
+        assert SlotScheduler(4).schedule([]) == []
+        assert SlotScheduler(4).makespan([]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(MonitorError):
+            SlotScheduler(0)
+        with pytest.raises(MonitorError):
+            SlotScheduler(1).schedule([-1.0])
+
+    @given(
+        st.lists(st.floats(0.0, 10.0, allow_nan=False), max_size=40),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pool_invariants(self, durations, n_slots):
+        jobs = SlotScheduler(n_slots).schedule(durations)
+        # No slot ever runs two jobs at once.
+        by_slot: dict[int, list] = {}
+        for job in jobs:
+            by_slot.setdefault(job.slot, []).append(job)
+        for slot_jobs in by_slot.values():
+            slot_jobs.sort(key=lambda j: j.start)
+            for a, b in zip(slot_jobs, slot_jobs[1:]):
+                assert b.start >= a.finish
+        # At most n_slots jobs overlap any job's start instant.
+        for job in jobs:
+            overlapping = sum(
+                1 for other in jobs if other.start <= job.start < other.finish
+            )
+            assert overlapping <= n_slots
+        # Makespan is bounded by serial time and at least max duration.
+        if durations:
+            makespan = max(j.finish for j in jobs)
+            assert makespan <= sum(durations) + 1e-9
+            assert makespan >= max(durations) - 1e-9

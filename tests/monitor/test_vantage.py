@@ -1,0 +1,42 @@
+"""Vantage points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitor.vantage import VantageKind, VantagePoint
+
+
+def make(name="X", **kwargs):
+    defaults = dict(
+        name=name,
+        location="Loc",
+        asn=7,
+        start_round=3,
+        as_path_available=True,
+        white_listed=False,
+        kind=VantageKind.ACADEMIC,
+    )
+    defaults.update(kwargs)
+    return VantagePoint(**defaults)
+
+
+class TestVantagePoint:
+    def test_active_at(self):
+        vp = make(start_round=3)
+        assert not vp.active_at(2)
+        assert vp.active_at(3)
+        assert vp.active_at(10)
+
+    def test_table1_row(self):
+        vp = make(white_listed=True, kind=VantageKind.COMMERCIAL)
+        row = vp.table1_row()
+        assert row == ("X (Loc)", "round 3", "Y", "Y", "Comml.")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make(name="")
+        with pytest.raises(ValueError):
+            make(start_round=-1)
+        with pytest.raises(ValueError):
+            make(asn=0)

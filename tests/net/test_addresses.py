@@ -1,0 +1,191 @@
+"""Address and prefix value types, including RFC 5952 text round-trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.net.addresses import (
+    AddressFamily,
+    IPv4Address,
+    IPv6Address,
+    Prefix,
+    parse_address,
+)
+
+
+class TestAddressFamily:
+    def test_bits(self):
+        assert AddressFamily.IPV4.bits == 32
+        assert AddressFamily.IPV6.bits == 128
+
+    def test_other_is_involutive(self):
+        for family in AddressFamily:
+            assert family.other.other is family
+
+    def test_str(self):
+        assert str(AddressFamily.IPV4) == "IPv4"
+        assert str(AddressFamily.IPV6) == "IPv6"
+
+
+class TestIPv4Address:
+    def test_parse_and_format(self):
+        addr = IPv4Address.parse("192.168.1.200")
+        assert str(addr) == "192.168.1.200"
+        assert int(addr) == (192 << 24) | (168 << 16) | (1 << 8) | 200
+
+    def test_zero_and_max(self):
+        assert str(IPv4Address(0)) == "0.0.0.0"
+        assert str(IPv4Address(2**32 - 1)) == "255.255.255.255"
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Address(2**32)
+        with pytest.raises(AddressError):
+            IPv4Address(-1)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1.2.3.04", "", "1..2.3"],
+    )
+    def test_bad_text_rejected(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Address.parse(bad)
+
+    def test_ordering_follows_value(self):
+        assert IPv4Address.parse("10.0.0.1") < IPv4Address.parse("10.0.0.2")
+        assert IPv4Address.parse("9.255.255.255") < IPv4Address.parse("10.0.0.0")
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip(self, value):
+        addr = IPv4Address(value)
+        assert int(IPv4Address.parse(str(addr))) == value
+
+
+class TestIPv6Address:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("::", "::"),
+            ("::1", "::1"),
+            ("2001:db8::", "2001:db8::"),
+            ("2001:0db8:0000:0000:0000:0000:0000:0001", "2001:db8::1"),
+            ("fe80:0:0:0:1:0:0:1", "fe80::1:0:0:1"),
+            ("1:2:3:4:5:6:7:8", "1:2:3:4:5:6:7:8"),
+            ("0:0:1:0:0:0:0:1", "0:0:1::1"),
+        ],
+    )
+    def test_canonical_form(self, text, expected):
+        assert str(IPv6Address.parse(text)) == expected
+
+    def test_embedded_ipv4_tail(self):
+        addr = IPv6Address.parse("::ffff:192.168.1.1")
+        assert (int(addr) & 0xFFFFFFFF) == int(IPv4Address.parse("192.168.1.1"))
+
+    def test_longest_zero_run_is_compressed(self):
+        # Two runs of zeros: the longer one must win.
+        addr = IPv6Address.parse("1:0:0:1:0:0:0:1")
+        assert str(addr) == "1:0:0:1::1"
+
+    def test_single_zero_group_not_compressed(self):
+        assert str(IPv6Address.parse("1:0:2:3:4:5:6:7")) == "1:0:2:3:4:5:6:7"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            ":::",
+            "1::2::3",
+            "1:2:3:4:5:6:7",
+            "1:2:3:4:5:6:7:8:9",
+            "12345::",
+            "g::1",
+        ],
+    )
+    def test_bad_text_rejected(self, bad):
+        with pytest.raises(AddressError):
+            IPv6Address.parse(bad)
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(AddressError):
+            IPv6Address(2**128)
+
+    @given(st.integers(min_value=0, max_value=2**128 - 1))
+    def test_roundtrip(self, value):
+        addr = IPv6Address(value)
+        assert int(IPv6Address.parse(str(addr))) == value
+
+    @given(st.integers(min_value=0, max_value=2**128 - 1))
+    def test_canonical_form_is_stable(self, value):
+        """Formatting a parsed canonical form yields the same text."""
+        once = str(IPv6Address(value))
+        assert str(IPv6Address.parse(once)) == once
+
+
+class TestParseAddress:
+    def test_dispatches_by_separator(self):
+        assert isinstance(parse_address("1.2.3.4"), IPv4Address)
+        assert isinstance(parse_address("::1"), IPv6Address)
+
+
+class TestPrefix:
+    def test_parse_and_format(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.length == 8
+        assert str(p) == "10.0.0.0/8"
+
+    def test_host_bits_must_be_clear(self):
+        with pytest.raises(AddressError):
+            Prefix(AddressFamily.IPV4, int(IPv4Address.parse("10.0.0.1")), 8)
+
+    def test_of_masks_host_bits(self):
+        p = Prefix.of(IPv4Address.parse("10.1.2.3"), 16)
+        assert str(p) == "10.1.0.0/16"
+
+    def test_contains_address(self):
+        p = Prefix.parse("10.1.0.0/16")
+        assert p.contains(IPv4Address.parse("10.1.200.1"))
+        assert not p.contains(IPv4Address.parse("10.2.0.1"))
+
+    def test_contains_rejects_other_family(self):
+        p = Prefix.parse("10.1.0.0/16")
+        assert not p.contains(IPv6Address.parse("::1"))
+
+    def test_contains_prefix(self):
+        outer = Prefix.parse("2001:db8::/32")
+        inner = Prefix.parse("2001:db8:1::/48")
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_address_indexing(self):
+        p = Prefix.parse("10.1.0.0/16")
+        assert str(p.address(1)) == "10.1.0.1"
+        assert str(p.address(p.host_mask)) == "10.1.255.255"
+        with pytest.raises(AddressError):
+            p.address(p.host_mask + 1)
+
+    def test_subnets(self):
+        p = Prefix.parse("10.0.0.0/8")
+        subs = p.subnets(10)
+        assert len(subs) == 4
+        assert str(subs[1]) == "10.64.0.0/10"
+
+    def test_subnets_refuses_explosion(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("::/0").subnets(32)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(AddressError):
+            Prefix(AddressFamily.IPV4, 0, 33)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(0, 32))
+    def test_of_always_contains_address(self, value, length):
+        addr = IPv4Address(value)
+        assert Prefix.of(addr, length).contains(addr)
+
+    @given(st.integers(min_value=0, max_value=2**128 - 1), st.integers(0, 128))
+    def test_prefix_roundtrip_text(self, value, length):
+        p = Prefix.of(IPv6Address(value), length)
+        assert Prefix.parse(str(p)) == p

@@ -1,0 +1,51 @@
+"""Tunnel descriptors and well-known prefix detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.addresses import Prefix
+from repro.net.tunnels import (
+    SIX_TO_FOUR_PREFIX,
+    Tunnel,
+    TunnelKind,
+    is_6to4,
+    is_teredo,
+)
+
+
+class TestTunnel:
+    def test_extra_hops(self):
+        t = Tunnel(client_asn=1, relay_asn=2, kind=TunnelKind.BROKER, hidden_hops=4)
+        assert t.extra_hops == 3
+
+    def test_single_hop_tunnel_hides_nothing(self):
+        t = Tunnel(client_asn=1, relay_asn=2, kind=TunnelKind.SIX_TO_FOUR, hidden_hops=1)
+        assert t.extra_hops == 0
+
+    def test_zero_hops_rejected(self):
+        with pytest.raises(ValueError):
+            Tunnel(client_asn=1, relay_asn=2, kind=TunnelKind.BROKER, hidden_hops=0)
+
+    def test_self_tunnel_rejected(self):
+        with pytest.raises(ValueError):
+            Tunnel(client_asn=1, relay_asn=1, kind=TunnelKind.BROKER, hidden_hops=2)
+
+
+class TestWellKnownPrefixes:
+    def test_6to4_detection(self):
+        assert is_6to4(Prefix.parse("2002:0a00::/32"))
+        assert is_6to4(SIX_TO_FOUR_PREFIX)
+        assert not is_6to4(Prefix.parse("2001:db8::/32"))
+
+    def test_6to4_rejects_v4_prefix(self):
+        assert not is_6to4(Prefix.parse("10.0.0.0/8"))
+
+    def test_teredo_detection(self):
+        assert is_teredo(Prefix.parse("2001:0:1::/48"))
+        assert not is_teredo(Prefix.parse("2001:db8::/32"))
+        assert not is_teredo(Prefix.parse("10.0.0.0/8"))
+
+    def test_kind_str(self):
+        assert str(TunnelKind.SIX_TO_FOUR) == "6to4"
+        assert str(TunnelKind.BROKER) == "broker"

@@ -1,0 +1,86 @@
+"""IPv6 adoption dynamics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import AdoptionConfig
+from repro.sites.adoption import AdoptionModel
+
+
+@pytest.fixture()
+def model() -> AdoptionModel:
+    return AdoptionModel(AdoptionConfig(), population=100_000)
+
+
+class TestProbability:
+    def test_monotone_in_round(self, model):
+        probs = [model.probability(500, r) for r in range(0, 40, 5)]
+        assert probs == sorted(probs)
+
+    def test_monotone_in_rank(self, model):
+        config = model.config
+        assert model.probability(1, 10) > model.probability(10_000, 10)
+
+    def test_jumps_at_events(self, model):
+        config = model.config
+        before = model.probability(500, config.iana_depletion_round - 1)
+        after = model.probability(500, config.iana_depletion_round)
+        assert after > before * 1.2
+        before_w6d = model.probability(500, config.world_ipv6_day_round - 1)
+        after_w6d = model.probability(500, config.world_ipv6_day_round)
+        assert after_w6d > before_w6d * 1.2
+
+    def test_capped_at_one(self):
+        config = AdoptionConfig(base_adoption=0.5, rank_decade_boost=3.0)
+        model = AdoptionModel(config, population=100_000)
+        assert model.probability(1, 40) == 1.0
+
+    def test_rank_factor_bottom_is_unit(self, model):
+        assert model.rank_factor(model.population) == pytest.approx(1.0)
+
+    def test_bad_rank_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.rank_factor(0)
+
+
+class TestAdoptionRound:
+    def test_monotone_accessibility(self, model):
+        rng = random.Random(3)
+        for _ in range(50):
+            rank = rng.randrange(1, model.population)
+            round_idx = model.adoption_round(rank, rng, horizon=40)
+            if round_idx is not None:
+                assert 0 <= round_idx <= 40
+
+    def test_high_rank_adopts_more_often(self, model):
+        def adoption_rate(rank: int) -> float:
+            rng = random.Random(9)
+            hits = sum(
+                model.adoption_round(rank, rng, horizon=40) is not None
+                for _ in range(800)
+            )
+            return hits / 800
+
+        assert adoption_rate(1) > adoption_rate(90_000)
+
+    def test_certain_adoption(self):
+        config = AdoptionConfig(base_adoption=0.999)
+        model = AdoptionModel(config, population=10)
+        rng = random.Random(1)
+        assert model.adoption_round(1, rng, horizon=5) == 0
+
+
+class TestExpectedFraction:
+    def test_grows_over_time(self, model):
+        assert model.expected_fraction(39) > model.expected_fraction(0)
+
+    def test_between_zero_and_one(self, model):
+        for r in (0, 10, 39):
+            assert 0.0 <= model.expected_fraction(r) <= 1.0
+
+    def test_population_validation(self):
+        with pytest.raises(ValueError):
+            AdoptionModel(AdoptionConfig(), population=0)

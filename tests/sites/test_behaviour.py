@@ -1,0 +1,78 @@
+"""Site behaviour models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.addresses import AddressFamily
+from repro.sites.behaviour import BehaviourKind, SiteBehaviour
+
+V4 = AddressFamily.IPV4
+V6 = AddressFamily.IPV6
+
+
+class TestStationary:
+    def test_multiplier_is_one(self):
+        b = SiteBehaviour.stationary()
+        assert b.multiplier(V4, 0) == 1.0
+        assert b.multiplier(V6, 99) == 1.0
+        assert not b.path_changes_at(V6, 5)
+
+
+class TestSteps:
+    def test_step_up(self):
+        b = SiteBehaviour(kind=BehaviourKind.STEP_UP, change_round=5, magnitude=0.5)
+        assert b.multiplier(V4, 4) == 1.0
+        assert b.multiplier(V4, 5) == pytest.approx(1.5)
+        assert b.multiplier(V4, 20) == pytest.approx(1.5)
+
+    def test_step_down_is_reciprocal(self):
+        b = SiteBehaviour(kind=BehaviourKind.STEP_DOWN, change_round=5, magnitude=0.5)
+        assert b.multiplier(V4, 5) == pytest.approx(1 / 1.5)
+
+    def test_affected_family_gating(self):
+        b = SiteBehaviour(
+            kind=BehaviourKind.STEP_DOWN,
+            change_round=3,
+            magnitude=0.5,
+            path_change=True,
+            affected_family=V6,
+        )
+        assert b.multiplier(V4, 10) == 1.0
+        assert b.multiplier(V6, 10) < 1.0
+        assert b.path_changes_at(V6, 3)
+        assert not b.path_changes_at(V6, 2)
+        assert not b.path_changes_at(V4, 10)
+
+    def test_step_without_path_change(self):
+        b = SiteBehaviour(kind=BehaviourKind.STEP_UP, change_round=3, magnitude=0.5)
+        assert not b.path_changes_at(V4, 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SiteBehaviour(kind=BehaviourKind.STEP_UP, magnitude=0.0)
+        with pytest.raises(ValueError):
+            SiteBehaviour(kind=BehaviourKind.TREND_UP, slope_per_round=0.0)
+        with pytest.raises(ValueError):
+            SiteBehaviour(
+                kind=BehaviourKind.TREND_UP,
+                slope_per_round=0.01,
+                path_change=True,
+            )
+
+
+class TestTrends:
+    def test_upward_geometric_drift(self):
+        b = SiteBehaviour(kind=BehaviourKind.TREND_UP, slope_per_round=0.01)
+        assert b.multiplier(V4, 0) == 1.0
+        assert b.multiplier(V4, 10) == pytest.approx(1.01**10)
+
+    def test_downward_stays_positive(self):
+        b = SiteBehaviour(kind=BehaviourKind.TREND_DOWN, slope_per_round=0.02)
+        assert 0 < b.multiplier(V4, 200) < 0.1
+
+    def test_kind_flags(self):
+        assert BehaviourKind.STEP_UP.is_step
+        assert not BehaviourKind.STEP_UP.is_trend
+        assert BehaviourKind.TREND_DOWN.is_trend
+        assert not BehaviourKind.STATIONARY.is_step

@@ -1,0 +1,133 @@
+"""Site catalog generation invariants."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import AdoptionConfig, PerformanceConfig, SiteConfig, TopologyConfig, DualStackConfig
+from repro.dataplane.performance import ThroughputModel
+from repro.net.addresses import AddressFamily
+from repro.rng import RngStreams
+from repro.sites.behaviour import BehaviourKind
+from repro.sites.catalog import build_catalog
+from repro.topology.dualstack import deploy_ipv6
+from repro.topology.generator import generate_topology
+
+V4 = AddressFamily.IPV4
+V6 = AddressFamily.IPV6
+
+N_ROUNDS = 20
+
+
+@pytest.fixture(scope="module")
+def catalog_world():
+    topo_config = TopologyConfig(
+        n_tier1=3, n_transit=14, n_stub=40, n_content=25, n_cdn=2
+    )
+    topo = generate_topology(topo_config, random.Random(61))
+    ds = deploy_ipv6(topo, DualStackConfig(), random.Random(62))
+    model = ThroughputModel(PerformanceConfig(), RngStreams(63))
+    site_config = SiteConfig(n_sites=800)
+    adoption = AdoptionConfig(base_adoption=0.05)
+    catalog = build_catalog(
+        site_config, adoption, ds, model, n_rounds=N_ROUNDS, rng=random.Random(64)
+    )
+    return ds, catalog
+
+
+class TestCatalogStructure:
+    def test_universe_includes_churn_and_external_pools(self, catalog_world):
+        _, catalog = catalog_world
+        assert len(catalog) > 800
+        assert catalog.ranking.list_size == 800
+        assert catalog.ranking.universe_size < len(catalog)
+
+    def test_names_are_unique(self, catalog_world):
+        _, catalog = catalog_world
+        names = {site.name for site in catalog.sites}
+        assert len(names) == len(catalog)
+
+    def test_by_name_roundtrip(self, catalog_world):
+        _, catalog = catalog_world
+        site = catalog.sites[17]
+        assert catalog.by_name(site.name) is site
+        with pytest.raises(KeyError):
+            catalog.by_name("ghost.example")
+
+
+class TestPlacement:
+    def test_dual_stack_sites_live_in_v6_ases(self, catalog_world):
+        ds, catalog = catalog_world
+        for site in catalog.sites:
+            if site.adoption_round is not None or site.w6d_event_round is not None:
+                assert site.v6_origin_asn in ds.v6_enabled
+
+    def test_cdn_sites_serve_v4_from_cdn_as(self, catalog_world):
+        _, catalog = catalog_world
+        cdn_sites = [s for s in catalog.sites if s.cdn is not None]
+        assert cdn_sites, "expected some CDN-fronted sites"
+        for site in cdn_sites:
+            assert site.dest_asn(V4) == site.cdn.provider.asn
+            assert site.dest_asn(V6) == site.v6_origin_asn
+            assert site.is_dl()
+
+    def test_split_hosting_sites_are_dl(self, catalog_world):
+        _, catalog = catalog_world
+        for site in catalog.sites:
+            if site.cdn is None and site.v6_origin_asn != site.origin_asn:
+                assert site.is_dl()
+
+
+class TestBehaviourMix:
+    def test_fractions_roughly_match_config(self, catalog_world):
+        _, catalog = catalog_world
+        kinds = [site.behaviour.kind for site in catalog.sites]
+        stationary = sum(k is BehaviourKind.STATIONARY for k in kinds) / len(kinds)
+        assert stationary == pytest.approx(0.86, abs=0.05)
+
+    def test_participants_are_stationary_and_healthy(self, catalog_world):
+        _, catalog = catalog_world
+        for site in catalog.w6d_participants():
+            assert site.behaviour.kind is BehaviourKind.STATIONARY
+            assert site.server.v6_efficiency == 1.0
+
+    def test_impaired_servers_only_where_dual_stack(self, catalog_world):
+        _, catalog = catalog_world
+        for site in catalog.sites:
+            if site.server.v6_impaired:
+                assert (
+                    site.adoption_round is not None
+                    or site.w6d_event_round is not None
+                )
+
+
+class TestAccessibility:
+    def test_monotone_after_adoption(self, catalog_world):
+        _, catalog = catalog_world
+        site = next(
+            s for s in catalog.sites
+            if s.adoption_round is not None and s.adoption_round > 0
+        )
+        assert not site.v6_accessible_at(site.adoption_round - 1)
+        assert site.v6_accessible_at(site.adoption_round)
+        assert site.v6_accessible_at(N_ROUNDS)
+
+    def test_event_only_participants_flicker(self, catalog_world):
+        _, catalog = catalog_world
+        flickers = [
+            s for s in catalog.sites
+            if s.w6d_event_round is not None and s.adoption_round is None
+        ]
+        if not flickers:
+            pytest.skip("no event-only participants in this draw")
+        site = flickers[0]
+        event = site.w6d_event_round
+        assert site.v6_accessible_at(event)
+        assert not site.v6_accessible_at(event - 1)
+        assert not site.v6_accessible_at(event + 1)
+
+    def test_accessible_fraction_grows(self, catalog_world):
+        _, catalog = catalog_world
+        assert catalog.accessible_fraction(N_ROUNDS - 1) >= catalog.accessible_fraction(0)

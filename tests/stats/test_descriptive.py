@@ -1,0 +1,92 @@
+"""Welford accumulator and simple descriptive statistics."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.descriptive import RunningStats, mean, stdev
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestMeanStdev:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stdev_matches_statistics(self):
+        data = [3.1, 4.1, 5.9, 2.6, 5.3]
+        assert stdev(data) == pytest.approx(statistics.stdev(data))
+
+    def test_stdev_single_value_is_zero(self):
+        assert stdev([4.2]) == 0.0
+
+    def test_stdev_empty_raises(self):
+        with pytest.raises(ValueError):
+            stdev([])
+
+
+class TestRunningStats:
+    def test_matches_batch_statistics(self):
+        data = [1.5, 2.5, 2.5, 9.0, -3.0]
+        acc = RunningStats()
+        acc.extend(data)
+        assert acc.n == 5
+        assert acc.mean == pytest.approx(statistics.mean(data))
+        assert acc.stdev == pytest.approx(statistics.stdev(data))
+
+    def test_empty_accumulator_raises(self):
+        with pytest.raises(ValueError):
+            RunningStats().mean
+        with pytest.raises(ValueError):
+            RunningStats().stderr
+
+    def test_variance_below_two_samples(self):
+        acc = RunningStats()
+        acc.add(5.0)
+        assert acc.variance == 0.0
+
+    def test_stderr(self):
+        acc = RunningStats()
+        acc.extend([1.0, 2.0, 3.0, 4.0])
+        assert acc.stderr == pytest.approx(statistics.stdev([1, 2, 3, 4]) / 2.0)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_welford_agrees_with_batch(self, data):
+        acc = RunningStats()
+        acc.extend(data)
+        assert acc.mean == pytest.approx(statistics.mean(data), rel=1e-9, abs=1e-6)
+        assert acc.stdev == pytest.approx(statistics.stdev(data), rel=1e-6, abs=1e-6)
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=30),
+        st.lists(finite_floats, min_size=1, max_size=30),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_merge_equals_concatenation(self, left, right):
+        a = RunningStats()
+        a.extend(left)
+        b = RunningStats()
+        b.extend(right)
+        merged = a.merge(b)
+        combined = RunningStats()
+        combined.extend(left + right)
+        assert merged.n == combined.n
+        assert merged.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(combined.variance, rel=1e-6, abs=1e-6)
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        a.extend([1.0, 2.0])
+        assert a.merge(RunningStats()).mean == a.mean
+        assert RunningStats().merge(a).mean == a.mean

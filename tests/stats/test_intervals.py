@@ -1,0 +1,103 @@
+"""Confidence intervals and the paper's 10% criteria."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.descriptive import RunningStats
+from repro.stats.intervals import (
+    ConfidenceInterval,
+    interval_from_stats,
+    t_confidence_interval,
+    t_critical,
+    within_relative,
+)
+
+
+class TestTCritical:
+    def test_matches_known_value(self):
+        # t_{0.975, 4} = 2.776...
+        assert t_critical(0.95, 4) == pytest.approx(2.776, abs=1e-3)
+
+    def test_decreases_with_dof(self):
+        assert t_critical(0.95, 2) > t_critical(0.95, 30)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            t_critical(1.5, 4)
+        with pytest.raises(ValueError):
+            t_critical(0.95, 0)
+
+
+class TestConfidenceInterval:
+    def test_low_high(self):
+        ci = ConfidenceInterval(mean=10.0, half_width=2.0, confidence=0.95, n=5)
+        assert ci.low == 8.0 and ci.high == 12.0
+        assert ci.relative_half_width == pytest.approx(0.2)
+
+    def test_zero_mean_relative_width_is_inf(self):
+        ci = ConfidenceInterval(mean=0.0, half_width=1.0, confidence=0.95, n=5)
+        assert ci.relative_half_width == float("inf")
+        assert not ci.meets_target(0.1)
+
+    def test_meets_target(self):
+        ci = ConfidenceInterval(mean=100.0, half_width=9.0, confidence=0.95, n=5)
+        assert ci.meets_target(0.10)
+        assert not ci.meets_target(0.05)
+
+
+class TestTConfidenceInterval:
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            t_confidence_interval([1.0])
+
+    def test_identical_samples_have_zero_width(self):
+        ci = t_confidence_interval([5.0] * 10)
+        assert ci.half_width == 0.0
+        assert ci.meets_target(0.0001)
+
+    def test_matches_manual_computation(self):
+        data = [10.0, 12.0, 11.0, 9.0, 13.0]
+        ci = t_confidence_interval(data, 0.95)
+        acc = RunningStats()
+        acc.extend(data)
+        expected = t_critical(0.95, 4) * acc.stderr
+        assert ci.half_width == pytest.approx(expected)
+
+    def test_online_equals_batch(self):
+        data = [10.0, 12.0, 11.0, 9.0, 13.0]
+        acc = RunningStats()
+        acc.extend(data)
+        assert interval_from_stats(acc).half_width == pytest.approx(
+            t_confidence_interval(data).half_width
+        )
+
+    @given(
+        st.lists(
+            st.floats(min_value=1.0, max_value=1000.0, allow_nan=False),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_more_samples_of_same_data_tighten_interval(self, data):
+        """Duplicating the sample can only shrink the t-interval."""
+        one = t_confidence_interval(data)
+        two = t_confidence_interval(data * 2)
+        assert two.half_width <= one.half_width + 1e-9
+
+
+class TestWithinRelative:
+    def test_anchored_on_second_argument(self):
+        assert within_relative(95.0, 100.0, 0.05)
+        assert not within_relative(100.0, 95.0, 0.05)  # 5/95 > 5%
+
+    def test_zero_anchor(self):
+        assert within_relative(0.0, 0.0, 0.1)
+        assert not within_relative(1.0, 0.0, 0.1)
+
+    def test_exact_boundary(self):
+        assert within_relative(90.0, 100.0, 0.10)
+        assert not within_relative(89.999, 100.0, 0.10)

@@ -1,0 +1,107 @@
+"""Median filtering and the paper's step detector."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.medianfilter import detect_step, median_filter
+
+
+class TestMedianFilter:
+    def test_constant_series_unchanged(self):
+        assert median_filter([5.0] * 7, 3) == [5.0] * 7
+
+    def test_removes_isolated_spike(self):
+        series = [1.0, 1.0, 1.0, 50.0, 1.0, 1.0, 1.0]
+        assert median_filter(series, 3) == [1.0] * 7
+
+    def test_length_one_is_identity(self):
+        series = [3.0, 1.0, 2.0]
+        assert median_filter(series, 1) == series
+
+    def test_edges_use_truncated_windows(self):
+        series = [1.0, 9.0, 1.0, 1.0]
+        filtered = median_filter(series, 3)
+        assert filtered[0] == 5.0  # median of [1, 9]
+
+    def test_even_length_rejected(self):
+        with pytest.raises(ValueError):
+            median_filter([1.0], 2)
+
+    def test_empty_series(self):
+        assert median_filter([], 3) == []
+
+    @given(
+        st.lists(st.floats(0.1, 100.0, allow_nan=False), min_size=1, max_size=40),
+        st.sampled_from([1, 3, 5, 11]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_output_within_input_range(self, series, length):
+        filtered = median_filter(series, length)
+        assert len(filtered) == len(series)
+        assert all(min(series) <= v <= max(series) for v in filtered)
+
+
+def step_series(
+    before: float, after: float, n_before: int = 12, n_after: int = 12, jitter=0.0
+) -> list[float]:
+    rng = random.Random(5)
+    out = [before * (1 + rng.uniform(-jitter, jitter)) for _ in range(n_before)]
+    out += [after * (1 + rng.uniform(-jitter, jitter)) for _ in range(n_after)]
+    return out
+
+
+class TestDetectStep:
+    def test_detects_upward_step(self):
+        detection = detect_step(step_series(10.0, 15.0))
+        assert detection is not None
+        assert detection.direction == 1
+        assert detection.index == pytest.approx(12, abs=2)
+        assert detection.magnitude == pytest.approx(0.5, rel=0.1)
+
+    def test_detects_downward_step(self):
+        detection = detect_step(step_series(15.0, 10.0))
+        assert detection is not None
+        assert detection.direction == -1
+
+    def test_ignores_small_step(self):
+        # 20% change is below the 30% threshold.
+        assert detect_step(step_series(10.0, 12.0)) is None
+
+    def test_ignores_transient_excursion(self):
+        # A 3-sample excursion cannot satisfy persistence 6.
+        series = [10.0] * 10 + [20.0] * 3 + [10.0] * 10
+        assert detect_step(series) is None
+
+    def test_detects_step_despite_jitter(self):
+        detection = detect_step(step_series(10.0, 16.0, jitter=0.05))
+        assert detection is not None and detection.direction == 1
+
+    def test_stationary_noise_not_flagged(self):
+        rng = random.Random(11)
+        series = [10.0 * (1 + rng.uniform(-0.08, 0.08)) for _ in range(40)]
+        assert detect_step(series) is None
+
+    def test_short_series_returns_none(self):
+        assert detect_step([10.0, 15.0, 15.0]) is None
+
+    def test_persistence_validation(self):
+        with pytest.raises(ValueError):
+            detect_step([1.0] * 20, persistence=0)
+
+    @given(
+        st.floats(5.0, 50.0),
+        st.floats(1.5, 3.0),
+        st.integers(8, 15),
+        st.integers(8, 15),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_large_steps_always_detected(self, base, factor, n_before, n_after):
+        series = step_series(base, base * factor, n_before, n_after)
+        detection = detect_step(series)
+        assert detection is not None
+        assert detection.direction == 1

@@ -1,0 +1,49 @@
+"""CLI surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["run-all"],
+            ["quickrun"],
+            ["export", "--out", "x"],
+            ["show-config"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_export_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export"])
+
+
+class TestCommands:
+    def test_show_config(self, capsys):
+        assert main(["show-config"]) == 0
+        out = capsys.readouterr().out
+        assert "peering_parity" in out
+        assert "[topology]" in out
+
+    def test_quickrun(self, capsys):
+        assert main(["quickrun", "--seed", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "SP comparable" in out
+        assert "Penn" in out
+
+    def test_export(self, tmp_path, capsys):
+        assert main(["export", "--out", str(tmp_path / "d"), "--seed", "11"]) == 0
+        manifest = json.loads((tmp_path / "d" / "manifest.json").read_text())
+        assert len(manifest["vantage_points"]) == 6

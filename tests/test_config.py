@@ -1,0 +1,131 @@
+"""Configuration validation and scaling."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (
+    AdoptionConfig,
+    AnalysisConfig,
+    CampaignConfig,
+    DualStackConfig,
+    MonitorConfig,
+    PerformanceConfig,
+    ScenarioConfig,
+    SiteConfig,
+    TopologyConfig,
+    default_config,
+    small_config,
+)
+from repro.errors import ConfigError
+
+
+class TestDefaults:
+    def test_default_config_validates(self):
+        default_config().validate()
+
+    def test_small_config_validates(self):
+        small_config().validate()
+
+    def test_configs_are_hashable(self):
+        assert hash(default_config()) == hash(default_config())
+        assert default_config() == default_config()
+
+    def test_small_config_events_inside_campaign(self):
+        cfg = small_config()
+        assert cfg.adoption.world_ipv6_day_round < cfg.campaign.n_rounds
+
+
+class TestScaling:
+    def test_scaled_shrinks_counts(self):
+        cfg = default_config().scaled(0.1)
+        base = default_config()
+        assert cfg.topology.n_stub < base.topology.n_stub
+        assert cfg.sites.n_sites < base.sites.n_sites
+        cfg.validate()
+
+    def test_scaled_keeps_minimums(self):
+        cfg = default_config().scaled(0.0001)
+        assert cfg.topology.n_tier1 >= 2
+        assert cfg.sites.n_sites >= 50
+        cfg.validate()
+
+    def test_scale_up_does_not_inflate_tier1(self):
+        cfg = default_config().scaled(3.0)
+        assert cfg.topology.n_tier1 == default_config().topology.n_tier1
+        assert cfg.topology.n_stub > default_config().topology.n_stub
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(ConfigError):
+            default_config().scaled(0)
+
+
+class TestValidation:
+    def test_topology_needs_tier1s(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(n_tier1=1).validate()
+
+    def test_topology_probability_bounds(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(transit_peering_prob=1.5).validate()
+
+    def test_n_ases_sums_types(self):
+        cfg = TopologyConfig()
+        assert cfg.n_ases == (
+            cfg.n_tier1 + cfg.n_transit + cfg.n_stub + cfg.n_content + cfg.n_cdn
+        )
+
+    def test_dualstack_probability_bounds(self):
+        with pytest.raises(ConfigError):
+            DualStackConfig(peering_parity=-0.1).validate()
+        with pytest.raises(ConfigError):
+            DualStackConfig(tunnel_quality=0.0).validate()
+
+    def test_site_behaviour_mix_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            SiteConfig(stationary_fraction=0.5, step_fraction=0.1, trend_fraction=0.1).validate()
+
+    def test_adoption_event_ordering(self):
+        with pytest.raises(ConfigError):
+            AdoptionConfig(iana_depletion_round=30, world_ipv6_day_round=20).validate()
+
+    def test_adoption_base_bounds(self):
+        with pytest.raises(ConfigError):
+            AdoptionConfig(base_adoption=0.0).validate()
+
+    def test_performance_bounds(self):
+        with pytest.raises(ConfigError):
+            PerformanceConfig(server_base_speed_mean=0).validate()
+        with pytest.raises(ConfigError):
+            PerformanceConfig(hop_slowdown=-1).validate()
+        with pytest.raises(ConfigError):
+            PerformanceConfig(hop_saturation=0).validate()
+
+    def test_monitor_bounds(self):
+        with pytest.raises(ConfigError):
+            MonitorConfig(max_concurrent=0).validate()
+        with pytest.raises(ConfigError):
+            MonitorConfig(min_downloads=1).validate()
+        with pytest.raises(ConfigError):
+            MonitorConfig(max_downloads=3, min_downloads=5).validate()
+        with pytest.raises(ConfigError):
+            MonitorConfig(identity_threshold=0.0).validate()
+
+    def test_analysis_bounds(self):
+        with pytest.raises(ConfigError):
+            AnalysisConfig(median_filter_length=10).validate()
+        with pytest.raises(ConfigError):
+            AnalysisConfig(comparable_threshold=0.0).validate()
+
+    def test_campaign_bounds(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(n_rounds=0).validate()
+        with pytest.raises(ConfigError):
+            CampaignConfig(max_sites_per_round=-1).validate()
+
+    def test_scenario_validates_subconfigs(self):
+        cfg = replace(default_config(), monitor=MonitorConfig(max_concurrent=0))
+        with pytest.raises(ConfigError):
+            cfg.validate()

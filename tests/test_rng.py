@@ -1,0 +1,50 @@
+"""Deterministic RNG streams."""
+
+from __future__ import annotations
+
+from repro.rng import RngStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_stable_mapping(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_differs_by_name_and_seed(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+class TestRngStreams:
+    def test_same_name_returns_same_stream(self):
+        streams = RngStreams(42)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_streams_are_independent(self):
+        a = RngStreams(42)
+        b = RngStreams(42)
+        # Consuming one stream must not perturb another.
+        a.stream("noise").random()
+        assert a.stream("signal").random() == b.stream("signal").random()
+
+    def test_fresh_does_not_affect_cached(self):
+        streams = RngStreams(42)
+        cached_before = streams.stream("x").random()
+        streams2 = RngStreams(42)
+        streams2.fresh("x").random()
+        streams2.fresh("x").random()
+        assert streams2.stream("x").random() == cached_before
+
+    def test_fresh_is_repeatable(self):
+        streams = RngStreams(42)
+        assert streams.fresh("x").random() == streams.fresh("x").random()
+
+    def test_spawn_changes_sequences(self):
+        parent = RngStreams(42)
+        child = parent.spawn("child")
+        assert parent.stream("x").random() != child.stream("x").random()
+
+    def test_names_lists_created_streams(self):
+        streams = RngStreams(42)
+        streams.stream("a")
+        streams.stream("b")
+        assert set(streams.names()) == {"a", "b"}

@@ -1,0 +1,39 @@
+"""AutonomousSystem and ASType."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.addresses import AddressFamily
+from repro.topology.asys import ASType, AutonomousSystem
+
+
+class TestASType:
+    def test_edge_types(self):
+        assert ASType.STUB.is_edge
+        assert ASType.CONTENT.is_edge
+        assert ASType.CDN.is_edge
+        assert not ASType.TIER1.is_edge
+        assert not ASType.TRANSIT.is_edge
+
+
+class TestAutonomousSystem:
+    def test_quality_per_family(self):
+        asys = AutonomousSystem(
+            asn=1, type=ASType.TRANSIT, region=0, v4_quality=1.1, v6_quality=0.9
+        )
+        assert asys.quality(AddressFamily.IPV4) == 1.1
+        assert asys.quality(AddressFamily.IPV6) == 0.9
+
+    def test_nonpositive_asn_rejected(self):
+        with pytest.raises(ValueError):
+            AutonomousSystem(asn=0, type=ASType.STUB, region=0)
+
+    def test_nonpositive_quality_rejected(self):
+        with pytest.raises(ValueError):
+            AutonomousSystem(asn=1, type=ASType.STUB, region=0, v4_quality=0)
+
+    def test_hash_by_asn(self):
+        a = AutonomousSystem(asn=5, type=ASType.STUB, region=0)
+        b = AutonomousSystem(asn=5, type=ASType.CONTENT, region=1)
+        assert hash(a) == hash(b)

@@ -1,0 +1,185 @@
+"""IPv6 overlay invariants: enablement, parity, tunnels, addressing."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.config import DualStackConfig, TopologyConfig
+from repro.net.addresses import AddressFamily
+from repro.net.tunnels import TunnelKind
+from repro.topology.asys import ASType
+from repro.topology.dualstack import (
+    DualStackTopology,
+    deploy_ipv6,
+    valley_free_distances,
+)
+from repro.topology.generator import generate_topology
+from repro.topology.relationships import Relationship
+
+
+@pytest.fixture(scope="module")
+def world():
+    topo_config = TopologyConfig(
+        n_tier1=4, n_transit=20, n_stub=60, n_content=30, n_cdn=2, n_regions=3
+    )
+    topo = generate_topology(topo_config, random.Random(13))
+    ds = deploy_ipv6(topo, DualStackConfig(), random.Random(14))
+    return topo, ds
+
+
+class TestEnablement:
+    def test_v6_core_exists(self, world):
+        topo, ds = world
+        tier1 = {a.asn for a in topo.ases_of_type(ASType.TIER1)}
+        assert tier1 & set(ds.v6_enabled)
+
+    def test_cdns_are_v4_only_by_default(self, world):
+        topo, ds = world
+        for cdn in topo.ases_of_type(ASType.CDN):
+            assert cdn.asn not in ds.v6_enabled
+
+    def test_every_enabled_as_has_uplink_or_is_tier1(self, world):
+        topo, ds = world
+        for asn in ds.v6_enabled:
+            if topo.ases[asn].type is ASType.TIER1:
+                continue
+            assert ds.providers_of(asn, AddressFamily.IPV6), (
+                f"AS{asn} is v6-enabled but has no v6 uplink"
+            )
+
+
+class TestLinks:
+    def test_v6_links_subset_of_v4_links_plus_tunnels(self, world):
+        topo, ds = world
+        v4_pairs = {(min(l.a, l.b), max(l.a, l.b)) for l in topo.links}
+        for link in ds.v6_links:
+            pair = (min(link.a, link.b), max(link.a, link.b))
+            assert pair in v4_pairs
+
+    def test_v6_links_connect_enabled_ases(self, world):
+        _, ds = world
+        for link in ds.v6_links:
+            assert link.a in ds.v6_enabled and link.b in ds.v6_enabled
+
+    def test_v6_sparser_than_v4(self, world):
+        topo, ds = world
+        assert len(ds.v6_links) < len(topo.links)
+
+    def test_v4_adjacency_passthrough(self, world):
+        topo, ds = world
+        some_asn = next(iter(topo.ases))
+        assert ds.providers_of(some_asn, AddressFamily.IPV4) == topo.providers_of(
+            some_asn
+        )
+
+
+class TestTunnels:
+    def test_tunnel_clients_are_enabled(self, world):
+        _, ds = world
+        for asn, tunnel in ds.tunnels.items():
+            assert tunnel.client_asn == asn
+            assert asn in ds.v6_enabled
+
+    def test_tunnel_relays_are_core_ases(self, world):
+        topo, ds = world
+        for tunnel in ds.tunnels.values():
+            relay_type = topo.ases[tunnel.relay_asn].type
+            assert relay_type in (ASType.TIER1, ASType.TRANSIT)
+
+    def test_tunnel_hidden_hops_match_valley_free_distance(self, world):
+        topo, ds = world
+        for tunnel in ds.tunnels.values():
+            distances = valley_free_distances(topo, tunnel.client_asn)
+            assert tunnel.hidden_hops == max(1, distances[tunnel.relay_asn])
+
+    def test_tunnel_on_edge(self, world):
+        _, ds = world
+        for tunnel in ds.tunnels.values():
+            found = ds.tunnel_on_edge(tunnel.client_asn, tunnel.relay_asn)
+            assert found is tunnel
+            found = ds.tunnel_on_edge(tunnel.relay_asn, tunnel.client_asn)
+            assert found is tunnel
+
+    def test_no_tunnels_when_disabled(self, world):
+        topo, _ = world
+        ds = deploy_ipv6(
+            topo, DualStackConfig(tunnel_prob=0.0), random.Random(14)
+        )
+        assert not ds.tunnels
+
+
+class TestAddressing:
+    def test_enabled_ases_have_v6_prefix(self, world):
+        _, ds = world
+        for asn in ds.v6_enabled:
+            assert ds.allocator.has_prefix(asn, AddressFamily.IPV6)
+
+    def test_all_ases_have_v4_prefix(self, world):
+        topo, ds = world
+        for asn in topo.ases:
+            assert ds.allocator.has_prefix(asn, AddressFamily.IPV4)
+
+    def test_6to4_clients_have_6to4_prefix(self, world):
+        from repro.net.tunnels import is_6to4
+
+        _, ds = world
+        for asn, tunnel in ds.tunnels.items():
+            prefix = ds.allocator.prefix_of(asn, AddressFamily.IPV6)
+            if tunnel.kind is TunnelKind.SIX_TO_FOUR:
+                assert is_6to4(prefix)
+            else:
+                assert not is_6to4(prefix)
+
+
+class TestParityKnob:
+    def test_zero_peering_parity_drops_non_tier1_peering(self, world):
+        topo, _ = world
+        ds = deploy_ipv6(
+            topo, DualStackConfig(peering_parity=0.0), random.Random(3)
+        )
+        tier1 = {a.asn for a in topo.ases_of_type(ASType.TIER1)}
+        for link in ds.v6_links:
+            if link.relationship is Relationship.PEER:
+                assert link.a in tier1 and link.b in tier1
+
+    def test_full_parity_mirrors_all_enabled_links(self, world):
+        topo, _ = world
+        config = DualStackConfig(c2p_parity=1.0, peering_parity=1.0)
+        ds = deploy_ipv6(topo, config, random.Random(3))
+        enabled = set(ds.v6_enabled)
+        mirrored = {(min(l.a, l.b), max(l.a, l.b)) for l in ds.v6_links}
+        for link in topo.links:
+            if link.a in enabled and link.b in enabled:
+                assert (min(link.a, link.b), max(link.a, link.b)) in mirrored
+
+    def test_summary_keys(self, world):
+        _, ds = world
+        summary = ds.summary()
+        assert set(summary) == {"ases", "v6_enabled", "v4_links", "v6_links", "tunnels"}
+        assert summary["v6_enabled"] <= summary["ases"]
+
+
+class TestValleyFreeDistances:
+    def test_distance_to_self_is_zero(self, world):
+        topo, _ = world
+        some = next(iter(topo.ases))
+        assert valley_free_distances(topo, some)[some] == 0
+
+    def test_distances_at_least_undirected(self, world):
+        """Valley-free paths can never beat unconstrained shortest paths."""
+        topo, _ = world
+        dest = next(iter(topo.ases))
+        undirected = topo.undirected_hop_distance(dest)
+        valley = valley_free_distances(topo, dest)
+        for asn, dist in valley.items():
+            assert dist >= undirected[asn]
+
+    def test_neighbors_at_distance_one(self, world):
+        topo, _ = world
+        dest = next(a.asn for a in topo.ases_of_type(ASType.STUB))
+        valley = valley_free_distances(topo, dest)
+        for provider in topo.providers_of(dest):
+            assert valley[provider] == 1

@@ -1,0 +1,42 @@
+"""Link and relationship invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.relationships import Link, Relationship
+
+
+class TestLink:
+    def test_peering_is_canonicalised(self):
+        link = Link.peering(9, 3)
+        assert (link.a, link.b) == (3, 9)
+        assert link.relationship is Relationship.PEER
+
+    def test_customer_provider_direction(self):
+        link = Link.customer_provider(customer=9, provider=3)
+        assert link.a == 9 and link.b == 3
+
+    def test_self_link_rejected(self):
+        with pytest.raises(TopologyError):
+            Link.peering(4, 4)
+
+    def test_non_canonical_peering_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(5, 3, Relationship.PEER)
+
+    def test_peer_of(self):
+        link = Link.peering(3, 9)
+        assert link.peer_of(3) == 9
+        assert link.peer_of(9) == 3
+        with pytest.raises(TopologyError):
+            link.peer_of(7)
+
+    def test_involves(self):
+        link = Link.customer_provider(1, 2)
+        assert link.involves(1) and link.involves(2)
+        assert not link.involves(3)
+
+    def test_endpoints(self):
+        assert Link.customer_provider(1, 2).endpoints == (1, 2)

@@ -1,0 +1,52 @@
+"""CDN providers and deployments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.addresses import AddressFamily
+from repro.web.cdn import CdnDeployment, CDNProvider
+
+
+class TestCDNProvider:
+    def test_v4_only_by_default(self):
+        cdn = CDNProvider(name="cdn1", asn=9)
+        assert cdn.serves(AddressFamily.IPV4)
+        assert not cdn.serves(AddressFamily.IPV6)
+
+    def test_dual_stack_option(self):
+        cdn = CDNProvider(name="cdn1", asn=9, dual_stack=True)
+        assert cdn.serves(AddressFamily.IPV6)
+
+    def test_edge_hostname(self):
+        cdn = CDNProvider(name="cdn1", asn=9)
+        assert cdn.edge_hostname("www.site.example") == "www.site.example.cdn1.net"
+
+    def test_edge_server_lives_in_cdn_as(self):
+        cdn = CDNProvider(name="cdn1", asn=9)
+        edge = cdn.edge_server()
+        assert edge.asn == 9
+        assert edge.base_speed == cdn.edge_speed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CDNProvider(name="", asn=9)
+        with pytest.raises(ValueError):
+            CDNProvider(name="UPPER", asn=9)
+        with pytest.raises(ValueError):
+            CDNProvider(name="cdn1", asn=9, edge_speed=0)
+
+
+class TestCdnDeployment:
+    def test_v4_only_fronting(self):
+        deployment = CdnDeployment(provider=CDNProvider(name="cdn1", asn=9))
+        assert deployment.fronted_families() == (AddressFamily.IPV4,)
+
+    def test_dual_stack_fronting(self):
+        deployment = CdnDeployment(
+            provider=CDNProvider(name="cdn1", asn=9, dual_stack=True)
+        )
+        assert set(deployment.fronted_families()) == {
+            AddressFamily.IPV4,
+            AddressFamily.IPV6,
+        }

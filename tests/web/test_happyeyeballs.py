@@ -1,0 +1,94 @@
+"""Happy Eyeballs connection racing (RFC 6555)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dataplane.latency import LatencyConfig, LatencyModel
+from repro.dataplane.path import ForwardingPath
+from repro.errors import ConfigError
+from repro.net.addresses import AddressFamily
+from repro.rng import RngStreams
+from repro.web.happyeyeballs import (
+    HappyEyeballsClient,
+    summarise_races,
+)
+
+V4 = AddressFamily.IPV4
+V6 = AddressFamily.IPV6
+
+
+def path_of(hops: int, family) -> ForwardingPath:
+    return ForwardingPath(
+        family=family,
+        as_path=tuple(range(1, hops + 2)),
+        quality=1.0,
+        tunnels=(),
+        tunnel_quality=0.8,
+    )
+
+
+@pytest.fixture()
+def client() -> HappyEyeballsClient:
+    model = LatencyModel(LatencyConfig(jitter_sigma=0.0), RngStreams(1))
+    return HappyEyeballsClient(model)
+
+
+class TestRace:
+    def test_equal_paths_prefer_v6(self, client):
+        outcome = client.race(path_of(3, V4), path_of(3, V6), random.Random(1))
+        assert outcome.v6_used
+        assert outcome.fallback_penalty_ms >= 0
+
+    def test_moderately_slower_v6_still_wins(self, client):
+        # The preference delay shields IPv6 up to 300 ms of handicap.
+        outcome = client.race(path_of(2, V4), path_of(6, V6), random.Random(1))
+        assert outcome.v6_used
+
+    def test_pathologically_slow_v6_loses(self):
+        model = LatencyModel(
+            LatencyConfig(per_hop_ms=60.0, jitter_sigma=0.0), RngStreams(1)
+        )
+        client = HappyEyeballsClient(model)
+        outcome = client.race(path_of(1, V4), path_of(6, V6), random.Random(1))
+        assert not outcome.v6_used
+        # The user paid the preference delay as a fallback penalty.
+        assert outcome.fallback_penalty_ms == pytest.approx(
+            client.preference_delay_ms
+        )
+
+    def test_v4_only_destination(self, client):
+        outcome = client.race(path_of(3, V4), None, random.Random(1))
+        assert not outcome.v6_used
+        assert outcome.v6_rtt_ms is None
+        assert outcome.fallback_penalty_ms == 0.0
+
+    def test_zero_preference_delay_is_pure_race(self):
+        model = LatencyModel(LatencyConfig(jitter_sigma=0.0), RngStreams(1))
+        client = HappyEyeballsClient(model, preference_delay_ms=0.0)
+        outcome = client.race(path_of(2, V4), path_of(4, V6), random.Random(1))
+        assert not outcome.v6_used  # shorter v4 wins a fair race
+
+    def test_negative_delay_rejected(self):
+        model = LatencyModel(LatencyConfig(), RngStreams(1))
+        with pytest.raises(ConfigError):
+            HappyEyeballsClient(model, preference_delay_ms=-1.0)
+
+
+class TestStatistics:
+    def test_summary(self, client):
+        outcomes = [
+            client.race(path_of(3, V4), path_of(3, V6), random.Random(i))
+            for i in range(20)
+        ]
+        stats = summarise_races(outcomes)
+        assert stats.n_races == 20
+        assert stats.v6_share == pytest.approx(1.0)
+        assert stats.mean_connect_ms > 0
+
+    def test_empty_summary(self):
+        stats = summarise_races([])
+        assert stats.n_races == 0
+        assert stats.v6_share == 0.0

@@ -1,0 +1,39 @@
+"""Web pages and the 6% identity check."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addresses import AddressFamily
+from repro.web.page import WebPage
+
+
+class TestWebPage:
+    def test_same_content(self):
+        page = WebPage.same_content(1000)
+        assert page.size(AddressFamily.IPV4) == page.size(AddressFamily.IPV6) == 1000
+        assert page.identical_within(0.06)
+        assert page.relative_size_difference() == 0.0
+
+    def test_identity_threshold_boundary(self):
+        page = WebPage(v4_bytes=1000, v6_bytes=940)
+        assert page.relative_size_difference() == pytest.approx(0.06)
+        assert page.identical_within(0.06)
+        assert not WebPage(v4_bytes=1000, v6_bytes=930).identical_within(0.06)
+
+    def test_difference_relative_to_larger(self):
+        # Symmetric regardless of which side is bigger.
+        a = WebPage(v4_bytes=1000, v6_bytes=900)
+        b = WebPage(v4_bytes=900, v6_bytes=1000)
+        assert a.relative_size_difference() == b.relative_size_difference()
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            WebPage(v4_bytes=0, v6_bytes=100)
+
+    @given(st.integers(1, 10**7), st.integers(1, 10**7))
+    def test_difference_in_unit_range(self, v4, v6):
+        diff = WebPage(v4_bytes=v4, v6_bytes=v6).relative_size_difference()
+        assert 0.0 <= diff < 1.0

@@ -1,0 +1,32 @@
+"""Origin servers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.addresses import AddressFamily
+from repro.web.server import OriginServer
+
+
+class TestOriginServer:
+    def test_family_blind_by_default(self):
+        server = OriginServer(asn=1, base_speed=100.0)
+        assert server.speed(AddressFamily.IPV4) == server.speed(AddressFamily.IPV6)
+        assert not server.v6_impaired
+
+    def test_impaired_v6(self):
+        server = OriginServer(asn=1, base_speed=100.0, v6_efficiency=0.5)
+        assert server.speed(AddressFamily.IPV6) == 50.0
+        assert server.v6_impaired
+
+    def test_borderline_efficiency_not_flagged(self):
+        server = OriginServer(asn=1, base_speed=100.0, v6_efficiency=0.95)
+        assert not server.v6_impaired
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            OriginServer(asn=1, base_speed=0)
+        with pytest.raises(ValueError):
+            OriginServer(asn=1, base_speed=10, v6_efficiency=0)
+        with pytest.raises(ValueError):
+            OriginServer(asn=1, base_speed=10, v4_efficiency=3.0)
