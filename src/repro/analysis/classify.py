@@ -15,6 +15,7 @@ from typing import Iterable
 
 from ..monitor.database import MeasurementDatabase
 from ..net.addresses import AddressFamily
+from ..obs import span
 
 
 class SiteCategory(Enum):
@@ -79,12 +80,13 @@ def classify_sites(
     db: MeasurementDatabase, site_ids: Iterable[int]
 ) -> dict[int, SiteClassification]:
     """Classify many sites, skipping those without path data."""
-    out: dict[int, SiteClassification] = {}
-    for site_id in site_ids:
-        classification = classify_site(db, site_id)
-        if classification is not None:
-            out[site_id] = classification
-    return out
+    with span("analysis.classify", vantage=db.vantage_name):
+        out: dict[int, SiteClassification] = {}
+        for site_id in site_ids:
+            classification = classify_site(db, site_id)
+            if classification is not None:
+                out[site_id] = classification
+        return out
 
 
 def sites_in_category(

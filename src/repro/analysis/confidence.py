@@ -19,6 +19,7 @@ from typing import Iterable
 from ..config import AnalysisConfig, MonitorConfig
 from ..monitor.database import MeasurementDatabase
 from ..net.addresses import AddressFamily
+from ..obs import metrics, span
 from ..stats.intervals import t_confidence_interval
 from ..stats.medianfilter import detect_step
 from ..stats.regression import detect_trend
@@ -148,11 +149,24 @@ def screen_all(
     monitor_cfg: MonitorConfig,
     analysis_cfg: AnalysisConfig,
 ) -> dict[int, SiteScreening]:
-    """Screen many sites; returns ``{site_id: screening}``."""
-    return {
-        site_id: screen_site(db, site_id, monitor_cfg, analysis_cfg)
-        for site_id in site_ids
-    }
+    """Screen many sites; returns ``{site_id: screening}``.
+
+    Rejection causes are tallied into ``analysis.rejected.<reason>``
+    counters (the Table 3 vocabulary) plus ``analysis.kept``, so a run's
+    sanitize behaviour is visible in the metrics snapshot.
+    """
+    with span("analysis.screen", vantage=db.vantage_name):
+        screenings = {
+            site_id: screen_site(db, site_id, monitor_cfg, analysis_cfg)
+            for site_id in site_ids
+        }
+    for screening in screenings.values():
+        if screening.kept:
+            metrics.counter("analysis.kept").inc()
+        else:
+            assert screening.reason is not None
+            metrics.counter(f"analysis.rejected.{screening.reason.value}").inc()
+    return screenings
 
 
 def kept_sites(screenings: dict[int, SiteScreening]) -> list[int]:

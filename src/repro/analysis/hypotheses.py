@@ -24,6 +24,7 @@ from typing import Iterable
 from ..config import AnalysisConfig
 from ..monitor.database import MeasurementDatabase
 from ..net.addresses import AddressFamily
+from ..obs import metrics, span
 from .classify import ASGroup
 from .metrics import site_mean_speed
 from .zeromode import has_zero_mode, relative_differences, zero_mode_sites
@@ -118,12 +119,14 @@ def evaluate_groups(
     analysis_cfg: AnalysisConfig,
 ) -> dict[int, ASEvaluation]:
     """Evaluate every AS group with data; returns ``{asn: evaluation}``."""
-    out: dict[int, ASEvaluation] = {}
-    for group in groups:
-        evaluation = evaluate_as(db, group, analysis_cfg)
-        if evaluation is not None:
-            out[group.asn] = evaluation
-    return out
+    with span("analysis.evaluate", vantage=db.vantage_name):
+        out: dict[int, ASEvaluation] = {}
+        for group in groups:
+            evaluation = evaluate_as(db, group, analysis_cfg)
+            if evaluation is not None:
+                out[group.asn] = evaluation
+        metrics.counter("analysis.groups_evaluated").inc(len(out))
+        return out
 
 
 def verdict_fractions(

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 from dataclasses import dataclass
 from enum import IntEnum
 
@@ -29,7 +30,15 @@ _INF_INT = 10**9
 
 from ..errors import RoutingError
 from ..net.addresses import AddressFamily
+from ..obs import metrics, span
 from ..topology.dualstack import DualStackTopology
+
+#: routing metrics: computations, cache hits, and accumulated compute
+#: seconds (computations fire on demand inside monitoring rounds, so a
+#: seconds counter — not a wrapping span — is what yields routes/sec).
+_COMPUTES = metrics.counter("bgp.route_computations")
+_CACHE_HITS = metrics.counter("bgp.route_cache_hits")
+_COMPUTE_SECONDS = metrics.counter("bgp.compute_seconds")
 
 
 class RouteClass(IntEnum):
@@ -233,11 +242,16 @@ class PathOracle:
         key = (dest, family)
         cached = self._cache.get(key)
         if cached is not None:
+            _CACHE_HITS.inc()
             return cached
-        state = compute_routes_to(self.topo, dest, family)
-        per_source: dict[int, tuple[Route | None, Route | None]] = {}
-        for src in self.sources:
-            per_source[src] = self._extract(state, src, family)
+        t0 = time.perf_counter()
+        with span("bgp.compute", dest=dest, family=family.name):
+            state = compute_routes_to(self.topo, dest, family)
+            per_source: dict[int, tuple[Route | None, Route | None]] = {}
+            for src in self.sources:
+                per_source[src] = self._extract(state, src, family)
+        _COMPUTES.inc()
+        _COMPUTE_SECONDS.inc(time.perf_counter() - t0)
         self._cache[key] = per_source
         return per_source
 

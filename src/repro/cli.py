@@ -2,10 +2,15 @@
 
 Subcommands::
 
-    repro run-all   [--scale S] [--seed N]     # every figure and table
-    repro quickrun  [--seed N]                 # small world + H1/H2 verdicts
-    repro export    --out DIR [--seed N]       # campaign data as CSV + manifest
-    repro show-config                          # the default scenario, as text
+    repro run-all   [--scale S] [--seed N] [--profile P]  # every figure and table
+    repro quickrun  [--scale S] [--seed N]                # small world + H1/H2 verdicts
+    repro export    --out DIR [--scale S] [--seed N]      # campaign data as CSV + manifest
+    repro profile   [--scale S] [--seed N] [--out P]      # phase-time breakdown + JSON report
+    repro show-config                                     # the default scenario, as text
+
+A global ``--log-level`` flag turns on structured (key=value) logging to
+stderr for every subcommand; observability never touches stdout, so
+seeded results are bit-identical with it on or off.
 
 Installed as the ``repro`` console script (or run via
 ``python -m repro.cli``).
@@ -18,6 +23,7 @@ import dataclasses
 import pathlib
 import sys
 
+from . import obs
 from .analysis.hypotheses import ASVerdict, verdict_fractions
 from .config import default_config, small_config
 from .core import build_world, run_campaign
@@ -25,14 +31,19 @@ from .experiments import run_all as run_all_module
 from .experiments.scenario import build_contexts
 from .monitor.export import export_repository
 
+#: default output of ``repro profile`` (the perf-trajectory seed file).
+PROFILE_DEFAULT_OUT = "BENCH_profile_small.json"
+
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
     argv = ["--scale", str(args.scale), "--seed", str(args.seed)]
+    if args.profile:
+        argv += ["--profile", args.profile]
     return run_all_module.main(argv)
 
 
 def _cmd_quickrun(args: argparse.Namespace) -> int:
-    config = small_config(seed=args.seed)
+    config = small_config(seed=args.seed, scale=args.scale)
     world = build_world(config)
     result = run_campaign(world)
     contexts = build_contexts(config, result)
@@ -49,11 +60,32 @@ def _cmd_quickrun(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    config = small_config(seed=args.seed)
+    config = small_config(seed=args.seed, scale=args.scale)
     world = build_world(config)
     result = run_campaign(world)
     manifest = export_repository(result.repository, pathlib.Path(args.out))
     print(f"exported campaign data; manifest at {manifest}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run the small campaign under tracing; print the phase breakdown."""
+    obs.enable()
+    config = small_config(seed=args.seed, scale=args.scale)
+    world = build_world(config)
+    result = run_campaign(world)
+    build_contexts(config, result)
+    report = obs.build_report(
+        bench="profile_small",
+        meta={"seed": args.seed, "scale": args.scale},
+    )
+    print(obs.render_breakdown(report))
+    path = obs.write_report(
+        args.out,
+        bench="profile_small",
+        meta={"seed": args.seed, "scale": args.scale},
+    )
+    print(f"profile report written to {path}")
     return 0
 
 
@@ -72,21 +104,49 @@ def _cmd_show_config(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=["DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"],
+        help="enable structured logging to stderr at this level",
+    )
+    parser.add_argument(
+        "--log-format",
+        default="kv",
+        choices=["kv", "json"],
+        help="structured log line format (default: key=value)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_all = sub.add_parser("run-all", help="reproduce every figure and table")
     run_all.add_argument("--scale", type=float, default=0.5)
     run_all.add_argument("--seed", type=int, default=20111206)
+    run_all.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="write a JSON observability report to PATH",
+    )
     run_all.set_defaults(func=_cmd_run_all)
 
     quickrun = sub.add_parser("quickrun", help="small world, H1/H2 verdicts")
+    quickrun.add_argument("--scale", type=float, default=1.0)
     quickrun.add_argument("--seed", type=int, default=11)
     quickrun.set_defaults(func=_cmd_quickrun)
 
     export = sub.add_parser("export", help="export campaign data to CSV")
     export.add_argument("--out", required=True)
+    export.add_argument("--scale", type=float, default=1.0)
     export.add_argument("--seed", type=int, default=11)
     export.set_defaults(func=_cmd_export)
+
+    profile = sub.add_parser(
+        "profile", help="run the small campaign and print a phase-time breakdown"
+    )
+    profile.add_argument("--scale", type=float, default=1.0)
+    profile.add_argument("--seed", type=int, default=11)
+    profile.add_argument("--out", default=PROFILE_DEFAULT_OUT)
+    profile.set_defaults(func=_cmd_profile)
 
     show = sub.add_parser("show-config", help="print the default scenario")
     show.set_defaults(func=_cmd_show_config)
@@ -95,6 +155,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        obs.setup_logging(level=args.log_level, fmt=args.log_format)
     return args.func(args)
 
 

@@ -378,15 +378,17 @@ class ScenarioConfig:
         return replace(self, topology=topo, sites=sites)
 
 
-def small_config(seed: int = 7) -> ScenarioConfig:
+def small_config(seed: int = 7, scale: float = 1.0) -> ScenarioConfig:
     """A deliberately small scenario for unit tests (seconds, not minutes).
 
     Adoption is boosted well above the paper's ~1% so the handful of
     monitored sites still yields a usable dual-stack population; the two
     adoption events are moved inside the shortened campaign window.
+    ``scale`` multiplies the world size on top of the built-in 0.15
+    shrink (``scale=1.0`` is the historical small config, bit-identical).
     """
     cfg = ScenarioConfig(seed=seed).scaled(0.15)
-    return replace(
+    cfg = replace(
         cfg,
         campaign=CampaignConfig(n_rounds=12),
         adoption=replace(
@@ -397,8 +399,14 @@ def small_config(seed: int = 7) -> ScenarioConfig:
         ),
         monitor=replace(cfg.monitor, min_rounds=5),
     )
+    if scale != 1.0:
+        cfg = cfg.scaled(scale)
+    return cfg
 
 
-def default_config(seed: int = 20111206) -> ScenarioConfig:
+def default_config(seed: int = 20111206, scale: float = 1.0) -> ScenarioConfig:
     """The reference scenario used by the experiments and benchmarks."""
-    return ScenarioConfig(seed=seed)
+    cfg = ScenarioConfig(seed=seed)
+    if scale != 1.0:
+        cfg = cfg.scaled(scale)
+    return cfg

@@ -20,9 +20,12 @@ from ..monitor.aggregate import CentralRepository
 from ..monitor.tool import MonitoringTool, RoundReport, VantageEnvironment
 from ..monitor.vantage import VantagePoint
 from ..net.addresses import AddressFamily
+from ..obs import get_logger, metrics, span
 from ..web.http import ContentEndpoint, HttpClient
 from ..dns.resolver import Resolver
 from .world import World
+
+_LOG = get_logger("core.campaign")
 
 #: Number of 30-minute rounds in the World IPv6 Day experiment (24h).
 W6D_ROUNDS = 48
@@ -69,14 +72,32 @@ def run_campaign(
         )
 
     reports: dict[str, list[RoundReport]] = {name: [] for name in tools}
-    for round_idx in range(n_rounds):
-        world.advance_to_round(round_idx)
-        for name, tool in tools.items():
-            reports[name].append(tool.run_round(round_idx))
+    rounds_counter = metrics.counter("campaign.rounds")
+    measured_counter = metrics.counter("campaign.sites_measured")
+    with span("campaign.run", rounds=n_rounds, vantages=len(tools)):
+        for round_idx in range(n_rounds):
+            with span("campaign.round", round=round_idx):
+                world.advance_to_round(round_idx)
+                round_measured = 0
+                for name, tool in tools.items():
+                    report = tool.run_round(round_idx)
+                    reports[name].append(report)
+                    round_measured += report.n_measured
+            rounds_counter.inc()
+            measured_counter.inc(round_measured)
+            _LOG.info(
+                "round complete",
+                extra={
+                    "round": round_idx,
+                    "n_rounds": n_rounds,
+                    "measured": round_measured,
+                },
+            )
 
-    repository = CentralRepository()
-    for vantage in world.vantages:
-        repository.add(vantage, tools[vantage.name].database)
+        with span("campaign.aggregate"):
+            repository = CentralRepository()
+            for vantage in world.vantages:
+                repository.add(vantage, tools[vantage.name].database)
     return CampaignResult(world=world, repository=repository, reports=reports)
 
 
@@ -152,28 +173,50 @@ def run_world_ipv6_day(
 
     repository = CentralRepository()
     reports: dict[str, list[RoundReport]] = {}
-    for vantage in world.vantages:
-        if vantage.name not in vantage_names:
-            continue
-        active = VantagePoint(
-            name=vantage.name,
-            location=vantage.location,
-            asn=vantage.asn,
-            start_round=0,
-            as_path_available=vantage.as_path_available,
-            white_listed=vantage.white_listed,
-            kind=vantage.kind,
-            external_inputs=False,
-        )
-        tool = MonitoringTool(
-            vantage=active,
-            env=_w6d_environment(world, active),
-            config=world.config.monitor,
-            rng=world.rngs.stream(f"w6d:{vantage.name}"),
-        )
-        rounds = []
+    with span("campaign.w6d", rounds=n_rounds):
+        for vantage in world.vantages:
+            if vantage.name not in vantage_names:
+                continue
+            reports[vantage.name] = _run_w6d_vantage(
+                world, vantage, n_rounds, repository
+            )
+    return CampaignResult(world=world, repository=repository, reports=reports)
+
+
+def _run_w6d_vantage(
+    world: World,
+    vantage: VantagePoint,
+    n_rounds: int,
+    repository: CentralRepository,
+) -> list[RoundReport]:
+    """Run the W6D rounds of one vantage point into ``repository``."""
+    active = VantagePoint(
+        name=vantage.name,
+        location=vantage.location,
+        asn=vantage.asn,
+        start_round=0,
+        as_path_available=vantage.as_path_available,
+        white_listed=vantage.white_listed,
+        kind=vantage.kind,
+        external_inputs=False,
+    )
+    tool = MonitoringTool(
+        vantage=active,
+        env=_w6d_environment(world, active),
+        config=world.config.monitor,
+        rng=world.rngs.stream(f"w6d:{vantage.name}"),
+    )
+    rounds = []
+    with span("campaign.w6d_vantage", vantage=vantage.name):
         for round_idx in range(n_rounds):
             rounds.append(tool.run_round(round_idx))
-        repository.add(active, tool.database)
-        reports[vantage.name] = rounds
-    return CampaignResult(world=world, repository=repository, reports=reports)
+    repository.add(active, tool.database)
+    _LOG.info(
+        "w6d vantage complete",
+        extra={
+            "vantage": vantage.name,
+            "rounds": n_rounds,
+            "measured": sum(r.n_measured for r in rounds),
+        },
+    )
+    return rounds

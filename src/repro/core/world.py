@@ -24,6 +24,7 @@ from ..errors import ConfigError
 from ..monitor.vantage import VantageKind, VantagePoint
 from ..net.addresses import Address, AddressFamily
 from ..net.tunnels import TunnelKind
+from ..obs import get_logger, metrics, span
 from ..rng import RngStreams
 from ..sites.catalog import Site, SiteCatalog, build_catalog
 from ..topology.asys import ASType
@@ -398,34 +399,57 @@ def build_vantages(
     return vantages
 
 
+_LOG = get_logger("core.world")
+
+
 def build_world(config: ScenarioConfig) -> World:
     """Assemble the full scenario described by ``config``."""
     config.validate()
     rngs = RngStreams(config.seed)
-    topology = generate_topology(config.topology, rngs.stream("topology"))
-    dualstack = deploy_ipv6(topology, config.dualstack, rngs.stream("dualstack"))
-    model = ThroughputModel(config.performance, rngs)
-    n_rounds = config.campaign.n_rounds
-    catalog = build_catalog(
-        config.sites,
-        config.adoption,
-        dualstack,
-        model,
-        n_rounds=n_rounds,
-        rng=rngs.stream("sites"),
-    )
-    vantages = build_vantages(dualstack, n_rounds, rngs.stream("vantages"))
-    oracle = PathOracle(dualstack, sources=[v.asn for v in vantages])
-    world = World(
-        config=config,
-        rngs=rngs,
-        topology=topology,
-        dualstack=dualstack,
-        catalog=catalog,
-        model=model,
-        zones=ZoneStore(),
-        clock=SimulationClock.weekly(),
-        vantages=vantages,
-        oracle=oracle,
+    with span("world.build", seed=config.seed):
+        with span("world.topology", n_ases=config.topology.n_ases):
+            topology = generate_topology(config.topology, rngs.stream("topology"))
+        with span("world.dualstack"):
+            dualstack = deploy_ipv6(
+                topology, config.dualstack, rngs.stream("dualstack")
+            )
+        model = ThroughputModel(config.performance, rngs)
+        n_rounds = config.campaign.n_rounds
+        with span("world.catalog", n_sites=config.sites.n_sites):
+            catalog = build_catalog(
+                config.sites,
+                config.adoption,
+                dualstack,
+                model,
+                n_rounds=n_rounds,
+                rng=rngs.stream("sites"),
+            )
+        with span("world.vantages"):
+            vantages = build_vantages(dualstack, n_rounds, rngs.stream("vantages"))
+            oracle = PathOracle(dualstack, sources=[v.asn for v in vantages])
+        world = World(
+            config=config,
+            rngs=rngs,
+            topology=topology,
+            dualstack=dualstack,
+            catalog=catalog,
+            model=model,
+            zones=ZoneStore(),
+            clock=SimulationClock.weekly(),
+            vantages=vantages,
+            oracle=oracle,
+        )
+    metrics.gauge("world.ases").set(len(topology.ases))
+    metrics.gauge("world.sites").set(len(catalog.sites))
+    metrics.gauge("world.v6_enabled_ases").set(len(dualstack.v6_enabled))
+    _LOG.info(
+        "world built",
+        extra={
+            "seed": config.seed,
+            "ases": len(topology.ases),
+            "v6_ases": len(dualstack.v6_enabled),
+            "sites": len(catalog.sites),
+            "vantages": len(vantages),
+        },
     )
     return world

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from ..errors import DnsError, NoRecord, NxDomain
 from ..net.addresses import Address, AddressFamily
+from ..obs import metrics
 from .records import RecordType, RRSet
 from .zone import ZoneStore
 
@@ -19,6 +20,10 @@ from .zone import ZoneStore
 MAX_CNAME_DEPTH = 8
 #: TTL used to cache negative answers (NXDOMAIN / no such type).
 NEGATIVE_TTL = 900.0
+
+#: process-wide cache counters (per-resolver ``hits``/``misses`` remain).
+_CACHE_HITS = metrics.counter("dns.cache_hits")
+_CACHE_MISSES = metrics.counter("dns.cache_misses")
 
 
 @dataclass(frozen=True)
@@ -74,8 +79,10 @@ class Resolver:
         hit, rrset = self._cached(name, rtype, now)
         if hit:
             self.hits += 1
+            _CACHE_HITS.inc()
             return rrset, True
         self.misses += 1
+        _CACHE_MISSES.inc()
         try:
             rrset = self.store.authoritative_lookup(name, rtype)
         except NxDomain:

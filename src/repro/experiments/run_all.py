@@ -17,6 +17,8 @@ import time
 from dataclasses import replace
 
 from ..config import default_config
+from ..obs import enable as enable_tracing
+from ..obs import span, write_report
 from . import scenario
 from . import (  # noqa: F401 - imported for table registry below
     fig1,
@@ -68,7 +70,14 @@ def main(argv: list[str] | None = None) -> int:
         help="world scale relative to the default config",
     )
     parser.add_argument("--seed", type=int, default=20111206)
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="write a JSON observability report (spans + metrics) to PATH",
+    )
     args = parser.parse_args(argv)
+    enable_tracing()
 
     # Same recipe as scenario.experiment_config: scale the world and
     # oversample adoption so per-AS statistics have enough sites.
@@ -90,11 +99,20 @@ def main(argv: list[str] | None = None) -> int:
     print(f"# World IPv6 Day campaign in {time.time() - t0:.1f}s", file=sys.stderr)
 
     for label, runner, needs_w6d in EXPERIMENTS:
-        table = runner(w6d if needs_w6d else data)
+        with span("experiment.artifact", label=label) as timing:
+            table = runner(w6d if needs_w6d else data)
+        print(f"# {label} in {timing.duration:.2f}s", file=sys.stderr)
         print(table.render())
         print()
     print("# H1 holds:", table8.h1_holds(data))
     print("# H2 holds:", table11.h2_holds(data))
+    if args.profile:
+        path = write_report(
+            args.profile,
+            bench="run_all",
+            meta={"seed": args.seed, "scale": args.scale},
+        )
+        print(f"# profile written to {path}", file=sys.stderr)
     return 0
 
 

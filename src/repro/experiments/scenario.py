@@ -27,6 +27,13 @@ from ..core.campaign import CampaignResult, run_campaign, run_world_ipv6_day
 from ..core.world import build_world
 from ..monitor.database import MeasurementDatabase
 from ..monitor.vantage import VantagePoint
+from ..obs import get_logger, metrics, span
+
+_LOG = get_logger("experiments.scenario")
+#: campaign-cache effectiveness (future perf PRs read these).
+_CACHE_HITS = metrics.counter("scenario.cache_hits")
+_CACHE_MISSES = metrics.counter("scenario.cache_misses")
+_CACHED_CAMPAIGNS = metrics.gauge("scenario.cached_campaigns")
 
 #: Scale of the default experiment world: big enough for table shapes,
 #: small enough to build in a couple of minutes.
@@ -105,24 +112,36 @@ def build_contexts(
 ) -> dict[str, AnalysisContext]:
     """Run screening, classification, and AS evaluation per vantage."""
     contexts: dict[str, AnalysisContext] = {}
-    for vantage, db in campaign.repository.analysis_items():
-        dual_stack = db.dual_stack_sites()
-        screenings = screen_all(db, dual_stack, config.monitor, config.analysis)
-        kept = kept_sites(screenings)
-        classifications = classify_sites(db, kept)
-        groups = group_by_destination(classifications)
-        sp_groups = groups_in_category(groups, SiteCategory.SP)
-        dp_groups = groups_in_category(groups, SiteCategory.DP)
-        contexts[vantage.name] = AnalysisContext(
-            vantage=vantage,
-            db=db,
-            screenings=screenings,
-            kept=kept,
-            classifications=classifications,
-            groups=groups,
-            sp_evaluations=evaluate_groups(db, sp_groups, config.analysis),
-            dp_evaluations=evaluate_groups(db, dp_groups, config.analysis),
-        )
+    with span("analysis.contexts", vantages=len(campaign.repository.vantage_names)):
+        for vantage, db in campaign.repository.analysis_items():
+            with span("analysis.vantage", vantage=vantage.name):
+                dual_stack = db.dual_stack_sites()
+                screenings = screen_all(
+                    db, dual_stack, config.monitor, config.analysis
+                )
+                kept = kept_sites(screenings)
+                classifications = classify_sites(db, kept)
+                groups = group_by_destination(classifications)
+                sp_groups = groups_in_category(groups, SiteCategory.SP)
+                dp_groups = groups_in_category(groups, SiteCategory.DP)
+                contexts[vantage.name] = AnalysisContext(
+                    vantage=vantage,
+                    db=db,
+                    screenings=screenings,
+                    kept=kept,
+                    classifications=classifications,
+                    groups=groups,
+                    sp_evaluations=evaluate_groups(db, sp_groups, config.analysis),
+                    dp_evaluations=evaluate_groups(db, dp_groups, config.analysis),
+                )
+            _LOG.debug(
+                "analysis context built",
+                extra={
+                    "vantage": vantage.name,
+                    "dual_stack": len(dual_stack),
+                    "kept": len(kept),
+                },
+            )
     return contexts
 
 
@@ -136,7 +155,9 @@ def get_experiment_data(config: ScenarioConfig | None = None) -> ExperimentData:
         config = experiment_config()
     cached = _DATA_CACHE.get(config)
     if cached is not None:
+        _CACHE_HITS.inc()
         return cached
+    _CACHE_MISSES.inc()
     world = build_world(config)
     campaign = run_campaign(world)
     data = ExperimentData(
@@ -145,6 +166,7 @@ def get_experiment_data(config: ScenarioConfig | None = None) -> ExperimentData:
         contexts=build_contexts(config, campaign),
     )
     _DATA_CACHE[config] = data
+    _CACHED_CAMPAIGNS.set(len(_DATA_CACHE) + len(_W6D_CACHE))
     return data
 
 
@@ -158,7 +180,9 @@ def get_w6d_data(config: ScenarioConfig | None = None) -> ExperimentData:
         config = experiment_config()
     cached = _W6D_CACHE.get(config)
     if cached is not None:
+        _CACHE_HITS.inc()
         return cached
+    _CACHE_MISSES.inc()
     base = get_experiment_data(config)
     campaign = run_world_ipv6_day(base.world)
     data = ExperimentData(
@@ -167,6 +191,7 @@ def get_w6d_data(config: ScenarioConfig | None = None) -> ExperimentData:
         contexts=build_contexts(config, campaign),
     )
     _W6D_CACHE[config] = data
+    _CACHED_CAMPAIGNS.set(len(_DATA_CACHE) + len(_W6D_CACHE))
     return data
 
 
@@ -174,3 +199,4 @@ def clear_caches() -> None:
     """Drop cached campaigns (tests use this to control memory)."""
     _DATA_CACHE.clear()
     _W6D_CACHE.clear()
+    _CACHED_CAMPAIGNS.set(0)

@@ -14,9 +14,16 @@ from dataclasses import dataclass
 
 from ..config import MonitorConfig
 from ..net.addresses import Address, AddressFamily
+from ..obs import metrics
 from ..stats.descriptive import RunningStats
 from ..stats.intervals import interval_from_stats
 from ..web.http import DownloadResult, HttpClient
+
+#: download-loop metrics (module-cached: ``obs`` resets them in place).
+_DOWNLOADS = metrics.counter("download.samples")
+_CONVERGED = metrics.counter("download.loops_converged")
+_EXHAUSTED = metrics.counter("download.loops_exhausted")
+_LOOP_SAMPLES = metrics.histogram("download.samples_per_loop")
 
 
 @dataclass(frozen=True)
@@ -71,6 +78,9 @@ class RepeatedDownloader:
                 converged = True
                 break
         assert first is not None  # loop runs at least once
+        _DOWNLOADS.inc(acc.n)
+        _LOOP_SAMPLES.observe(acc.n)
+        (_CONVERGED if converged else _EXHAUSTED).inc()
         if not converged and acc.n >= 2:
             # Report the final interval even when the target was missed.
             interval = interval_from_stats(acc, cfg.confidence)

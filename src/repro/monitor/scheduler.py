@@ -15,6 +15,10 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..errors import MonitorError
+from ..obs import metrics
+
+_JOBS = metrics.counter("scheduler.jobs")
+_OCCUPANCY = metrics.gauge("scheduler.slot_occupancy")
 
 
 @dataclass(frozen=True)
@@ -48,11 +52,15 @@ class SlotScheduler:
         placed: list[ScheduledJob] = []
         for index, duration in enumerate(durations):
             free_at, slot = heapq.heappop(slots)
+            _OCCUPANCY.update_max(
+                1 + sum(1 for busy_until, _ in slots if busy_until > free_at)
+            )
             finish = free_at + duration
             placed.append(
                 ScheduledJob(index=index, slot=slot, start=free_at, finish=finish)
             )
             heapq.heappush(slots, (finish, slot))
+        _JOBS.inc(len(placed))
         return placed
 
     def makespan(self, durations: Sequence[float], origin: float = 0.0) -> float:

@@ -27,6 +27,7 @@ from ..dataplane.clock import SimulationClock
 from ..dns.resolver import Resolver
 from ..errors import MonitorError, UnreachableError
 from ..net.addresses import AddressFamily
+from ..obs import get_logger, metrics
 from ..web.http import HttpClient
 from .database import (
     DnsObservation,
@@ -41,6 +42,16 @@ from .vantage import VantagePoint
 #: nominal seconds spent on a site that fails an early phase.
 DNS_PHASE_SECONDS = 0.2
 PAGE_CHECK_SECONDS = 1.0
+
+_LOG = get_logger("monitor.tool")
+#: per-phase counters (module-cached: ``obs`` resets metrics in place).
+_SITES_MONITORED = metrics.counter("monitor.sites_monitored")
+_DNS_FILTERED = metrics.counter("monitor.dns_filtered")
+_UNREACHABLE = metrics.counter("monitor.unreachable")
+_IDENTITY_FAILED = metrics.counter("monitor.identity_failed")
+_DUAL_STACK = metrics.counter("monitor.dual_stack")
+_MEASURED = metrics.counter("monitor.sites_measured")
+_SLOT_OCCUPANCY = metrics.gauge("monitor.slot_occupancy")
 
 
 @dataclass
@@ -124,6 +135,11 @@ class MonitoringTool:
         makespan = round_start
         for name in order:
             free_at, slot = heapq.heappop(slots)
+            # Occupancy at this dispatch instant: the popped slot plus
+            # every other slot still busy past it.
+            _SLOT_OCCUPANCY.update_max(
+                1 + sum(1 for busy_until, _ in slots if busy_until > free_at)
+            )
             duration, dual_stack, measured = self._monitor_site(
                 name, round_idx, free_at, listed=name in listed_now
             )
@@ -132,6 +148,17 @@ class MonitoringTool:
             makespan = max(makespan, finish)
             n_dual_stack += int(dual_stack)
             n_measured += int(measured)
+        _LOG.debug(
+            "round done",
+            extra={
+                "vantage": self.vantage.name,
+                "round": round_idx,
+                "monitored": len(order),
+                "new": n_new,
+                "dual_stack": n_dual_stack,
+                "measured": n_measured,
+            },
+        )
         return RoundReport(
             round_idx=round_idx,
             n_monitored=len(order),
@@ -164,6 +191,7 @@ class MonitoringTool:
         self, name: str, round_idx: int, now: float, listed: bool = True
     ) -> tuple[float, bool, bool]:
         """Monitor one site; returns (duration, dual_stack, fully_measured)."""
+        _SITES_MONITORED.inc()
         site_id = self.env.site_id_of(name)
         answers = self.env.resolver.query_both(name, now)
         v4 = answers[AddressFamily.IPV4]
@@ -179,7 +207,9 @@ class MonitoringTool:
             )
         )
         if v4 is None or v6 is None:
+            _DNS_FILTERED.inc()
             return DNS_PHASE_SECONDS, False, False
+        _DUAL_STACK.inc()
 
         # Page identity phase: one download per family, compare byte counts.
         try:
@@ -190,6 +220,7 @@ class MonitoringTool:
                 v6.final_name, v6.addresses[0], AddressFamily.IPV6, round_idx, self.rng
             )
         except UnreachableError:
+            _UNREACHABLE.inc()
             return DNS_PHASE_SECONDS + PAGE_CHECK_SECONDS, True, False
         larger = max(probe_v4.page_bytes, probe_v6.page_bytes)
         identical = (
@@ -207,6 +238,7 @@ class MonitoringTool:
         )
         duration = probe_v4.seconds + probe_v6.seconds + DNS_PHASE_SECONDS
         if not identical:
+            _IDENTITY_FAILED.inc()
             return duration, True, False
 
         # Performance phase: repeated downloads, IPv4 first then IPv6.
@@ -240,4 +272,5 @@ class MonitoringTool:
                     as_path=outcome.first_result.as_path,
                 )
             )
+        _MEASURED.inc()
         return duration, True, True

@@ -1,0 +1,75 @@
+"""Observability: structured tracing, metrics, logging, and profiling.
+
+The reproduction's equivalent of the paper's MySQL-backed bookkeeping
+(its monitoring tool logged every DNS lookup, identity check, and
+download attempt so failures could be attributed).  Four pieces:
+
+* :mod:`repro.obs.trace` — span-based tracing with an injectable clock;
+* :mod:`repro.obs.metrics` — process-local counters/gauges/histograms;
+* :mod:`repro.obs.log` — stdlib-``logging`` with structured formatters;
+* :mod:`repro.obs.export` — JSON reports in the ``BENCH_*.json`` format.
+
+Everything is zero-cost-ish when disabled and touches no seeded RNG
+stream: seeded results are bit-identical with observability on or off.
+"""
+
+from .log import get_logger, setup_logging
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+)
+from .trace import (
+    Span,
+    Tracer,
+    disable,
+    enable,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+from .export import (
+    SCHEMA,
+    build_report,
+    phase_breakdown,
+    read_report,
+    render_breakdown,
+    write_report,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SCHEMA",
+    "Span",
+    "Tracer",
+    "build_report",
+    "counter",
+    "disable",
+    "enable",
+    "gauge",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "histogram",
+    "phase_breakdown",
+    "read_report",
+    "render_breakdown",
+    "setup_logging",
+    "span",
+    "tracing_enabled",
+    "write_report",
+]
+
+
+def reset() -> None:
+    """Reset the default tracer and registry (tests use this)."""
+    get_tracer().reset()
+    get_registry().reset()

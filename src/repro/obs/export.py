@@ -1,0 +1,156 @@
+"""Serialise a completed run's spans and metrics to a JSON report.
+
+The report is the observability deliverable of a run: per-span-name
+aggregates, the full metrics snapshot, and a coarse *phase breakdown*
+(world build / routing / rounds / analysis) — the profile the ROADMAP
+needs to decide which hot path to attack next.  The layout is the
+``BENCH_*.json`` trajectory format: a flat JSON object keyed by
+``bench``, so successive PRs can diff phase times across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from .metrics import MetricsRegistry, get_registry
+from .trace import Span, Tracer, get_tracer
+
+#: Report schema identifier (bump on incompatible layout changes).
+SCHEMA = "repro.obs/1"
+
+#: The pipeline's coarse phases: (label, span name, fallback seconds
+#: counter, fallback count counter).  A phase's time comes from the total
+#: of its spans; ``bgp.compute`` time is additionally accumulated in a
+#: counter because route computations are demand-driven (they fire
+#: *inside* monitoring rounds, even with tracing off).
+PHASES = (
+    ("world build", "world.build", None, None),
+    ("routing", "bgp.compute", "bgp.compute_seconds", "bgp.route_computations"),
+    ("rounds", "campaign.run", None, None),
+    ("analysis", "analysis.contexts", None, None),
+)
+
+
+def aggregate_spans(spans: list[Span]) -> dict[str, dict]:
+    """Per-name aggregates over completed spans."""
+    out: dict[str, dict] = {}
+    for span in spans:
+        if span.end is None:
+            continue
+        entry = out.get(span.name)
+        if entry is None:
+            out[span.name] = {
+                "count": 1,
+                "total_s": span.duration,
+                "min_s": span.duration,
+                "max_s": span.duration,
+            }
+        else:
+            entry["count"] += 1
+            entry["total_s"] += span.duration
+            entry["min_s"] = min(entry["min_s"], span.duration)
+            entry["max_s"] = max(entry["max_s"], span.duration)
+    for entry in out.values():
+        entry["mean_s"] = entry["total_s"] / entry["count"]
+    return dict(sorted(out.items()))
+
+
+def phase_breakdown(
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+) -> list[dict]:
+    """Coarse phase times: world build / routing / rounds / analysis."""
+    tracer = tracer if tracer is not None else get_tracer()
+    registry = registry if registry is not None else get_registry()
+    rows = []
+    for label, span_name, seconds_counter, count_counter in PHASES:
+        spans = tracer.completed(span_name)
+        seconds = sum(s.duration for s in spans)
+        count = len(spans)
+        if count == 0 and seconds_counter is not None:
+            metric = registry.get(seconds_counter)
+            if metric is not None:
+                seconds = metric.value
+            if count_counter is not None:
+                count = int(getattr(registry.get(count_counter), "value", 0) or 0)
+        rows.append({"phase": label, "seconds": seconds, "count": count})
+    return rows
+
+
+def build_report(
+    bench: str,
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+    meta: dict | None = None,
+    include_spans: bool = False,
+) -> dict:
+    """The full JSON-ready observability report for one run."""
+    tracer = tracer if tracer is not None else get_tracer()
+    registry = registry if registry is not None else get_registry()
+    report = {
+        "bench": bench,
+        "schema": SCHEMA,
+        "phases": phase_breakdown(tracer, registry),
+        "spans": aggregate_spans(tracer.spans),
+        "metrics": registry.as_dict(),
+        "dropped_spans": tracer.dropped,
+    }
+    if meta:
+        report["meta"] = dict(meta)
+    if include_spans:
+        report["span_events"] = [s.as_dict() for s in tracer.spans]
+    return report
+
+
+def write_report(
+    path: str | pathlib.Path,
+    bench: str,
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+    meta: dict | None = None,
+    include_spans: bool = False,
+) -> pathlib.Path:
+    """Write :func:`build_report` output to ``path``; returns the path."""
+    report = build_report(
+        bench, tracer=tracer, registry=registry, meta=meta,
+        include_spans=include_spans,
+    )
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n",
+                   encoding="utf-8")
+    return out
+
+
+def read_report(path: str | pathlib.Path) -> dict:
+    """Load a report written by :func:`write_report`."""
+    return json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+
+
+def render_breakdown(report: dict) -> str:
+    """Fixed-width phase + top-span table for terminal display."""
+    lines = []
+    phases = report.get("phases", [])
+    total = sum(p["seconds"] for p in phases)
+    lines.append(f"phase breakdown ({report.get('bench', '?')})")
+    lines.append(f"{'phase':<14} {'seconds':>9} {'share':>7} {'count':>7}")
+    for entry in phases:
+        share = entry["seconds"] / total if total > 0 else 0.0
+        lines.append(
+            f"{entry['phase']:<14} {entry['seconds']:>9.3f} "
+            f"{100 * share:>6.1f}% {entry['count']:>7d}"
+        )
+    spans = report.get("spans", {})
+    if spans:
+        lines.append("")
+        lines.append(f"{'span':<28} {'count':>7} {'total_s':>9} {'mean_ms':>9}")
+        ranked = sorted(
+            spans.items(), key=lambda item: item[1]["total_s"], reverse=True
+        )
+        for name, entry in ranked[:12]:
+            lines.append(
+                f"{name:<28} {entry['count']:>7d} {entry['total_s']:>9.3f} "
+                f"{1000 * entry['mean_s']:>9.3f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Structured logging setup.
+
+Per-subsystem loggers under the ``repro`` namespace with a structured
+formatter: either ``key=value`` pairs (the default, grep-friendly) or one
+JSON object per line.  All log output goes to **stderr**, so enabling
+logging never perturbs an experiment's stdout (seeded results stay
+bit-identical with observability on or off).
+
+Nothing is configured at import time; call :func:`setup_logging` (the CLI
+does, from ``--log-level``) or attach handlers yourself.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+
+#: Root of the package logger hierarchy.
+ROOT_LOGGER = "repro"
+
+
+def get_logger(subsystem: str) -> logging.Logger:
+    """The logger for one subsystem (e.g. ``core.world``, ``monitor``)."""
+    if not subsystem:
+        return logging.getLogger(ROOT_LOGGER)
+    return logging.getLogger(f"{ROOT_LOGGER}.{subsystem}")
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``ts=... level=... logger=... msg="..." extra_key=value`` lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        parts = [
+            f"ts={self.formatTime(record, datefmt='%H:%M:%S')}",
+            f"level={record.levelname}",
+            f"logger={record.name}",
+            f'msg="{record.getMessage()}"',
+        ]
+        for key, value in _extra_fields(record).items():
+            parts.append(f"{key}={value}")
+        if record.exc_info:
+            parts.append(f'exc="{self.formatException(record.exc_info)}"')
+        return " ".join(parts)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": self.formatTime(record, datefmt="%H:%M:%S"),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        payload.update(_extra_fields(record))
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+#: LogRecord attributes that are bookkeeping, not user-supplied fields.
+_STANDARD_ATTRS = frozenset(
+    vars(
+        logging.LogRecord("x", logging.INFO, "x", 0, "x", None, None)
+    )
+) | {"message", "asctime", "taskName"}
+
+
+def _extra_fields(record: logging.LogRecord) -> dict:
+    """Fields passed via ``logger.info(..., extra={...})``."""
+    return {
+        key: value
+        for key, value in vars(record).items()
+        if key not in _STANDARD_ATTRS
+    }
+
+
+def setup_logging(
+    level: str | int = "WARNING",
+    fmt: str = "kv",
+    stream=None,
+) -> logging.Logger:
+    """Attach one structured stderr handler to the ``repro`` logger.
+
+    Idempotent: re-running replaces the previously attached handler, so
+    repeated CLI invocations in one process do not duplicate output.
+    """
+    if isinstance(level, str):
+        level = getattr(logging, level.upper(), None)
+        if level is None:
+            raise ValueError(f"unknown log level {level!r}")
+    if fmt == "kv":
+        formatter: logging.Formatter = KeyValueFormatter()
+    elif fmt == "json":
+        formatter = JsonFormatter()
+    else:
+        raise ValueError(f"unknown log format {fmt!r} (use 'kv' or 'json')")
+
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(formatter)
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root

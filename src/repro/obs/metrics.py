@@ -1,0 +1,197 @@
+"""Process-local metrics: counters, gauges, histograms.
+
+The registry is the reproduction's answer to the paper's MySQL bookkeeping
+of "everything the tool did": sites measured, downloads per round,
+CI-stopping iterations, DNS cache hits, routes computed, sanitize
+rejection causes.  Metrics are plain Python objects updated in place —
+an increment is one attribute add — so the instrumented hot paths pay
+almost nothing and no seeded RNG stream is ever touched.
+
+``reset()`` zeroes metrics *in place* (object identity is preserved), so
+modules may cache their counter objects at import time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (floats allowed for seconds)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value; tracks its own high-water mark."""
+
+    name: str
+    value: float = 0.0
+    max_value: float = 0.0
+    _touched: bool = False
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if not self._touched or value > self.max_value:
+            self.max_value = value
+        self._touched = True
+
+    def update_max(self, value: float) -> None:
+        """Record ``value`` only if it raises the high-water mark."""
+        if not self._touched or value > self.max_value:
+            self.set(value)
+
+    def reset(self) -> None:
+        self.value = 0.0
+        self.max_value = 0.0
+        self._touched = False
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value, "max": self.max_value}
+
+
+#: Stored-sample cap per histogram; count/sum/min/max stay exact beyond
+#: it (percentiles then come from the first ``MAX_SAMPLES`` values).
+MAX_SAMPLES = 100_000
+
+
+@dataclass
+class Histogram:
+    """A distribution of observed values with percentile queries."""
+
+    name: str
+    values: list[float] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    min_value: float = 0.0
+    max_value: float = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if self.count == 0 or value < self.min_value:
+            self.min_value = value
+        if self.count == 0 or value > self.max_value:
+            self.max_value = value
+        self.count += 1
+        self.total += value
+        if len(self.values) < MAX_SAMPLES:
+            self.values.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0-100), linear interpolation."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+    def reset(self) -> None:
+        self.values.clear()
+        self.count = 0
+        self.total = 0.0
+        self.min_value = 0.0
+        self.max_value = 0.0
+
+    def as_dict(self) -> dict:
+        out = {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+        }
+        if self.count:
+            out.update(
+                min=self.min_value,
+                max=self.max_value,
+                p50=self.percentile(50),
+                p90=self.percentile(90),
+                p99=self.percentile(99),
+            )
+        return out
+
+
+class MetricsRegistry:
+    """A flat namespace of metrics, created lazily on first use."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name=name)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        return self._metrics.get(name)
+
+    def as_dict(self) -> dict:
+        """Snapshot of every metric, JSON-ready, sorted by name."""
+        return {name: self._metrics[name].as_dict() for name in self.names()}
+
+    def reset(self) -> None:
+        """Zero every metric in place (cached references stay valid)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+
+#: The process-local default registry used by the module-level helpers.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _REGISTRY.histogram(name)

@@ -1,0 +1,192 @@
+"""Lightweight span-based tracing.
+
+The paper's monitoring tool logged every pipeline phase to MySQL so that
+failures and time could be attributed; this module gives the reproduction
+the same capability as an in-process tracer::
+
+    with span("campaign.round", round=i):
+        ...
+
+Spans nest (the tracer keeps a stack), carry free-form attributes, and are
+timed against an *injectable monotonic clock* so traces are testable and
+simulation-deterministic.  Tracing is **disabled by default** and a
+disabled tracer costs one attribute check per ``span()`` call — no clock
+reads, no allocations — so instrumented hot paths stay effectively free.
+
+Instrumentation never touches any seeded RNG stream: enabling or
+disabling tracing cannot change a measured value.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Default cap on retained spans; beyond it spans are counted, not stored,
+#: so long campaigns cannot exhaust memory through instrumentation.
+MAX_SPANS = 100_000
+
+
+@dataclass
+class Span:
+    """One completed (or active) timed region."""
+
+    name: str
+    attrs: dict
+    start: float
+    depth: int
+    end: float | None = None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "depth": self.depth,
+        }
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    name = None
+    attrs: dict = {}
+    start = 0.0
+    end = 0.0
+    depth = 0
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager recording one span on its tracer."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._finish(self.span)
+        return False
+
+
+@dataclass
+class Tracer:
+    """A span recorder with an injectable monotonic clock."""
+
+    clock: Callable[[], float] = time.perf_counter
+    enabled: bool = False
+    max_spans: int = MAX_SPANS
+    spans: list[Span] = field(default_factory=list)
+    #: spans observed after the cap was hit (they are timed out of band).
+    dropped: int = 0
+    _stack: list[Span] = field(default_factory=list)
+
+    def span(self, name: str, **attrs) -> _ActiveSpan | _NullSpan:
+        """Open a timed region; use as a context manager."""
+        if not self.enabled:
+            return _NULL_SPAN
+        span = Span(
+            name=name,
+            attrs=attrs,
+            start=self.clock(),
+            depth=len(self._stack),
+        )
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+        self._stack.append(span)
+        return _ActiveSpan(self, span)
+
+    def _finish(self, span: Span) -> None:
+        span.end = self.clock()
+        # Close any dangling children too (exceptions unwound past them).
+        while self._stack and self._stack[-1] is not span:
+            dangling = self._stack.pop()
+            if dangling.end is None:
+                dangling.end = span.end
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def completed(self, name: str | None = None) -> list[Span]:
+        """Completed spans, optionally filtered by name."""
+        out = [s for s in self.spans if s.end is not None]
+        if name is not None:
+            out = [s for s in out if s.name == name]
+        return out
+
+    def total_seconds(self, name: str) -> float:
+        """Sum of durations of completed spans named ``name``."""
+        return sum(s.duration for s in self.completed(name))
+
+    def reset(self) -> None:
+        """Drop all recorded spans and close the stack."""
+        self.spans.clear()
+        self._stack.clear()
+        self.dropped = 0
+
+
+#: The process-local default tracer used by the module-level helpers.
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-local default tracer."""
+    return _TRACER
+
+
+def span(name: str, **attrs) -> _ActiveSpan | _NullSpan:
+    """Open a span on the default tracer (no-op while disabled)."""
+    if not _TRACER.enabled:
+        return _NULL_SPAN
+    return _TRACER.span(name, **attrs)
+
+
+def enable(clock: Callable[[], float] | None = None) -> Tracer:
+    """Enable the default tracer (optionally with an injected clock)."""
+    if clock is not None:
+        _TRACER.clock = clock
+    _TRACER.enabled = True
+    return _TRACER
+
+
+def disable() -> None:
+    """Disable the default tracer (recorded spans are kept)."""
+    _TRACER.enabled = False
+
+
+def tracing_enabled() -> bool:
+    return _TRACER.enabled

@@ -1,0 +1,123 @@
+"""JSON report export: aggregation, phase breakdown, round-trip."""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    SCHEMA,
+    aggregate_spans,
+    build_report,
+    phase_breakdown,
+    read_report,
+    render_breakdown,
+    write_report,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+from .test_trace import FakeClock
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer(clock=FakeClock(), enabled=True)
+    with tracer.span("world.build", seed=7):
+        pass
+    with tracer.span("campaign.run", rounds=2):
+        with tracer.span("campaign.round", round=0):
+            pass
+        with tracer.span("campaign.round", round=1):
+            pass
+    with tracer.span("analysis.contexts"):
+        pass
+    return tracer
+
+
+class TestAggregation:
+    def test_aggregate_spans_by_name(self):
+        tracer = _sample_tracer()
+        agg = aggregate_spans(tracer.spans)
+        assert agg["campaign.round"]["count"] == 2
+        assert agg["campaign.round"]["total_s"] == 2.0
+        assert agg["campaign.round"]["mean_s"] == 1.0
+        assert set(agg) == {
+            "world.build",
+            "campaign.run",
+            "campaign.round",
+            "analysis.contexts",
+        }
+
+    def test_open_spans_excluded(self):
+        tracer = Tracer(clock=FakeClock(), enabled=True)
+        tracer.span("open").__enter__()
+        assert aggregate_spans(tracer.spans) == {}
+
+
+class TestPhaseBreakdown:
+    def test_phases_from_spans(self):
+        tracer = _sample_tracer()
+        registry = MetricsRegistry()
+        rows = {r["phase"]: r for r in phase_breakdown(tracer, registry)}
+        assert rows["world build"]["seconds"] == 1.0
+        assert rows["rounds"]["count"] == 1
+        assert rows["analysis"]["seconds"] == 1.0
+
+    def test_routing_falls_back_to_counter(self):
+        # Route computations fire inside rounds; with no bgp.compute spans
+        # the accumulated-seconds counter supplies the phase time.
+        tracer = Tracer(clock=FakeClock(), enabled=True)
+        registry = MetricsRegistry()
+        registry.counter("bgp.compute_seconds").inc(0.75)
+        rows = {r["phase"]: r for r in phase_breakdown(tracer, registry)}
+        assert rows["routing"]["seconds"] == 0.75
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        tracer = _sample_tracer()
+        registry = MetricsRegistry()
+        registry.counter("monitor.sites_measured").inc(42)
+        registry.gauge("monitor.slot_occupancy").update_max(25)
+        registry.histogram("download.samples_per_loop").observe(5.0)
+
+        path = write_report(
+            tmp_path / "BENCH_test.json",
+            bench="test",
+            tracer=tracer,
+            registry=registry,
+            meta={"seed": 7},
+        )
+        report = read_report(path)
+        direct = build_report(
+            "test", tracer=tracer, registry=registry, meta={"seed": 7}
+        )
+        assert report == direct
+        assert report["bench"] == "test"
+        assert report["schema"] == SCHEMA
+        assert report["meta"] == {"seed": 7}
+        assert report["metrics"]["monitor.sites_measured"]["value"] == 42
+        assert report["metrics"]["monitor.slot_occupancy"]["max"] == 25
+        assert report["spans"]["campaign.round"]["count"] == 2
+
+    def test_include_span_events(self, tmp_path):
+        tracer = _sample_tracer()
+        path = write_report(
+            tmp_path / "r.json",
+            bench="test",
+            tracer=tracer,
+            registry=MetricsRegistry(),
+            include_spans=True,
+        )
+        report = read_report(path)
+        names = [event["name"] for event in report["span_events"]]
+        assert "campaign.round" in names
+
+
+class TestRender:
+    def test_render_breakdown_table(self):
+        tracer = _sample_tracer()
+        report = build_report("test", tracer=tracer, registry=MetricsRegistry())
+        text = render_breakdown(report)
+        assert "phase breakdown (test)" in text
+        assert "world build" in text
+        assert "campaign.round" in text
+        # shares sum to 100% over the four phases (3 non-zero here).
+        assert "%" in text

@@ -1,0 +1,96 @@
+"""Structured logging: formatters, per-subsystem loggers, idempotence."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import JsonFormatter, KeyValueFormatter, get_logger, setup_logging
+
+
+@pytest.fixture()
+def clean_root():
+    """Restore the ``repro`` root logger after each test."""
+    root = logging.getLogger("repro")
+    saved = (list(root.handlers), root.level, root.propagate)
+    yield root
+    root.handlers[:] = saved[0]
+    root.setLevel(saved[1])
+    root.propagate = saved[2]
+
+
+class TestLoggers:
+    def test_get_logger_namespaced(self):
+        assert get_logger("core.world").name == "repro.core.world"
+        assert get_logger("").name == "repro"
+
+    def test_subsystem_loggers_inherit_root_level(self, clean_root):
+        setup_logging(level="INFO", stream=io.StringIO())
+        assert get_logger("monitor").isEnabledFor(logging.INFO)
+        assert not get_logger("monitor").isEnabledFor(logging.DEBUG)
+
+
+class TestFormatters:
+    def _record(self, **extra) -> logging.LogRecord:
+        record = logging.LogRecord(
+            "repro.test", logging.INFO, "x.py", 1, "hello world", None, None
+        )
+        for key, value in extra.items():
+            setattr(record, key, value)
+        return record
+
+    def test_key_value_line(self):
+        line = KeyValueFormatter().format(self._record(round=3, vantage="Penn"))
+        assert 'msg="hello world"' in line
+        assert "level=INFO" in line
+        assert "round=3" in line
+        assert "vantage=Penn" in line
+
+    def test_json_line_parses(self):
+        line = JsonFormatter().format(self._record(round=3))
+        payload = json.loads(line)
+        assert payload["msg"] == "hello world"
+        assert payload["logger"] == "repro.test"
+        assert payload["round"] == 3
+
+
+class TestSetup:
+    def test_writes_structured_lines_to_stream(self, clean_root):
+        stream = io.StringIO()
+        setup_logging(level="DEBUG", stream=stream)
+        get_logger("core").info("built", extra={"sites": 7})
+        line = stream.getvalue().strip()
+        assert 'msg="built"' in line
+        assert "sites=7" in line
+
+    def test_level_filters(self, clean_root):
+        stream = io.StringIO()
+        setup_logging(level="WARNING", stream=stream)
+        get_logger("core").info("quiet")
+        get_logger("core").warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_json_format(self, clean_root):
+        stream = io.StringIO()
+        setup_logging(level="INFO", fmt="json", stream=stream)
+        get_logger("core").info("built")
+        assert json.loads(stream.getvalue())["msg"] == "built"
+
+    def test_idempotent_no_duplicate_handlers(self, clean_root):
+        stream = io.StringIO()
+        setup_logging(level="INFO", stream=stream)
+        setup_logging(level="INFO", stream=stream)
+        get_logger("core").info("once")
+        assert stream.getvalue().count('msg="once"') == 1
+
+    def test_unknown_format_rejected(self, clean_root):
+        with pytest.raises(ValueError):
+            setup_logging(fmt="xml")
+
+    def test_unknown_level_rejected(self, clean_root):
+        with pytest.raises(ValueError):
+            setup_logging(level="NOISY")

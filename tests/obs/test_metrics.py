@@ -1,0 +1,127 @@
+"""Counters, gauges, histogram percentiles, and in-place reset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_float_amounts(self):
+        counter = Counter("seconds")
+        counter.inc(0.25)
+        counter.inc(0.5)
+        assert counter.value == pytest.approx(0.75)
+
+
+class TestGauge:
+    def test_set_tracks_high_water_mark(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.set(3)
+        assert gauge.value == 3
+        assert gauge.max_value == 10
+
+    def test_update_max_keeps_peak_only(self):
+        gauge = Gauge("g")
+        gauge.update_max(5)
+        gauge.update_max(2)
+        gauge.update_max(9)
+        assert gauge.max_value == 9
+
+    def test_negative_initial_value_is_honoured(self):
+        gauge = Gauge("g")
+        gauge.set(-4)
+        assert gauge.value == -4
+        assert gauge.max_value == -4
+
+
+class TestHistogram:
+    def test_count_sum_mean(self):
+        hist = Histogram("h")
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.mean == 2.0
+
+    def test_percentiles_interpolate(self):
+        hist = Histogram("h")
+        for value in range(1, 101):  # 1..100
+            hist.observe(value)
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 100.0
+        assert hist.percentile(50) == pytest.approx(50.5)
+        assert hist.percentile(90) == pytest.approx(90.1)
+
+    def test_single_value(self):
+        hist = Histogram("h")
+        hist.observe(7.0)
+        assert hist.percentile(50) == 7.0
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(101)
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("h").percentile(50) == 0.0
+
+    def test_min_max_exact(self):
+        hist = Histogram("h")
+        for value in (5.0, -2.0, 9.0):
+            hist.observe(value)
+        assert hist.min_value == -2.0
+        assert hist.max_value == 9.0
+
+    def test_as_dict_summary(self):
+        hist = Histogram("h")
+        for value in (1.0, 3.0):
+            hist.observe(value)
+        snapshot = hist.as_dict()
+        assert snapshot["type"] == "histogram"
+        assert snapshot["count"] == 2
+        assert snapshot["min"] == 1.0
+        assert snapshot["max"] == 3.0
+
+
+class TestRegistry:
+    def test_lazily_creates_and_caches(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_reset_preserves_identity(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        gauge = registry.gauge("g")
+        hist = registry.histogram("h")
+        counter.inc(3)
+        gauge.set(5)
+        hist.observe(1.0)
+        registry.reset()
+        # Cached references stay live — the obs-instrumented modules cache
+        # their metric objects at import time.
+        assert registry.counter("c") is counter
+        assert counter.value == 0
+        assert gauge.value == 0 and gauge.max_value == 0
+        assert hist.count == 0 and hist.values == []
+
+    def test_as_dict_sorted_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.gauge("a").set(2)
+        snapshot = registry.as_dict()
+        assert list(snapshot) == ["a", "b"]
+        assert snapshot["b"] == {"type": "counter", "value": 1.0}

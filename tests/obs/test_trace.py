@@ -1,0 +1,128 @@
+"""Span tracing: nesting, fake-clock determinism, disabled-mode cost."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import _NULL_SPAN, Tracer
+
+
+class FakeClock:
+    """A deterministic monotonic clock: each read advances by ``step``."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestSpans:
+    def test_single_span_times_against_injected_clock(self):
+        tracer = Tracer(clock=FakeClock(), enabled=True)
+        with tracer.span("work") as span:
+            pass
+        assert span.start == 0.0
+        assert span.end == 1.0
+        assert span.duration == 1.0
+
+    def test_nesting_depth_recorded(self):
+        tracer = Tracer(clock=FakeClock(), enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("innermost"):
+                    pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        assert by_name["innermost"].depth == 2
+
+    def test_attrs_are_stored(self):
+        tracer = Tracer(clock=FakeClock(), enabled=True)
+        with tracer.span("campaign.round", round=3, vantage="Penn"):
+            pass
+        assert tracer.spans[0].attrs == {"round": 3, "vantage": "Penn"}
+
+    def test_fake_clock_runs_are_deterministic(self):
+        def run() -> list[tuple[str, float, float]]:
+            tracer = Tracer(clock=FakeClock(step=0.5), enabled=True)
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    pass
+            with tracer.span("c"):
+                pass
+            return [(s.name, s.start, s.duration) for s in tracer.spans]
+
+        assert run() == run()
+
+    def test_current_tracks_the_open_span(self):
+        tracer = Tracer(clock=FakeClock(), enabled=True)
+        assert tracer.current is None
+        with tracer.span("outer"):
+            assert tracer.current.name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+            assert tracer.current.name == "outer"
+        assert tracer.current is None
+
+    def test_exception_closes_span_and_children(self):
+        tracer = Tracer(clock=FakeClock(), enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                tracer.span("dangling").__enter__()  # never exited
+                raise RuntimeError("boom")
+        assert all(s.end is not None for s in tracer.spans)
+        assert tracer.current is None
+
+    def test_completed_filters_by_name(self):
+        tracer = Tracer(clock=FakeClock(), enabled=True)
+        for _ in range(3):
+            with tracer.span("x"):
+                pass
+        with tracer.span("y"):
+            pass
+        assert len(tracer.completed("x")) == 3
+        assert tracer.total_seconds("x") == 3.0
+
+    def test_max_spans_cap_counts_overflow(self):
+        tracer = Tracer(clock=FakeClock(), enabled=True, max_spans=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+    def test_reset(self):
+        tracer = Tracer(clock=FakeClock(), enabled=True)
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.spans == []
+        assert tracer.current is None
+
+
+class TestDisabled:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        first = tracer.span("a", key=1)
+        second = tracer.span("b")
+        assert first is _NULL_SPAN
+        assert second is _NULL_SPAN
+        with first:
+            pass
+        assert tracer.spans == []
+
+    def test_disabled_tracer_never_reads_the_clock(self):
+        reads = []
+
+        def clock() -> float:
+            reads.append(1)
+            return 0.0
+
+        tracer = Tracer(clock=clock, enabled=False)
+        with tracer.span("a"):
+            pass
+        assert reads == []

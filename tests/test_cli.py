@@ -6,7 +6,8 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro import obs
+from repro.cli import PROFILE_DEFAULT_OUT, build_parser, main
 
 
 class TestParser:
@@ -16,6 +17,7 @@ class TestParser:
             ["run-all"],
             ["quickrun"],
             ["export", "--out", "x"],
+            ["profile"],
             ["show-config"],
         ):
             args = parser.parse_args(argv)
@@ -28,6 +30,24 @@ class TestParser:
     def test_export_requires_out(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["export"])
+
+    def test_scale_flags(self):
+        parser = build_parser()
+        assert parser.parse_args(["quickrun", "--scale", "0.5"]).scale == 0.5
+        assert parser.parse_args(["quickrun"]).scale == 1.0
+        assert parser.parse_args(["export", "--out", "x", "--scale", "2"]).scale == 2.0
+
+    def test_log_level_is_global(self):
+        args = build_parser().parse_args(["--log-level", "DEBUG", "quickrun"])
+        assert args.log_level == "DEBUG"
+        assert args.log_format == "kv"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--log-level", "NOISY", "quickrun"])
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.out == PROFILE_DEFAULT_OUT
+        assert args.seed == 11
 
 
 class TestCommands:
@@ -47,3 +67,20 @@ class TestCommands:
         assert main(["export", "--out", str(tmp_path / "d"), "--seed", "11"]) == 0
         manifest = json.loads((tmp_path / "d" / "manifest.json").read_text())
         assert len(manifest["vantage_points"]) == 6
+
+    def test_profile_writes_report_and_prints_breakdown(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_profile_small.json"
+        try:
+            assert main(["profile", "--seed", "11", "--out", str(out)]) == 0
+        finally:
+            obs.disable()
+            obs.reset()
+        text = capsys.readouterr().out
+        for phase in ("world build", "routing", "rounds", "analysis"):
+            assert phase in text
+        report = json.loads(out.read_text())
+        assert report["schema"] == obs.SCHEMA
+        assert report["meta"]["seed"] == 11
+        phases = {row["phase"] for row in report["phases"]}
+        assert phases == {"world build", "routing", "rounds", "analysis"}
+        assert report["metrics"]["campaign.rounds"]["value"] > 0
