@@ -20,6 +20,7 @@ from .config import (
     AnalysisConfig,
     CampaignConfig,
     DualStackConfig,
+    ExecutionConfig,
     MonitorConfig,
     PerformanceConfig,
     ScenarioConfig,
@@ -44,6 +45,7 @@ __all__ = [
     "AnalysisConfig",
     "CampaignConfig",
     "DualStackConfig",
+    "ExecutionConfig",
     "MonitorConfig",
     "PerformanceConfig",
     "ScenarioConfig",

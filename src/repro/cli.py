@@ -3,10 +3,15 @@
 Subcommands::
 
     repro run-all   [--scale S] [--seed N] [--profile P]  # every figure and table
+                    [--cache-dir DIR] [--no-cache]        #   (campaign store knobs)
     repro quickrun  [--scale S] [--seed N]                # small world + H1/H2 verdicts
     repro export    --out DIR [--scale S] [--seed N]      # campaign data as CSV + manifest
     repro profile   [--scale S] [--seed N] [--out P]      # phase-time breakdown + JSON report
     repro show-config                                     # the default scenario, as text
+
+Every campaign subcommand also takes ``--backend serial|process`` and
+``--jobs N`` to pick the execution engine backend; both backends produce
+bit-identical measurement repositories.
 
 A global ``--log-level`` flag turns on structured (key=value) logging to
 stderr for every subcommand; observability never touches stdout, so
@@ -25,7 +30,7 @@ import sys
 
 from . import obs
 from .analysis.hypotheses import ASVerdict, verdict_fractions
-from .config import default_config, small_config
+from .config import EXECUTION_BACKENDS, ExecutionConfig, default_config, small_config
 from .core import build_world, run_campaign
 from .experiments import run_all as run_all_module
 from .experiments.scenario import build_contexts
@@ -35,17 +40,51 @@ from .monitor.export import export_repository
 PROFILE_DEFAULT_OUT = "BENCH_profile_small.json"
 
 
+def _add_execution_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=EXECUTION_BACKENDS,
+        default=None,
+        help="execution backend (default: $REPRO_BACKEND or serial)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for --backend process (default: $REPRO_JOBS or 1)",
+    )
+
+
+def _execution_from(args: argparse.Namespace) -> ExecutionConfig | None:
+    """Build an ExecutionConfig from CLI flags; None defers to the env."""
+    if args.backend is None and args.jobs is None:
+        return None
+    base = ExecutionConfig.from_env()
+    return ExecutionConfig(
+        backend=args.backend if args.backend is not None else base.backend,
+        jobs=args.jobs if args.jobs is not None else base.jobs,
+    )
+
+
 def _cmd_run_all(args: argparse.Namespace) -> int:
     argv = ["--scale", str(args.scale), "--seed", str(args.seed)]
     if args.profile:
         argv += ["--profile", args.profile]
+    if args.backend is not None:
+        argv += ["--backend", args.backend]
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    if args.cache_dir is not None:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.no_cache:
+        argv += ["--no-cache"]
     return run_all_module.main(argv)
 
 
 def _cmd_quickrun(args: argparse.Namespace) -> int:
     config = small_config(seed=args.seed, scale=args.scale)
     world = build_world(config)
-    result = run_campaign(world)
+    result = run_campaign(world, execution=_execution_from(args))
     contexts = build_contexts(config, result)
     print("vantage    SP comparable   DP comparable")
     for name, context in contexts.items():
@@ -62,9 +101,10 @@ def _cmd_quickrun(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     config = small_config(seed=args.seed, scale=args.scale)
     world = build_world(config)
-    result = run_campaign(world)
+    result = run_campaign(world, execution=_execution_from(args))
     manifest = export_repository(result.repository, pathlib.Path(args.out))
     print(f"exported campaign data; manifest at {manifest}")
+    print(f"repository digest: {result.repository.content_digest()}")
     return 0
 
 
@@ -73,7 +113,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     obs.enable()
     config = small_config(seed=args.seed, scale=args.scale)
     world = build_world(config)
-    result = run_campaign(world)
+    result = run_campaign(world, execution=_execution_from(args))
     build_contexts(config, result)
     report = obs.build_report(
         bench="profile_small",
@@ -127,17 +167,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a JSON observability report to PATH",
     )
+    run_all.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="campaign store root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    run_all.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk campaign store",
+    )
+    _add_execution_args(run_all)
     run_all.set_defaults(func=_cmd_run_all)
 
     quickrun = sub.add_parser("quickrun", help="small world, H1/H2 verdicts")
     quickrun.add_argument("--scale", type=float, default=1.0)
     quickrun.add_argument("--seed", type=int, default=11)
+    _add_execution_args(quickrun)
     quickrun.set_defaults(func=_cmd_quickrun)
 
     export = sub.add_parser("export", help="export campaign data to CSV")
     export.add_argument("--out", required=True)
     export.add_argument("--scale", type=float, default=1.0)
     export.add_argument("--seed", type=int, default=11)
+    _add_execution_args(export)
     export.set_defaults(func=_cmd_export)
 
     profile = sub.add_parser(
@@ -146,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--scale", type=float, default=1.0)
     profile.add_argument("--seed", type=int, default=11)
     profile.add_argument("--out", default=PROFILE_DEFAULT_OUT)
+    _add_execution_args(profile)
     profile.set_defaults(func=_cmd_profile)
 
     show = sub.add_parser("show-config", help="print the default scenario")

@@ -315,6 +315,51 @@ class AnalysisConfig:
             raise ConfigError("comparable_threshold must be in (0, 1)")
 
 
+#: Execution backends understood by :mod:`repro.engine`.
+EXECUTION_BACKENDS = ("serial", "process")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a campaign's per-vantage shards are executed.
+
+    Deliberately *not* part of :class:`ScenarioConfig`: the backend is an
+    operational choice, never part of a scenario's identity — serial and
+    process backends produce bit-identical repositories (the per-vantage
+    RNG streams are isolated), so caches key on the scenario alone.
+    """
+
+    #: ``serial`` runs shards in-process; ``process`` fans them out to a
+    #: :class:`concurrent.futures.ProcessPoolExecutor`.
+    backend: str = "serial"
+    #: worker-process count for the ``process`` backend (ignored by serial).
+    jobs: int = 1
+
+    def validate(self) -> None:
+        if self.backend not in EXECUTION_BACKENDS:
+            raise ConfigError(
+                f"unknown execution backend {self.backend!r}; "
+                f"expected one of {EXECUTION_BACKENDS}"
+            )
+        if self.jobs < 1:
+            raise ConfigError("jobs must be >= 1")
+
+    @classmethod
+    def from_env(cls) -> "ExecutionConfig":
+        """Build from ``REPRO_BACKEND`` / ``REPRO_JOBS`` (defaults: serial/1)."""
+        import os
+
+        backend = os.environ.get("REPRO_BACKEND", "serial") or "serial"
+        jobs_raw = os.environ.get("REPRO_JOBS", "") or "1"
+        try:
+            jobs = int(jobs_raw)
+        except ValueError:
+            raise ConfigError(f"REPRO_JOBS must be an integer, got {jobs_raw!r}")
+        config = cls(backend=backend, jobs=jobs)
+        config.validate()
+        return config
+
+
 @dataclass(frozen=True)
 class CampaignConfig:
     """The shape of a monitoring campaign."""

@@ -7,22 +7,29 @@ a central repository — the paper's data-collection phase end to end.
 ``run_world_ipv6_day`` reproduces the special World IPv6 Day experiment:
 30-minute monitoring rounds for one day, restricted to the sites that
 advertised participation in the event.
+
+Both drivers are thin shells over the execution engine: they build one
+:class:`~repro.engine.shard.VantageShard` per vantage point, hand the
+batch to an :class:`~repro.engine.executor.Executor` (serial in-process
+by default, a process pool with ``--backend process``), and merge the
+returned shard payloads into a :class:`CampaignResult`.  Per-vantage RNG
+streams and private DNS timelines make the merge order-independent, so
+every backend yields bit-identical repositories.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..config import ScenarioConfig
-from ..dataplane.clock import SimulationClock
+from ..config import ExecutionConfig, ScenarioConfig
+from ..engine.executor import make_executor
+from ..engine.shard import W6D, WEEKLY, ShardResult, VantageShard
 from ..errors import ConfigError
 from ..monitor.aggregate import CentralRepository
-from ..monitor.tool import MonitoringTool, RoundReport, VantageEnvironment
+from ..monitor.database import MeasurementDatabase
+from ..monitor.tool import RoundReport
 from ..monitor.vantage import VantagePoint
-from ..net.addresses import AddressFamily
 from ..obs import get_logger, metrics, span
-from ..web.http import ContentEndpoint, HttpClient
-from ..dns.resolver import Resolver
 from .world import World
 
 _LOG = get_logger("core.campaign")
@@ -43,15 +50,56 @@ class CampaignResult:
         return sum(len(self.repository.database(v)) for v in self.repository.vantage_names)
 
 
+def build_campaign_shards(
+    world: World,
+    n_rounds: int,
+    max_sites_per_round: int,
+) -> list[VantageShard]:
+    """One weekly-campaign shard per vantage point, in world order."""
+    return [
+        VantageShard(
+            config=world.config,
+            vantage_name=vantage.name,
+            kind=WEEKLY,
+            n_rounds=n_rounds,
+            rng_stream=f"monitor:{vantage.name}",
+            max_sites_per_round=max_sites_per_round,
+        )
+        for vantage in world.vantages
+    ]
+
+
+def merge_shard_results(
+    world: World, results: list[ShardResult]
+) -> CampaignResult:
+    """Fold executed shards back into one campaign result.
+
+    Shard payloads are plain dicts (they may have crossed a process
+    boundary); each is rebuilt here and registered with the central
+    repository in shard order.
+    """
+    repository = CentralRepository()
+    reports: dict[str, list[RoundReport]] = {}
+    for result in results:
+        vantage = VantagePoint.from_dict(result.vantage)
+        repository.add(vantage, MeasurementDatabase.from_dict(result.database))
+        reports[vantage.name] = [
+            RoundReport.from_dict(r) for r in result.reports
+        ]
+    return CampaignResult(world=world, repository=repository, reports=reports)
+
+
 def run_campaign(
     world: World,
     n_rounds: int | None = None,
     max_sites_per_round: int | None = None,
+    execution: ExecutionConfig | None = None,
 ) -> CampaignResult:
     """Run the full weekly campaign on ``world``.
 
     ``n_rounds`` and ``max_sites_per_round`` default to the world's
-    campaign config.
+    campaign config; ``execution`` picks the backend (None reads
+    ``REPRO_BACKEND`` / ``REPRO_JOBS``, defaulting to serial).
     """
     config: ScenarioConfig = world.config
     if n_rounds is None:
@@ -61,106 +109,43 @@ def run_campaign(
     if n_rounds < 1:
         raise ConfigError("need at least one round")
 
-    tools: dict[str, MonitoringTool] = {}
-    for vantage in world.vantages:
-        tools[vantage.name] = MonitoringTool(
-            vantage=vantage,
-            env=world.environment_for(vantage),
-            config=config.monitor,
-            rng=world.monitor_rng(vantage),
-            max_sites_per_round=max_sites_per_round,
-        )
-
-    reports: dict[str, list[RoundReport]] = {name: [] for name in tools}
+    shards = build_campaign_shards(world, n_rounds, max_sites_per_round)
+    executor = make_executor(execution)
     rounds_counter = metrics.counter("campaign.rounds")
     measured_counter = metrics.counter("campaign.sites_measured")
-    with span("campaign.run", rounds=n_rounds, vantages=len(tools)):
-        for round_idx in range(n_rounds):
-            with span("campaign.round", round=round_idx):
-                world.advance_to_round(round_idx)
-                round_measured = 0
-                for name, tool in tools.items():
-                    report = tool.run_round(round_idx)
-                    reports[name].append(report)
-                    round_measured += report.n_measured
-            rounds_counter.inc()
-            measured_counter.inc(round_measured)
-            _LOG.info(
-                "round complete",
-                extra={
-                    "round": round_idx,
-                    "n_rounds": n_rounds,
-                    "measured": round_measured,
-                },
-            )
-
+    with span(
+        "campaign.run",
+        rounds=n_rounds,
+        vantages=len(shards),
+        backend=executor.name,
+    ):
+        results = executor.run(shards, world=world)
         with span("campaign.aggregate"):
-            repository = CentralRepository()
-            for vantage in world.vantages:
-                repository.add(vantage, tools[vantage.name].database)
-    return CampaignResult(world=world, repository=repository, reports=reports)
-
-
-def _w6d_environment(world: World, vantage: VantagePoint) -> VantageEnvironment:
-    """A monitoring environment specialised for World IPv6 Day.
-
-    Differences from the regular campaign: the site list is the
-    participant roster, and participants who provisioned their IPv6
-    presence well (``w6d_good_v6``) serve IPv6 at parity with IPv4 - the
-    path-induced deficit is offset server-side (multi-homed event
-    presence), without changing the BGP paths the monitor records.
-    """
-    participants = world.catalog.w6d_participants()
-    names = [site.name for site in participants]
-    base_endpoint = world.content_endpoint
-
-    def content_lookup(
-        name: str, family: AddressFamily, round_idx: int
-    ) -> ContentEndpoint:
-        endpoint = base_endpoint(name, family, round_idx)
-        site = world.catalog.by_name(name)
-        if family is AddressFamily.IPV6 and site.w6d_good_v6:
-            v4_path = world.forwarding_path(
-                vantage.asn, site.dest_asn(AddressFamily.IPV4),
-                AddressFamily.IPV4, alternate=False,
-            )
-            v6_path = world.forwarding_path(
-                vantage.asn, site.dest_asn(AddressFamily.IPV6),
-                AddressFamily.IPV6, alternate=False,
-            )
-            if v4_path is not None and v6_path is not None:
-                f_v4 = world.model.path_factor(v4_path)
-                f_v6 = world.model.path_factor(v6_path)
-                if f_v6 < f_v4:
-                    endpoint = ContentEndpoint(
-                        site_id=endpoint.site_id,
-                        server_asn=endpoint.server_asn,
-                        server_speed=endpoint.server_speed * (f_v4 / f_v6),
-                        page_bytes=endpoint.page_bytes,
-                    )
-        return endpoint
-
-    client = HttpClient(
-        model=world.model,
-        content_lookup=content_lookup,
-        path_provider=world._path_provider(vantage.asn),
-        owner_lookup=world.owner_of_address,
+            merged = merge_shard_results(world, results)
+    rounds_counter.inc(n_rounds)
+    total_measured = sum(
+        report.n_measured
+        for rounds in merged.reports.values()
+        for report in rounds
     )
-    w6d_round = world.config.adoption.world_ipv6_day_round
-    return VantageEnvironment(
-        resolver=Resolver(store=world.zone_snapshot(w6d_round)),
-        client=client,
-        clock=SimulationClock.world_ipv6_day(),
-        site_list=lambda round_idx: list(names),
-        external_inputs=lambda round_idx: [],
-        site_id_of=lambda name: world.catalog.by_name(name).site_id,
+    measured_counter.inc(total_measured)
+    _LOG.info(
+        "campaign complete",
+        extra={
+            "rounds": n_rounds,
+            "vantages": len(shards),
+            "backend": executor.name,
+            "measured": total_measured,
+        },
     )
+    return merged
 
 
 def run_world_ipv6_day(
     world: World,
     vantage_names: tuple[str, ...] = ("Penn", "LU", "UPCB"),
     n_rounds: int = W6D_ROUNDS,
+    execution: ExecutionConfig | None = None,
 ) -> CampaignResult:
     """Run the World IPv6 Day experiment.
 
@@ -170,53 +155,40 @@ def run_world_ipv6_day(
     """
     if n_rounds < 1:
         raise ConfigError("need at least one W6D round")
-
-    repository = CentralRepository()
-    reports: dict[str, list[RoundReport]] = {}
-    with span("campaign.w6d", rounds=n_rounds):
-        for vantage in world.vantages:
-            if vantage.name not in vantage_names:
-                continue
-            reports[vantage.name] = _run_w6d_vantage(
-                world, vantage, n_rounds, repository
+    known = {vantage.name for vantage in world.vantages}
+    for name in vantage_names:
+        if name not in known:
+            raise ConfigError(
+                f"unknown vantage {name!r} in vantage_names; "
+                f"world has {sorted(known)}"
             )
-    return CampaignResult(world=world, repository=repository, reports=reports)
 
-
-def _run_w6d_vantage(
-    world: World,
-    vantage: VantagePoint,
-    n_rounds: int,
-    repository: CentralRepository,
-) -> list[RoundReport]:
-    """Run the W6D rounds of one vantage point into ``repository``."""
-    active = VantagePoint(
-        name=vantage.name,
-        location=vantage.location,
-        asn=vantage.asn,
-        start_round=0,
-        as_path_available=vantage.as_path_available,
-        white_listed=vantage.white_listed,
-        kind=vantage.kind,
-        external_inputs=False,
-    )
-    tool = MonitoringTool(
-        vantage=active,
-        env=_w6d_environment(world, active),
-        config=world.config.monitor,
-        rng=world.rngs.stream(f"w6d:{vantage.name}"),
-    )
-    rounds = []
-    with span("campaign.w6d_vantage", vantage=vantage.name):
-        for round_idx in range(n_rounds):
-            rounds.append(tool.run_round(round_idx))
-    repository.add(active, tool.database)
+    shards = [
+        VantageShard(
+            config=world.config,
+            vantage_name=vantage.name,
+            kind=W6D,
+            n_rounds=n_rounds,
+            rng_stream=f"w6d:{vantage.name}",
+        )
+        for vantage in world.vantages
+        if vantage.name in vantage_names
+    ]
+    executor = make_executor(execution)
+    with span(
+        "campaign.w6d",
+        rounds=n_rounds,
+        vantages=len(shards),
+        backend=executor.name,
+    ):
+        results = executor.run(shards, world=world)
+        merged = merge_shard_results(world, results)
     _LOG.info(
-        "w6d vantage complete",
+        "w6d campaign complete",
         extra={
-            "vantage": vantage.name,
             "rounds": n_rounds,
-            "measured": sum(r.n_measured for r in rounds),
+            "vantages": len(shards),
+            "backend": executor.name,
         },
     )
-    return rounds
+    return merged

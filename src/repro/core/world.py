@@ -72,6 +72,7 @@ class World:
         default_factory=dict, repr=False
     )
     _zone_round: int = -1
+    _publisher: "ZonePublisher | None" = field(default=None, repr=False)
 
     # -- addressing -------------------------------------------------------------
 
@@ -99,49 +100,16 @@ class World:
 
         A records for every site are published up front; each site's AAAA
         record appears at its adoption round.  Idempotent and monotone.
+        Delegates to a :class:`ZonePublisher` over the shared ``zones``
+        store; campaign shards create their own publishers instead so
+        vantage points can execute independently.
         """
-        if round_idx <= self._zone_round:
-            return
-        zone = self.zones.zone_for("example.")
-        start = self._zone_round + 1
-        if self._zone_round < 0:
-            for site in self.catalog.sites:
-                zone.add(
-                    ResourceRecord(
-                        name=site.name,
-                        rtype=RecordType.A,
-                        value=self.address_of(site, AddressFamily.IPV4),
-                    )
-                )
-        for site in self.catalog.sites:
-            published = site.v6_accessible_at(self._zone_round) if (
-                self._zone_round >= 0
-            ) else False
-            target = site.v6_accessible_at(round_idx)
-            # Event-day-only AAAA records may need an add *and* a remove
-            # within the advanced window (e.g. jumping past the event).
-            event = site.w6d_event_round
-            transient_event = (
-                event is not None
-                and start <= event <= round_idx
-                and not target
-                and not published
+        if self._publisher is None:
+            self._publisher = ZonePublisher(
+                world=self, store=self.zones, published_round=self._zone_round
             )
-            if target and not published:
-                zone.add(
-                    ResourceRecord(
-                        name=site.name,
-                        rtype=RecordType.AAAA,
-                        value=self.address_of(site, AddressFamily.IPV6),
-                    )
-                )
-            elif published and not target:
-                zone.remove(site.name, RecordType.AAAA)
-            elif transient_event:
-                # The event came and went entirely inside this window; the
-                # zone ends up unchanged.
-                pass
-        self._zone_round = round_idx
+        self._publisher.advance_to(round_idx)
+        self._zone_round = self._publisher.published_round
 
     def zone_snapshot(self, round_idx: int) -> ZoneStore:
         """A standalone ZoneStore reflecting DNS as of ``round_idx``.
@@ -253,8 +221,15 @@ class World:
 
         return provide
 
-    def environment_for(self, vantage: VantagePoint) -> VantageEnvironment:
-        """Build the monitoring environment of one vantage point."""
+    def environment_for(
+        self, vantage: VantagePoint, zones: ZoneStore | None = None
+    ) -> VantageEnvironment:
+        """Build the monitoring environment of one vantage point.
+
+        ``zones`` overrides the resolver's zone store; campaign shards
+        pass their own :class:`ZonePublisher` store so each vantage can
+        advance the DNS timeline independently of the others.
+        """
         client = HttpClient(
             model=self.model,
             content_lookup=self.content_endpoint,
@@ -279,7 +254,7 @@ class World:
             return [self.catalog.site(sid).name for sid in external_ids[:upto]]
 
         return VantageEnvironment(
-            resolver=Resolver(store=self.zones),
+            resolver=Resolver(store=zones if zones is not None else self.zones),
             client=client,
             clock=self.clock,
             site_list=site_list,
@@ -295,6 +270,72 @@ class World:
 
     def monitor_rng(self, vantage: VantagePoint) -> random.Random:
         return self.rngs.stream(f"monitor:{vantage.name}")
+
+
+@dataclass
+class ZonePublisher:
+    """Publishes site DNS records round by round into one zone store.
+
+    The DNS timeline — A records up front, each AAAA at its site's
+    adoption round, event-day records added and removed around World
+    IPv6 Day — is a pure function of the catalog, so any number of
+    publishers over the same world expose identical zone contents at
+    the same round.  That is what lets campaign shards (one vantage
+    each, possibly in different processes) resolve against private
+    stores yet observe exactly the DNS the shared store would have
+    shown.
+    """
+
+    world: World
+    store: ZoneStore = field(default_factory=ZoneStore)
+    #: last round whose records have been published (-1 = nothing yet).
+    published_round: int = -1
+
+    def advance_to(self, round_idx: int) -> None:
+        """Publish records that exist as of ``round_idx`` (idempotent)."""
+        if round_idx <= self.published_round:
+            return
+        world = self.world
+        zone = self.store.zone_for("example.")
+        start = self.published_round + 1
+        if self.published_round < 0:
+            for site in world.catalog.sites:
+                zone.add(
+                    ResourceRecord(
+                        name=site.name,
+                        rtype=RecordType.A,
+                        value=world.address_of(site, AddressFamily.IPV4),
+                    )
+                )
+        for site in world.catalog.sites:
+            published = site.v6_accessible_at(self.published_round) if (
+                self.published_round >= 0
+            ) else False
+            target = site.v6_accessible_at(round_idx)
+            # Event-day-only AAAA records may need an add *and* a remove
+            # within the advanced window (e.g. jumping past the event).
+            event = site.w6d_event_round
+            transient_event = (
+                event is not None
+                and start <= event <= round_idx
+                and not target
+                and not published
+            )
+            if target and not published:
+                zone.add(
+                    ResourceRecord(
+                        name=site.name,
+                        rtype=RecordType.AAAA,
+                        value=world.address_of(site, AddressFamily.IPV6),
+                    )
+                )
+            elif published and not target:
+                zone.remove(site.name, RecordType.AAAA)
+            elif transient_event:
+                # The event came and went entirely inside this window; the
+                # zone ends up unchanged.
+                pass
+        self.published_round = round_idx
 
 
 def _vantage_candidates(topo: DualStackTopology) -> list[int]:

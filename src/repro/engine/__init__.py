@@ -1,0 +1,40 @@
+"""The pluggable execution engine.
+
+Campaigns are split into per-vantage :class:`VantageShard` units and run
+through an :class:`Executor` — serial in-process or a process pool —
+selected by :class:`~repro.config.ExecutionConfig` (``--backend`` /
+``--jobs`` on the CLI, ``REPRO_BACKEND`` / ``REPRO_JOBS`` in the
+environment).  Completed campaigns persist in a :class:`CampaignStore`
+under ``.repro-cache/`` keyed by :func:`config_digest`.
+
+Invariant: every backend produces bit-identical measurement repositories
+for the same scenario config (see
+:meth:`~repro.monitor.aggregate.CentralRepository.content_digest`).
+"""
+
+from ..config import ExecutionConfig
+from .executor import Executor, ParallelExecutor, SerialExecutor, make_executor
+from .shard import W6D, WEEKLY, ShardResult, VantageShard, execute_shard
+from .store import (
+    DEFAULT_CACHE_ROOT,
+    CampaignStore,
+    StoredCampaign,
+    config_digest,
+)
+
+__all__ = [
+    "ExecutionConfig",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "VantageShard",
+    "ShardResult",
+    "execute_shard",
+    "WEEKLY",
+    "W6D",
+    "CampaignStore",
+    "StoredCampaign",
+    "config_digest",
+    "DEFAULT_CACHE_ROOT",
+]

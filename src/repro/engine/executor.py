@@ -1,0 +1,110 @@
+"""Executors: how a batch of campaign shards actually runs.
+
+Two backends behind one interface:
+
+* :class:`SerialExecutor` — runs shards one after another in-process,
+  reusing the caller's already-built world.  The default, and what every
+  pre-engine code path reduces to.
+* :class:`ParallelExecutor` — fans shards out to a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Workers receive only
+  the pickled shard; each rebuilds the world from the shard's config once
+  and caches it for subsequent shards (see
+  :data:`repro.engine.shard._WORLD_CACHE`).
+
+Both return :class:`~repro.engine.shard.ShardResult` lists in shard
+order, and — because per-vantage RNG streams are isolated — both produce
+bit-identical measurement repositories for the same scenario config.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+from ..config import ExecutionConfig
+from ..errors import EngineError
+from ..obs import get_logger, metrics
+from .shard import ShardResult, VantageShard, execute_shard
+
+_LOG = get_logger("engine.executor")
+
+#: engine counters (module-cached: ``obs`` resets metrics in place).
+_SHARDS_DISPATCHED = metrics.counter("engine.shards_dispatched")
+_SHARD_SECONDS = metrics.histogram("engine.shard_seconds")
+_JOBS_GAUGE = metrics.gauge("engine.jobs")
+
+
+class Executor:
+    """Runs a batch of shards; subclasses choose where the work happens."""
+
+    name = "base"
+
+    def run(
+        self, shards: list[VantageShard], world=None
+    ) -> list[ShardResult]:
+        raise NotImplementedError
+
+    def _record(self, results: list[ShardResult]) -> list[ShardResult]:
+        _SHARDS_DISPATCHED.inc(len(results))
+        for result in results:
+            _SHARD_SECONDS.observe(result.wall_seconds)
+        return results
+
+
+class SerialExecutor(Executor):
+    """In-process, one shard after another (the default backend)."""
+
+    name = "serial"
+
+    def run(
+        self, shards: list[VantageShard], world=None
+    ) -> list[ShardResult]:
+        _JOBS_GAUGE.set(1)
+        return self._record(
+            [execute_shard(shard, world=world) for shard in shards]
+        )
+
+
+class ParallelExecutor(Executor):
+    """Process-pool backed fan-out over ``jobs`` worker processes."""
+
+    name = "process"
+
+    def __init__(self, jobs: int = 2) -> None:
+        if jobs < 1:
+            raise EngineError("ParallelExecutor needs jobs >= 1")
+        self.jobs = jobs
+
+    def run(
+        self, shards: list[VantageShard], world=None
+    ) -> list[ShardResult]:
+        if not shards:
+            return []
+        workers = min(self.jobs, len(shards))
+        if workers == 1:
+            # One worker means no parallelism to buy; skip the pool (and
+            # its world rebuild) and run in-process on the given world.
+            _LOG.info("single job requested; running shards in-process")
+            return SerialExecutor().run(shards, world=world)
+        _JOBS_GAUGE.set(workers)
+        _LOG.info(
+            "dispatching shards to process pool",
+            extra={"shards": len(shards), "jobs": workers},
+        )
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(execute_shard, shards))
+        return self._record(results)
+
+
+def make_executor(execution: ExecutionConfig | None = None) -> Executor:
+    """Build the executor an :class:`ExecutionConfig` asks for.
+
+    ``None`` falls back to :meth:`ExecutionConfig.from_env`, so
+    ``REPRO_BACKEND=process REPRO_JOBS=4`` parallelises every campaign in
+    the process — including the test suite — without code changes.
+    """
+    if execution is None:
+        execution = ExecutionConfig.from_env()
+    execution.validate()
+    if execution.backend == "process":
+        return ParallelExecutor(jobs=execution.jobs)
+    return SerialExecutor()

@@ -1,0 +1,231 @@
+"""The on-disk campaign store (the cache's second tier).
+
+``experiments.scenario`` used to cache campaigns in process memory only,
+so every CLI invocation rebuilt the world and re-ran the campaign from
+scratch.  :class:`CampaignStore` persists a completed campaign under
+``.repro-cache/`` keyed by a stable content digest of its
+:class:`~repro.config.ScenarioConfig`, so a second ``repro run-all`` with
+an intact cache directory skips both the world build and the campaign.
+
+Layout (one directory per campaign)::
+
+    <root>/campaigns/<digest>/
+        meta.json          store format, digest, kind, config snapshot
+        repository.json    CentralRepository.to_dict() (every table)
+        reports.json       per-vantage RoundReport dicts
+        world.pkl          pickled World (best effort; absent ok)
+
+``repository.json`` and ``reports.json`` are the same compact dict forms
+shard results use to cross process boundaries, so a store entry is
+readable without this package's monitor.  The world pickle is an
+optimisation only: when it is missing or unreadable the world is rebuilt
+from the config and the stored measurement data is still used.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+import pickle
+from dataclasses import dataclass
+
+from ..config import ScenarioConfig
+from ..monitor.aggregate import CentralRepository
+from ..monitor.database import SERIAL_FORMAT
+from ..monitor.tool import RoundReport
+from ..obs import get_logger, metrics, span
+
+_LOG = get_logger("engine.store")
+
+#: store layout version; bumped on incompatible changes (also part of the
+#: digest, so old entries simply miss instead of failing to parse).
+STORE_FORMAT = 1
+
+#: default cache root, overridable via the ``REPRO_CACHE_DIR`` env var.
+DEFAULT_CACHE_ROOT = ".repro-cache"
+
+#: disk-tier effectiveness counters (module-cached; obs resets in place).
+_STORE_HITS = metrics.counter("engine.store.hits")
+_STORE_MISSES = metrics.counter("engine.store.misses")
+_STORE_WRITES = metrics.counter("engine.store.writes")
+
+
+def config_digest(config: ScenarioConfig, kind: str = "weekly") -> str:
+    """Stable content digest identifying one campaign.
+
+    SHA-256 over the canonical JSON of the config's full field tree plus
+    the store and database format versions and the campaign kind — the
+    same scenario always maps to the same directory, across processes and
+    Python versions, and format bumps invalidate cleanly.
+    """
+    payload = {
+        "store_format": STORE_FORMAT,
+        "database_format": SERIAL_FORMAT,
+        "kind": kind,
+        "config": dataclasses.asdict(config),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoredCampaign:
+    """A campaign loaded back from the store."""
+
+    digest: str
+    kind: str
+    repository: CentralRepository
+    reports: dict[str, list[RoundReport]]
+    #: the unpickled world, or None when only measurement data survived.
+    world: object | None
+
+
+class CampaignStore:
+    """Content-addressed campaign persistence under one root directory."""
+
+    def __init__(self, root: str | pathlib.Path = DEFAULT_CACHE_ROOT) -> None:
+        self.root = pathlib.Path(root)
+
+    def entry_dir(self, digest: str) -> pathlib.Path:
+        return self.root / "campaigns" / digest
+
+    def has(self, config: ScenarioConfig, kind: str = "weekly") -> bool:
+        return (self.entry_dir(config_digest(config, kind)) / "meta.json").exists()
+
+    # -- load --------------------------------------------------------------
+
+    def load(
+        self, config: ScenarioConfig, kind: str = "weekly"
+    ) -> StoredCampaign | None:
+        """Load the stored campaign for ``config``, or None on a miss."""
+        digest = config_digest(config, kind)
+        entry = self.entry_dir(digest)
+        meta_path = entry / "meta.json"
+        if not meta_path.exists():
+            _STORE_MISSES.inc()
+            return None
+        with span("engine.store.load", digest=digest[:12], kind=kind):
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+                if meta.get("store_format") != STORE_FORMAT:
+                    _STORE_MISSES.inc()
+                    return None
+                repository = CentralRepository.from_dict(
+                    json.loads(
+                        (entry / "repository.json").read_text(encoding="utf-8")
+                    )
+                )
+                reports_data = json.loads(
+                    (entry / "reports.json").read_text(encoding="utf-8")
+                )
+                reports = {
+                    name: [RoundReport.from_dict(r) for r in rows]
+                    for name, rows in reports_data["reports"].items()
+                }
+            except (OSError, ValueError, KeyError) as exc:
+                _LOG.warning(
+                    "unreadable store entry; treating as miss",
+                    extra={"digest": digest[:12], "error": str(exc)},
+                )
+                _STORE_MISSES.inc()
+                return None
+            world = self._load_world(entry / "world.pkl", digest)
+        _STORE_HITS.inc()
+        _LOG.info(
+            "campaign store hit",
+            extra={
+                "digest": digest[:12],
+                "kind": kind,
+                "world_restored": world is not None,
+            },
+        )
+        return StoredCampaign(
+            digest=digest,
+            kind=kind,
+            repository=repository,
+            reports=reports,
+            world=world,
+        )
+
+    @staticmethod
+    def _load_world(path: pathlib.Path, digest: str):
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception as exc:  # pickle can raise nearly anything
+            _LOG.warning(
+                "world pickle unreadable; will rebuild from config",
+                extra={"digest": digest[:12], "error": str(exc)},
+            )
+            return None
+
+    # -- save --------------------------------------------------------------
+
+    def save(
+        self,
+        config: ScenarioConfig,
+        repository: CentralRepository,
+        reports: dict[str, list[RoundReport]],
+        kind: str = "weekly",
+        world: object | None = None,
+    ) -> pathlib.Path:
+        """Persist one campaign; returns its entry directory."""
+        digest = config_digest(config, kind)
+        entry = self.entry_dir(digest)
+        with span("engine.store.save", digest=digest[:12], kind=kind):
+            entry.mkdir(parents=True, exist_ok=True)
+            (entry / "repository.json").write_text(
+                json.dumps(repository.to_dict(), separators=(",", ":")),
+                encoding="utf-8",
+            )
+            (entry / "reports.json").write_text(
+                json.dumps(
+                    {
+                        "reports": {
+                            name: [r.to_dict() for r in rows]
+                            for name, rows in reports.items()
+                        }
+                    },
+                    separators=(",", ":"),
+                ),
+                encoding="utf-8",
+            )
+            if world is not None:
+                self._save_world(entry / "world.pkl", world, digest)
+            # meta.json written last: its presence marks the entry valid.
+            (entry / "meta.json").write_text(
+                json.dumps(
+                    {
+                        "store_format": STORE_FORMAT,
+                        "database_format": SERIAL_FORMAT,
+                        "digest": digest,
+                        "kind": kind,
+                        "seed": config.seed,
+                        "repository_digest": repository.content_digest(),
+                    },
+                    indent=2,
+                ),
+                encoding="utf-8",
+            )
+        _STORE_WRITES.inc()
+        _LOG.info(
+            "campaign stored",
+            extra={"digest": digest[:12], "kind": kind, "dir": str(entry)},
+        )
+        return entry
+
+    @staticmethod
+    def _save_world(path: pathlib.Path, world, digest: str) -> None:
+        try:
+            with path.open("wb") as handle:
+                pickle.dump(world, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            _LOG.warning(
+                "world not picklable; storing measurement data only",
+                extra={"digest": digest[:12], "error": str(exc)},
+            )
+            path.unlink(missing_ok=True)

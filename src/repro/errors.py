@@ -59,3 +59,7 @@ class MonitorError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis step received data it cannot process."""
+
+
+class EngineError(ReproError):
+    """The execution engine was misused or a shard could not be executed."""

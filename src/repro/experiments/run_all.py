@@ -3,10 +3,14 @@
 Usage::
 
     python -m repro.experiments.run_all [--scale FACTOR] [--seed SEED]
+        [--backend serial|process] [--jobs N]
+        [--cache-dir DIR] [--no-cache]
 
 Builds one world, runs the weekly campaign plus the World IPv6 Day
 campaign, and prints all figures/tables with the paper's reference
-numbers attached.
+numbers attached.  Completed campaigns persist in the on-disk campaign
+store (``.repro-cache/`` by default), so a rerun with the same config
+skips the world build and the campaign entirely.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ import sys
 import time
 from dataclasses import replace
 
-from ..config import default_config
+from ..config import EXECUTION_BACKENDS, ExecutionConfig, default_config
 from ..obs import enable as enable_tracing
 from ..obs import span, write_report
 from . import scenario
@@ -76,8 +80,43 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write a JSON observability report (spans + metrics) to PATH",
     )
+    parser.add_argument(
+        "--backend",
+        choices=EXECUTION_BACKENDS,
+        default=None,
+        help="execution backend (default: $REPRO_BACKEND or serial)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for --backend process (default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="campaign store root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk campaign store",
+    )
     args = parser.parse_args(argv)
     enable_tracing()
+    if args.no_cache:
+        scenario.configure_cache(None)
+    elif args.cache_dir is not None:
+        scenario.configure_cache(args.cache_dir)
+    if args.backend is None and args.jobs is None:
+        execution = None  # defer to REPRO_BACKEND / REPRO_JOBS
+    else:
+        env = ExecutionConfig.from_env()
+        execution = ExecutionConfig(
+            backend=args.backend if args.backend is not None else env.backend,
+            jobs=args.jobs if args.jobs is not None else env.jobs,
+        )
 
     # Same recipe as scenario.experiment_config: scale the world and
     # oversample adoption so per-AS statistics have enough sites.
@@ -92,10 +131,10 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     t0 = time.time()
-    data = scenario.get_experiment_data(config)
+    data = scenario.get_experiment_data(config, execution=execution)
     print(f"# campaign built and run in {time.time() - t0:.1f}s", file=sys.stderr)
     t0 = time.time()
-    w6d = scenario.get_w6d_data(config)
+    w6d = scenario.get_w6d_data(config, execution=execution)
     print(f"# World IPv6 Day campaign in {time.time() - t0:.1f}s", file=sys.stderr)
 
     for label, runner, needs_w6d in EXPERIMENTS:

@@ -22,9 +22,10 @@ from ..analysis.classify import (
 )
 from ..analysis.confidence import SiteScreening, kept_sites, screen_all
 from ..analysis.hypotheses import ASEvaluation, evaluate_groups
-from ..config import ScenarioConfig, default_config
+from ..config import ExecutionConfig, ScenarioConfig, default_config
 from ..core.campaign import CampaignResult, run_campaign, run_world_ipv6_day
 from ..core.world import build_world
+from ..engine import DEFAULT_CACHE_ROOT, W6D, WEEKLY, CampaignStore
 from ..monitor.database import MeasurementDatabase
 from ..monitor.vantage import VantagePoint
 from ..obs import get_logger, metrics, span
@@ -145,36 +146,112 @@ def build_contexts(
     return contexts
 
 
+#: memory tier (first tier) of the campaign cache.
 _DATA_CACHE: dict[ScenarioConfig, ExperimentData] = {}
 _W6D_CACHE: dict[ScenarioConfig, ExperimentData] = {}
 
+#: disk tier (second tier): a CampaignStore, None when disabled, and a
+#: "not decided yet" flag so the env var is read lazily on first use.
+_STORE: CampaignStore | None = None
+_STORE_CONFIGURED = False
 
-def get_experiment_data(config: ScenarioConfig | None = None) -> ExperimentData:
-    """The cached campaign + analysis for ``config`` (built on first use)."""
+
+def _store() -> CampaignStore | None:
+    global _STORE, _STORE_CONFIGURED
+    if not _STORE_CONFIGURED:
+        import os
+
+        root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_ROOT)
+        _STORE = CampaignStore(root) if root else None
+        _STORE_CONFIGURED = True
+    return _STORE
+
+
+def configure_cache(root=None) -> None:
+    """Point the disk tier at ``root``; ``None`` disables it entirely.
+
+    Unconfigured, the disk tier lives at ``$REPRO_CACHE_DIR`` (default
+    ``.repro-cache`` in the working directory).
+    """
+    global _STORE, _STORE_CONFIGURED
+    _STORE = CampaignStore(root) if root is not None else None
+    _STORE_CONFIGURED = True
+
+
+def _bump_cached_gauge() -> None:
+    _CACHED_CAMPAIGNS.set(len(_DATA_CACHE) + len(_W6D_CACHE))
+
+
+def get_experiment_data(
+    config: ScenarioConfig | None = None,
+    execution: ExecutionConfig | None = None,
+) -> ExperimentData:
+    """The cached campaign + analysis for ``config`` (built on first use).
+
+    Two cache tiers: process memory, then the on-disk campaign store.  A
+    disk hit skips the world build and the campaign — the world is
+    unpickled from the store (or rebuilt from config if the pickle is
+    missing) and the measurement repository is loaded as data.
+    ``execution`` picks the backend for a fresh campaign run; it is
+    deliberately *not* part of the cache key, because every backend
+    produces bit-identical repositories.
+    """
     if config is None:
         config = experiment_config()
     cached = _DATA_CACHE.get(config)
     if cached is not None:
         _CACHE_HITS.inc()
         return cached
+    store = _store()
+    if store is not None:
+        stored = store.load(config, kind=WEEKLY)
+        if stored is not None:
+            _CACHE_HITS.inc()
+            world = stored.world if stored.world is not None else build_world(config)
+            campaign = CampaignResult(
+                world=world,
+                repository=stored.repository,
+                reports=stored.reports,
+            )
+            data = ExperimentData(
+                config=config,
+                campaign=campaign,
+                contexts=build_contexts(config, campaign),
+            )
+            _DATA_CACHE[config] = data
+            _bump_cached_gauge()
+            return data
     _CACHE_MISSES.inc()
     world = build_world(config)
-    campaign = run_campaign(world)
+    campaign = run_campaign(world, execution=execution)
     data = ExperimentData(
         config=config,
         campaign=campaign,
         contexts=build_contexts(config, campaign),
     )
     _DATA_CACHE[config] = data
-    _CACHED_CAMPAIGNS.set(len(_DATA_CACHE) + len(_W6D_CACHE))
+    if store is not None:
+        store.save(
+            config,
+            campaign.repository,
+            campaign.reports,
+            kind=WEEKLY,
+            world=world,
+        )
+    _bump_cached_gauge()
     return data
 
 
-def get_w6d_data(config: ScenarioConfig | None = None) -> ExperimentData:
+def get_w6d_data(
+    config: ScenarioConfig | None = None,
+    execution: ExecutionConfig | None = None,
+) -> ExperimentData:
     """The cached World IPv6 Day campaign for ``config``.
 
     Reuses the regular campaign's world (the event happens *within* the
     same Internet) and runs the 30-minute-round participant campaign.
+    W6D store entries carry no world pickle of their own — on a disk hit
+    the world comes from the weekly campaign's cache entry.
     """
     if config is None:
         config = experiment_config()
@@ -182,21 +259,43 @@ def get_w6d_data(config: ScenarioConfig | None = None) -> ExperimentData:
     if cached is not None:
         _CACHE_HITS.inc()
         return cached
+    store = _store()
+    if store is not None:
+        stored = store.load(config, kind=W6D)
+        if stored is not None:
+            _CACHE_HITS.inc()
+            base = get_experiment_data(config, execution=execution)
+            campaign = CampaignResult(
+                world=base.world,
+                repository=stored.repository,
+                reports=stored.reports,
+            )
+            data = ExperimentData(
+                config=config,
+                campaign=campaign,
+                contexts=build_contexts(config, campaign),
+            )
+            _W6D_CACHE[config] = data
+            _bump_cached_gauge()
+            return data
     _CACHE_MISSES.inc()
-    base = get_experiment_data(config)
-    campaign = run_world_ipv6_day(base.world)
+    base = get_experiment_data(config, execution=execution)
+    campaign = run_world_ipv6_day(base.world, execution=execution)
     data = ExperimentData(
         config=config,
         campaign=campaign,
         contexts=build_contexts(config, campaign),
     )
     _W6D_CACHE[config] = data
-    _CACHED_CAMPAIGNS.set(len(_DATA_CACHE) + len(_W6D_CACHE))
+    if store is not None:
+        store.save(config, campaign.repository, campaign.reports, kind=W6D)
+    _bump_cached_gauge()
     return data
 
 
 def clear_caches() -> None:
-    """Drop cached campaigns (tests use this to control memory)."""
+    """Drop memory-tier cached campaigns (tests use this to control
+    memory); the disk tier is left intact."""
     _DATA_CACHE.clear()
     _W6D_CACHE.clear()
     _CACHED_CAMPAIGNS.set(0)

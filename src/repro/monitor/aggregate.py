@@ -9,6 +9,8 @@ sites are common, per-AS categories from several viewpoints).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from ..errors import MonitorError
@@ -80,3 +82,39 @@ class CentralRepository:
 
     def __len__(self) -> int:
         return len(self._vantages)
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready form: vantage roster plus every database."""
+        return {
+            "vantages": [v.to_dict() for v in self._vantages.values()],
+            "databases": {
+                name: db.to_dict() for name, db in self._databases.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CentralRepository":
+        """Rebuild a repository from :meth:`to_dict` output."""
+        repository = cls()
+        for vantage_data in data["vantages"]:
+            vantage = VantagePoint.from_dict(vantage_data)
+            repository.add(
+                vantage,
+                MeasurementDatabase.from_dict(data["databases"][vantage.name]),
+            )
+        return repository
+
+    def content_digest(self) -> str:
+        """SHA-256 over the canonical JSON form of every table.
+
+        Two repositories holding bit-identical measurement data produce
+        the same digest regardless of which execution backend (or
+        process) produced them — the engine's equivalence tests and the
+        CI serial-vs-process gate compare exactly this value.
+        """
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

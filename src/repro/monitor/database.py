@@ -14,6 +14,10 @@ from dataclasses import dataclass, field
 from ..errors import MonitorError
 from ..net.addresses import AddressFamily
 
+#: serialization format version of :meth:`MeasurementDatabase.to_dict`
+#: (and the engine's shard/store payloads); bumped on layout changes.
+SERIAL_FORMAT = 1
+
 
 @dataclass(frozen=True)
 class DnsObservation:
@@ -88,6 +92,11 @@ class MeasurementDatabase:
     paths: dict[tuple[int, AddressFamily], list[PathObservation]] = field(
         default_factory=dict
     )
+    #: memoized :meth:`dual_stack_sites` result; invalidated on download
+    #: writes (the only table that query reads).
+    _dual_stack_cache: list[int] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- writes --------------------------------------------------------------
 
@@ -118,6 +127,7 @@ class MeasurementDatabase:
     def add_download(self, obs: DownloadObservation) -> None:
         key = (obs.site_id, obs.family)
         self._append_in_order(self.downloads.setdefault(key, []), obs)
+        self._dual_stack_cache = None
 
     def add_path(self, obs: PathObservation) -> None:
         key = (obs.site_id, obs.family)
@@ -193,16 +203,19 @@ class MeasurementDatabase:
         """Sites with converged download data in both families.
 
         This is Table 2's "Sites (total)" population: accessible — and
-        measured — over both IPv4 and IPv6.
+        measured — over both IPv4 and IPv6.  Memoized (every analysis
+        layer asks for it repeatedly); download writes invalidate.
         """
-        v4 = {sid for (sid, fam) in self.downloads if fam is AddressFamily.IPV4}
-        v6 = {sid for (sid, fam) in self.downloads if fam is AddressFamily.IPV6}
-        return sorted(
-            sid
-            for sid in v4 & v6
-            if self.sample_count(sid, AddressFamily.IPV4) > 0
-            and self.sample_count(sid, AddressFamily.IPV6) > 0
-        )
+        if self._dual_stack_cache is None:
+            v4 = {sid for (sid, fam) in self.downloads if fam is AddressFamily.IPV4}
+            v6 = {sid for (sid, fam) in self.downloads if fam is AddressFamily.IPV6}
+            self._dual_stack_cache = sorted(
+                sid
+                for sid in v4 & v6
+                if self.sample_count(sid, AddressFamily.IPV4) > 0
+                and self.sample_count(sid, AddressFamily.IPV6) > 0
+            )
+        return list(self._dual_stack_cache)
 
     def destination_ases(self, family: AddressFamily) -> set[int]:
         """Distinct destination ASes across measured sites (Table 2)."""
@@ -227,3 +240,111 @@ class MeasurementDatabase:
 
     def __len__(self) -> int:
         return sum(len(rows) for rows in self.downloads.values())
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Compact JSON-ready form of every table.
+
+        The wire format of the execution engine: shard results cross
+        process boundaries and land in the on-disk campaign store in
+        exactly this shape.  Row order (and therefore dict insertion
+        order) is preserved, so ``from_dict(db.to_dict())`` rebuilds a
+        database whose iteration order — and canonical JSON digest —
+        matches the original bit for bit.
+        """
+        return {
+            "format": SERIAL_FORMAT,
+            "vantage_name": self.vantage_name,
+            "dns": [
+                [o.site_id, o.name, o.round_idx, o.has_v4, o.has_v6, o.listed]
+                for rows in self.dns.values()
+                for o in rows
+            ],
+            "dns_counts": [
+                [round_idx, queried, v4, v6]
+                for round_idx, (queried, v4, v6) in self.dns_counts.items()
+            ],
+            "page_checks": [
+                [c.site_id, c.round_idx, c.v4_bytes, c.v6_bytes, c.identical]
+                for rows in self.page_checks.values()
+                for c in rows
+            ],
+            "downloads": [
+                [
+                    o.site_id, o.family.value, o.round_idx, o.n_samples,
+                    o.mean_speed, o.ci_half_width, o.converged, o.page_bytes,
+                    o.timestamp,
+                ]
+                for rows in self.downloads.values()
+                for o in rows
+            ],
+            "paths": [
+                [o.site_id, o.family.value, o.round_idx, o.dest_asn,
+                 list(o.as_path)]
+                for rows in self.paths.values()
+                for o in rows
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MeasurementDatabase":
+        """Rebuild a database from :meth:`to_dict` output.
+
+        Rows are re-appended through the same ordered-insert path the
+        monitor uses, so the monotone-round invariant is re-validated on
+        load and stays enforced for writes made after loading.
+        """
+        fmt = data.get("format")
+        if fmt != SERIAL_FORMAT:
+            raise MonitorError(
+                f"unsupported database serialization format {fmt!r} "
+                f"(expected {SERIAL_FORMAT})"
+            )
+        db = cls(vantage_name=data["vantage_name"])
+        for site_id, name, round_idx, has_v4, has_v6, listed in data["dns"]:
+            obs = DnsObservation(
+                site_id=site_id, name=name, round_idx=round_idx,
+                has_v4=has_v4, has_v6=has_v6, listed=listed,
+            )
+            # dns_counts is restored verbatim below; bypass the counter
+            # update add_dns would apply for listed observations.
+            db._append_in_order(db.dns.setdefault(obs.site_id, []), obs)
+        db.dns_counts = {
+            round_idx: (queried, v4, v6)
+            for round_idx, queried, v4, v6 in data["dns_counts"]
+        }
+        for site_id, round_idx, v4_bytes, v6_bytes, identical in data["page_checks"]:
+            db.add_page_check(
+                PageCheck(
+                    site_id=site_id, round_idx=round_idx,
+                    v4_bytes=v4_bytes, v6_bytes=v6_bytes, identical=identical,
+                )
+            )
+        for row in data["downloads"]:
+            (site_id, family, round_idx, n_samples, mean_speed,
+             ci_half_width, converged, page_bytes, timestamp) = row
+            db.add_download(
+                DownloadObservation(
+                    site_id=site_id,
+                    round_idx=round_idx,
+                    family=AddressFamily(family),
+                    n_samples=n_samples,
+                    mean_speed=mean_speed,
+                    ci_half_width=ci_half_width,
+                    converged=converged,
+                    page_bytes=page_bytes,
+                    timestamp=timestamp,
+                )
+            )
+        for site_id, family, round_idx, dest_asn, as_path in data["paths"]:
+            db.add_path(
+                PathObservation(
+                    site_id=site_id,
+                    round_idx=round_idx,
+                    family=AddressFamily(family),
+                    dest_asn=dest_asn,
+                    as_path=tuple(as_path),
+                )
+            )
+        return db

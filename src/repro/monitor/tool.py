@@ -80,6 +80,29 @@ class RoundReport:
     n_measured: int
     makespan_seconds: float
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (the engine's shard-result wire format)."""
+        return {
+            "round_idx": self.round_idx,
+            "n_monitored": self.n_monitored,
+            "n_new": self.n_new,
+            "n_dual_stack": self.n_dual_stack,
+            "n_measured": self.n_measured,
+            "makespan_seconds": self.makespan_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RoundReport":
+        """Rebuild a report from :meth:`to_dict` output (lossless)."""
+        return cls(
+            round_idx=data["round_idx"],
+            n_monitored=data["n_monitored"],
+            n_new=data["n_new"],
+            n_dual_stack=data["n_dual_stack"],
+            n_measured=data["n_measured"],
+            makespan_seconds=data["makespan_seconds"],
+        )
+
 
 class MonitoringTool:
     """One vantage point's monitor, accumulating into its own database."""

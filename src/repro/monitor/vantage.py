@@ -50,6 +50,33 @@ class VantagePoint:
     def active_at(self, round_idx: int) -> bool:
         return round_idx >= self.start_round
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (engine shard results and the campaign store)."""
+        return {
+            "name": self.name,
+            "location": self.location,
+            "asn": self.asn,
+            "start_round": self.start_round,
+            "as_path_available": self.as_path_available,
+            "white_listed": self.white_listed,
+            "kind": self.kind.name,
+            "external_inputs": self.external_inputs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VantagePoint":
+        """Rebuild a vantage point from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            location=data["location"],
+            asn=data["asn"],
+            start_round=data["start_round"],
+            as_path_available=data["as_path_available"],
+            white_listed=data["white_listed"],
+            kind=VantageKind[data["kind"]],
+            external_inputs=data["external_inputs"],
+        )
+
     def table1_row(self) -> tuple[str, str, str, str, str]:
         """The vantage point formatted as a Table 1 row."""
         return (

@@ -17,6 +17,17 @@ from repro.core.world import World, build_world
 from repro.experiments.scenario import ExperimentData, build_contexts
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_campaign_store(tmp_path_factory):
+    # Keep the suite hermetic: the scenario cache's disk tier goes to a
+    # session-scoped temp dir instead of ./.repro-cache.
+    from repro.experiments import scenario
+
+    scenario.configure_cache(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    scenario.configure_cache(None)
+
+
 @pytest.fixture(scope="session")
 def small_cfg() -> ScenarioConfig:
     # Seed 11 yields a miniature world that exhibits both of the paper's

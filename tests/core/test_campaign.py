@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.campaign import run_world_ipv6_day
+from repro.errors import ConfigError
 from repro.net.addresses import AddressFamily
 
 V4 = AddressFamily.IPV4
@@ -86,3 +87,9 @@ class TestWorldIpv6Day:
             small_campaign.world, vantage_names=("LU",), n_rounds=4
         )
         assert result.repository.vantage_names == ["LU"]
+
+    def test_unknown_vantage_name_is_rejected(self, small_world):
+        with pytest.raises(ConfigError, match="Atlantis"):
+            run_world_ipv6_day(
+                small_world, vantage_names=("LU", "Atlantis"), n_rounds=1
+            )

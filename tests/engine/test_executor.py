@@ -1,0 +1,84 @@
+"""Executor selection and shard validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ExecutionConfig, small_config
+from repro.engine import (
+    ParallelExecutor,
+    SerialExecutor,
+    VantageShard,
+    make_executor,
+)
+from repro.engine.shard import WEEKLY
+from repro.errors import ConfigError, EngineError
+
+
+class TestExecutionConfig:
+    def test_defaults_are_serial(self):
+        cfg = ExecutionConfig()
+        cfg.validate()
+        assert cfg.backend == "serial" and cfg.jobs == 1
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ConfigError):
+            ExecutionConfig(backend="threads").validate()
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ConfigError):
+            ExecutionConfig(jobs=0).validate()
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        cfg = ExecutionConfig.from_env()
+        assert cfg.backend == "process" and cfg.jobs == 3
+
+    def test_from_env_rejects_bad_jobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigError):
+            ExecutionConfig.from_env()
+
+
+class TestMakeExecutor:
+    def test_serial_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert isinstance(make_executor(), SerialExecutor)
+
+    def test_process_backend(self):
+        executor = make_executor(ExecutionConfig(backend="process", jobs=4))
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.jobs == 4
+
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert isinstance(make_executor(), ParallelExecutor)
+
+
+class TestVantageShard:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(EngineError):
+            VantageShard(
+                config=small_config(seed=3),
+                vantage_name="Penn",
+                kind="hourly",
+                n_rounds=2,
+                rng_stream="monitor:Penn",
+            )
+
+    def test_rejects_empty_round_count(self):
+        with pytest.raises(EngineError):
+            VantageShard(
+                config=small_config(seed=3),
+                vantage_name="Penn",
+                kind=WEEKLY,
+                n_rounds=0,
+                rng_stream="monitor:Penn",
+            )
+
+    def test_parallel_executor_rejects_bad_jobs(self):
+        with pytest.raises(EngineError):
+            ParallelExecutor(jobs=0)

@@ -1,0 +1,123 @@
+"""On-disk campaign store semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import small_config
+from repro.engine.store import CampaignStore, config_digest
+from repro.monitor.aggregate import CentralRepository
+from repro.monitor.database import (
+    DnsObservation,
+    DownloadObservation,
+    MeasurementDatabase,
+    PathObservation,
+)
+from repro.monitor.tool import RoundReport
+from repro.monitor.vantage import VantageKind, VantagePoint
+from repro.net.addresses import AddressFamily
+
+V4 = AddressFamily.IPV4
+V6 = AddressFamily.IPV6
+
+
+def tiny_campaign():
+    db = MeasurementDatabase(vantage_name="T")
+    db.add_dns(DnsObservation(1, "s1", 0, True, True))
+    db.add_dns(DnsObservation(2, "s2", 0, True, False))
+    for family in (V4, V6):
+        for round_idx in (0, 1):
+            db.add_download(
+                DownloadObservation(
+                    site_id=1,
+                    round_idx=round_idx,
+                    family=family,
+                    n_samples=5,
+                    mean_speed=100.0 + round_idx,
+                    ci_half_width=1.5,
+                    converged=True,
+                    page_bytes=1000,
+                    timestamp=float(round_idx),
+                )
+            )
+    db.add_path(PathObservation(1, 0, V4, dest_asn=30, as_path=(10, 20, 30)))
+    vantage = VantagePoint(
+        name="T",
+        location="X",
+        asn=10,
+        start_round=0,
+        as_path_available=True,
+        white_listed=False,
+        kind=VantageKind.ACADEMIC,
+    )
+    repository = CentralRepository()
+    repository.add(vantage, db)
+    reports = {
+        "T": [RoundReport(0, 2, 2, 1, 1, 12.5), RoundReport(1, 2, 0, 1, 1, 11.0)]
+    }
+    return repository, reports
+
+
+class TestConfigDigest:
+    def test_stable_across_calls(self):
+        cfg = small_config(seed=3)
+        assert config_digest(cfg) == config_digest(small_config(seed=3))
+
+    def test_differs_by_seed_and_kind(self):
+        cfg = small_config(seed=3)
+        assert config_digest(cfg) != config_digest(small_config(seed=4))
+        assert config_digest(cfg, kind="weekly") != config_digest(cfg, kind="w6d")
+
+
+class TestCampaignStore:
+    def test_miss_on_empty_store(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        assert store.load(small_config(seed=3)) is None
+        assert not store.has(small_config(seed=3))
+
+    def test_round_trip(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        cfg = small_config(seed=3)
+        repository, reports = tiny_campaign()
+        store.save(cfg, repository, reports)
+        assert store.has(cfg)
+
+        stored = store.load(cfg)
+        assert stored is not None
+        assert stored.repository.content_digest() == repository.content_digest()
+        assert stored.reports == reports
+        assert stored.world is None  # none was saved
+
+    def test_world_pickle_round_trip(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        cfg = small_config(seed=3)
+        repository, reports = tiny_campaign()
+        store.save(cfg, repository, reports, world={"marker": 42})
+        stored = store.load(cfg)
+        assert stored.world == {"marker": 42}
+
+    def test_kinds_are_separate_entries(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        cfg = small_config(seed=3)
+        repository, reports = tiny_campaign()
+        store.save(cfg, repository, reports, kind="weekly")
+        assert store.load(cfg, kind="w6d") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        cfg = small_config(seed=3)
+        repository, reports = tiny_campaign()
+        entry = store.save(cfg, repository, reports)
+        (entry / "repository.json").write_text("{not json", encoding="utf-8")
+        assert store.load(cfg) is None
+
+    def test_meta_records_repository_digest(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        cfg = small_config(seed=3)
+        repository, reports = tiny_campaign()
+        entry = store.save(cfg, repository, reports)
+        meta = json.loads((entry / "meta.json").read_text(encoding="utf-8"))
+        assert meta["repository_digest"] == repository.content_digest()
+        assert meta["seed"] == cfg.seed

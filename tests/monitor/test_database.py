@@ -143,3 +143,73 @@ class TestPopulationQueries:
         db.add_path(path(1, 0, V4, (1, 2, 3)))
         db.add_path(path(2, 0, V4, (1, 4, 5)))
         assert db.ases_crossed(V4) == {2, 3, 4, 5}
+
+
+class TestSerialization:
+    def full_db(self):
+        from repro.monitor.database import DnsObservation, PageCheck
+
+        db = MeasurementDatabase(vantage_name="T")
+        db.add_dns(DnsObservation(1, "s1", 0, True, True))
+        db.add_dns(DnsObservation(2, "s2", 0, True, False))
+        db.add_dns(DnsObservation(1, "s1", 1, True, True, listed=False))
+        db.add_page_check(PageCheck(1, 0, 1000, 1000, True))
+        for family in (V4, V6):
+            for round_idx in (0, 1, 2):
+                db.add_download(download(1, round_idx, family, 100.0 + round_idx))
+        db.add_path(path(1, 0, V4, (10, 20, 30)))
+        db.add_path(path(1, 1, V4, (10, 25, 30)))
+        db.add_path(path(1, 0, V6, (10, 40, 30)))
+        return db
+
+    def test_round_trip_equality(self):
+        db = self.full_db()
+        rebuilt = MeasurementDatabase.from_dict(db.to_dict())
+        assert rebuilt == db
+        assert rebuilt.to_dict() == db.to_dict()
+
+    def test_round_trip_is_json_safe(self):
+        import json
+
+        db = self.full_db()
+        over_the_wire = json.loads(json.dumps(db.to_dict()))
+        assert MeasurementDatabase.from_dict(over_the_wire) == db
+
+    def test_unsupported_format_rejected(self):
+        data = self.full_db().to_dict()
+        data["format"] = 999
+        with pytest.raises(MonitorError):
+            MeasurementDatabase.from_dict(data)
+
+    def test_out_of_order_insert_still_rejected_after_load(self):
+        rebuilt = MeasurementDatabase.from_dict(self.full_db().to_dict())
+        with pytest.raises(MonitorError):
+            rebuilt.add_download(download(1, 1, V4, 50.0))
+
+    def test_dns_counts_survive_verbatim(self):
+        db = self.full_db()
+        rebuilt = MeasurementDatabase.from_dict(db.to_dict())
+        assert rebuilt.dns_counts == db.dns_counts
+        assert rebuilt.v6_reachability(0) == db.v6_reachability(0)
+
+
+class TestDualStackMemoization:
+    def test_cache_is_invalidated_by_writes(self, db):
+        db.add_download(download(1, 0, V4, 100.0))
+        db.add_download(download(1, 0, V6, 90.0))
+        assert db.dual_stack_sites() == [1]
+        # memoized result must not leak staleness past a new write
+        db.add_download(download(2, 0, V4, 100.0))
+        db.add_download(download(2, 0, V6, 90.0))
+        assert db.dual_stack_sites() == [1, 2]
+
+    def test_repeated_queries_reuse_cache(self, db):
+        db.add_download(download(1, 0, V4, 100.0))
+        db.add_download(download(1, 0, V6, 90.0))
+        first = db.dual_stack_sites()
+        assert db._dual_stack_cache is not None
+        second = db.dual_stack_sites()
+        assert first == second
+        # callers get copies, not the cache itself
+        first.append(999)
+        assert db.dual_stack_sites() == [1]
