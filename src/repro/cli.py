@@ -11,7 +11,10 @@ Subcommands::
 
 Every campaign subcommand also takes ``--backend serial|process`` and
 ``--jobs N`` to pick the execution engine backend; both backends produce
-bit-identical measurement repositories.
+bit-identical measurement repositories.  ``run-all``, ``quickrun``, and
+``export`` additionally take ``--faults none|mild|heavy`` (default:
+``$REPRO_FAULTS`` or none) to inject the seeded failure schedule of
+``repro.faults``.
 
 A global ``--log-level`` flag turns on structured (key=value) logging to
 stderr for every subcommand; observability never touches stdout, so
@@ -34,6 +37,7 @@ from .config import EXECUTION_BACKENDS, ExecutionConfig, default_config, small_c
 from .core import build_world, run_campaign
 from .experiments import run_all as run_all_module
 from .experiments.scenario import build_contexts
+from .faults import FAULT_PRESETS, resolve_faults
 from .monitor.export import export_repository
 
 #: default output of ``repro profile`` (the perf-trajectory seed file).
@@ -66,6 +70,20 @@ def _execution_from(args: argparse.Namespace) -> ExecutionConfig | None:
     )
 
 
+def _add_faults_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults",
+        choices=sorted(FAULT_PRESETS),
+        default=None,
+        help="fault-injection preset (default: $REPRO_FAULTS or none)",
+    )
+
+
+def _with_faults(config, args: argparse.Namespace):
+    """Apply the --faults / $REPRO_FAULTS selection to a scenario config."""
+    return dataclasses.replace(config, faults=resolve_faults(args.faults))
+
+
 def _cmd_run_all(args: argparse.Namespace) -> int:
     argv = ["--scale", str(args.scale), "--seed", str(args.seed)]
     if args.profile:
@@ -78,11 +96,13 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         argv += ["--cache-dir", args.cache_dir]
     if args.no_cache:
         argv += ["--no-cache"]
+    if args.faults is not None:
+        argv += ["--faults", args.faults]
     return run_all_module.main(argv)
 
 
 def _cmd_quickrun(args: argparse.Namespace) -> int:
-    config = small_config(seed=args.seed, scale=args.scale)
+    config = _with_faults(small_config(seed=args.seed, scale=args.scale), args)
     world = build_world(config)
     result = run_campaign(world, execution=_execution_from(args))
     contexts = build_contexts(config, result)
@@ -99,7 +119,7 @@ def _cmd_quickrun(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    config = small_config(seed=args.seed, scale=args.scale)
+    config = _with_faults(small_config(seed=args.seed, scale=args.scale), args)
     world = build_world(config)
     result = run_campaign(world, execution=_execution_from(args))
     manifest = export_repository(result.repository, pathlib.Path(args.out))
@@ -179,12 +199,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the on-disk campaign store",
     )
     _add_execution_args(run_all)
+    _add_faults_arg(run_all)
     run_all.set_defaults(func=_cmd_run_all)
 
     quickrun = sub.add_parser("quickrun", help="small world, H1/H2 verdicts")
     quickrun.add_argument("--scale", type=float, default=1.0)
     quickrun.add_argument("--seed", type=int, default=11)
     _add_execution_args(quickrun)
+    _add_faults_arg(quickrun)
     quickrun.set_defaults(func=_cmd_quickrun)
 
     export = sub.add_parser("export", help="export campaign data to CSV")
@@ -192,6 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--scale", type=float, default=1.0)
     export.add_argument("--seed", type=int, default=11)
     _add_execution_args(export)
+    _add_faults_arg(export)
     export.set_defaults(func=_cmd_export)
 
     profile = sub.add_parser(

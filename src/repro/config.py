@@ -272,6 +272,13 @@ class MonitorConfig:
     max_downloads: int = 40
     #: minimum number of rounds of data for a site to be analysable.
     min_rounds: int = 12
+    #: transient-failure retry budget: a DNS lookup or page download that
+    #: fails is retried up to this many times before the phase gives up.
+    max_retries: int = 3
+    #: exponential-backoff schedule for retries: the k-th retry waits
+    #: ``retry_initial_seconds * retry_backoff ** k`` simulated seconds.
+    retry_initial_seconds: float = 1.0
+    retry_backoff: float = 2.0
 
     def validate(self) -> None:
         if self.max_concurrent < 1:
@@ -286,6 +293,19 @@ class MonitorConfig:
             raise ConfigError("max_downloads must be >= min_downloads")
         if not 0.0 < self.identity_threshold < 1.0:
             raise ConfigError("identity_threshold must be in (0, 1)")
+        if self.min_rounds < 1:
+            raise ConfigError(f"min_rounds must be >= 1, got {self.min_rounds}")
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_initial_seconds < 0:
+            raise ConfigError(
+                f"retry_initial_seconds must be >= 0, "
+                f"got {self.retry_initial_seconds}"
+            )
+        if self.retry_backoff < 1.0:
+            raise ConfigError(
+                f"retry_backoff must be >= 1, got {self.retry_backoff}"
+            )
 
 
 @dataclass(frozen=True)
@@ -315,6 +335,88 @@ class AnalysisConfig:
             raise ConfigError("comparable_threshold must be in (0, 1)")
 
 
+@dataclass(frozen=True)
+class FaultConfig:
+    """Deterministic fault injection (off by default: every rate is 0).
+
+    Rates are per-decision probabilities; each decision (one lookup
+    attempt, one download attempt, one tunnel-round, one AS-round) is
+    drawn from its own named RNG stream derived from the master seed, so
+    the failure schedule is identical for every vantage point, executor
+    backend, and worker process.  With every rate at 0 no stream is ever
+    consumed and measured results are bit-identical to a fault-free run.
+    """
+
+    #: probability that one A / AAAA lookup attempt times out.
+    a_failure_rate: float = 0.0
+    aaaa_failure_rate: float = 0.0
+    #: simulated seconds burned by a timed-out lookup attempt.
+    dns_timeout_seconds: float = 5.0
+    #: probability that one page download attempt times out / is reset.
+    server_timeout_rate: float = 0.0
+    server_reset_rate: float = 0.0
+    #: multiplier on the server fault rates for IPv6 downloads (untuned
+    #: v6 stacks fail more often than the v4 path to the same content).
+    v6_fault_multiplier: float = 1.0
+    #: extra multiplier when the serving host is v6-impaired.
+    impaired_fault_multiplier: float = 1.0
+    #: simulated seconds burned by a timed-out / reset download attempt.
+    timeout_seconds: float = 30.0
+    reset_seconds: float = 1.0
+    #: probability that a transition tunnel is down for one whole round
+    #: (6to4 relays and brokers flap; the v6 destination goes dark).
+    tunnel_breakage_rate: float = 0.0
+    #: probability that an AS's links are degraded for one whole round,
+    #: and the multiplicative throughput factor applied when they are.
+    link_degradation_rate: float = 0.0
+    link_degradation_factor: float = 0.5
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault can ever fire (all-zero rates mean no)."""
+        return any(
+            rate > 0.0
+            for rate in (
+                self.a_failure_rate,
+                self.aaaa_failure_rate,
+                self.server_timeout_rate,
+                self.server_reset_rate,
+                self.tunnel_breakage_rate,
+                self.link_degradation_rate,
+            )
+        )
+
+    def validate(self) -> None:
+        for name in (
+            "a_failure_rate",
+            "aaaa_failure_rate",
+            "server_timeout_rate",
+            "server_reset_rate",
+            "tunnel_breakage_rate",
+            "link_degradation_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be a probability, got {value}")
+        if self.server_timeout_rate + self.server_reset_rate > 1.0:
+            raise ConfigError(
+                "server_timeout_rate + server_reset_rate must not exceed 1"
+            )
+        for name in ("v6_fault_multiplier", "impaired_fault_multiplier"):
+            value = getattr(self, name)
+            if value < 1.0:
+                raise ConfigError(f"{name} must be >= 1, got {value}")
+        for name in ("dns_timeout_seconds", "timeout_seconds", "reset_seconds"):
+            value = getattr(self, name)
+            if value < 0.0:
+                raise ConfigError(f"{name} must be >= 0, got {value}")
+        if not 0.0 < self.link_degradation_factor <= 1.0:
+            raise ConfigError(
+                f"link_degradation_factor must be in (0, 1], "
+                f"got {self.link_degradation_factor}"
+            )
+
+
 #: Execution backends understood by :mod:`repro.engine`.
 EXECUTION_BACKENDS = ("serial", "process")
 
@@ -334,6 +436,9 @@ class ExecutionConfig:
     backend: str = "serial"
     #: worker-process count for the ``process`` backend (ignored by serial).
     jobs: int = 1
+    #: how many times a shard that failed in a pool worker is resubmitted
+    #: to the pool before degrading to a serial in-process run.
+    shard_retries: int = 1
 
     def validate(self) -> None:
         if self.backend not in EXECUTION_BACKENDS:
@@ -342,7 +447,11 @@ class ExecutionConfig:
                 f"expected one of {EXECUTION_BACKENDS}"
             )
         if self.jobs < 1:
-            raise ConfigError("jobs must be >= 1")
+            raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
+        if self.shard_retries < 0:
+            raise ConfigError(
+                f"shard_retries must be >= 0, got {self.shard_retries}"
+            )
 
     @classmethod
     def from_env(cls) -> "ExecutionConfig":
@@ -355,7 +464,14 @@ class ExecutionConfig:
             jobs = int(jobs_raw)
         except ValueError:
             raise ConfigError(f"REPRO_JOBS must be an integer, got {jobs_raw!r}")
-        config = cls(backend=backend, jobs=jobs)
+        retries_raw = os.environ.get("REPRO_SHARD_RETRIES", "") or "1"
+        try:
+            shard_retries = int(retries_raw)
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_SHARD_RETRIES must be an integer, got {retries_raw!r}"
+            )
+        config = cls(backend=backend, jobs=jobs, shard_retries=shard_retries)
         config.validate()
         return config
 
@@ -390,6 +506,7 @@ class ScenarioConfig:
     monitor: MonitorConfig = field(default_factory=MonitorConfig)
     analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
     campaign: CampaignConfig = field(default_factory=CampaignConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def validate(self) -> None:
         """Validate every sub-config; raises :class:`ConfigError` on issues."""
@@ -401,6 +518,7 @@ class ScenarioConfig:
         self.monitor.validate()
         self.analysis.validate()
         self.campaign.validate()
+        self.faults.validate()
 
     def scaled(self, factor: float) -> "ScenarioConfig":
         """Return a copy with the world size scaled by ``factor``.

@@ -21,6 +21,7 @@ from ..dns.records import RecordType, ResourceRecord
 from ..dns.resolver import Resolver
 from ..dns.zone import ZoneStore
 from ..errors import ConfigError
+from ..faults.plan import FaultPlan, ServerFault
 from ..monitor.vantage import VantageKind, VantagePoint
 from ..net.addresses import Address, AddressFamily
 from ..net.tunnels import TunnelKind
@@ -60,6 +61,8 @@ class World:
     clock: SimulationClock
     vantages: list[VantagePoint]
     oracle: PathOracle
+    #: the scenario's fault schedule; None when fault injection is off.
+    faults: FaultPlan | None = None
     #: per-site addresses by family.
     _addresses: dict[tuple[int, AddressFamily], Address] = field(
         default_factory=dict, repr=False
@@ -217,9 +220,65 @@ class World:
         ) -> ForwardingPath | None:
             site = self.catalog.site(site_id)
             alternate = site.behaviour.path_changes_at(family, round_idx)
-            return self.forwarding_path(vantage_asn, owner_asn, family, alternate)
+            path = self.forwarding_path(vantage_asn, owner_asn, family, alternate)
+            if (
+                path is not None
+                and path.tunnels
+                and self.faults is not None
+                and self.faults.tunnel_broken(owner_asn, round_idx)
+            ):
+                # The destination's transition tunnel is down this round:
+                # the site is unreachable over IPv6 from everywhere, like
+                # the flapping 6to4 relays of the measurement period.
+                return None
+            return path
 
         return provide
+
+    # -- fault hooks -----------------------------------------------------------
+
+    def dns_fault_check(self, clock: SimulationClock | None = None):
+        """Resolver fault hook bound to this world's fault plan (or None).
+
+        ``clock`` maps query timestamps to round indices; the World IPv6
+        Day campaign passes its 30-minute clock, everything else uses the
+        weekly campaign clock.
+        """
+        plan = self.faults
+        if plan is None:
+            return None
+        the_clock = clock if clock is not None else self.clock
+
+        def check(
+            name: str, family: AddressFamily, now: float, attempt: int
+        ) -> float | None:
+            round_idx = the_clock.round_of_time(now)
+            if plan.dns_failure(name, family, round_idx, attempt):
+                return plan.config.dns_timeout_seconds
+            return None
+
+        return check
+
+    def server_fault_hook(self):
+        """HTTP-client fault hook bound to this world's fault plan (or None)."""
+        plan = self.faults
+        if plan is None:
+            return None
+
+        def hook(
+            site_id: int, family: AddressFamily, round_idx: int, fault_key: str
+        ) -> ServerFault | None:
+            multiplier = 1.0
+            if (
+                family is AddressFamily.IPV6
+                and self.catalog.site(site_id).server.v6_impaired
+            ):
+                multiplier = plan.config.impaired_fault_multiplier
+            return plan.server_fault(
+                site_id, family, round_idx, fault_key, multiplier
+            )
+
+        return hook
 
     def environment_for(
         self, vantage: VantagePoint, zones: ZoneStore | None = None
@@ -235,6 +294,7 @@ class World:
             content_lookup=self.content_endpoint,
             path_provider=self._path_provider(vantage.asn),
             owner_lookup=self.owner_of_address,
+            fault_hook=self.server_fault_hook(),
         )
         n_rounds = self.config.campaign.n_rounds
         external_ids = self.external_site_ids()
@@ -254,7 +314,10 @@ class World:
             return [self.catalog.site(sid).name for sid in external_ids[:upto]]
 
         return VantageEnvironment(
-            resolver=Resolver(store=zones if zones is not None else self.zones),
+            resolver=Resolver(
+                store=zones if zones is not None else self.zones,
+                fault_check=self.dns_fault_check(),
+            ),
             client=client,
             clock=self.clock,
             site_list=site_list,
@@ -454,7 +517,10 @@ def build_world(config: ScenarioConfig) -> World:
             dualstack = deploy_ipv6(
                 topology, config.dualstack, rngs.stream("dualstack")
             )
-        model = ThroughputModel(config.performance, rngs)
+        faults = (
+            FaultPlan(config.faults, config.seed) if config.faults.active else None
+        )
+        model = ThroughputModel(config.performance, rngs, faults=faults)
         n_rounds = config.campaign.n_rounds
         with span("world.catalog", n_sites=config.sites.n_sites):
             catalog = build_catalog(
@@ -479,6 +545,7 @@ def build_world(config: ScenarioConfig) -> World:
             clock=SimulationClock.weekly(),
             vantages=vantages,
             oracle=oracle,
+            faults=faults,
         )
     metrics.gauge("world.ases").set(len(topology.ases))
     metrics.gauge("world.sites").set(len(catalog.sites))

@@ -23,10 +23,14 @@ from __future__ import annotations
 
 import math
 import random
+from typing import TYPE_CHECKING
 
 from ..config import PerformanceConfig
 from ..rng import RngStreams
 from .path import ForwardingPath
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> config)
+    from ..faults.plan import FaultPlan
 
 
 class ThroughputModel:
@@ -37,10 +41,16 @@ class ThroughputModel:
     without shared mutable state.
     """
 
-    def __init__(self, config: PerformanceConfig, rngs: RngStreams) -> None:
+    def __init__(
+        self,
+        config: PerformanceConfig,
+        rngs: RngStreams,
+        faults: "FaultPlan | None" = None,
+    ) -> None:
         config.validate()
         self.config = config
         self._rngs = rngs
+        self._faults = faults
         self._round_factors: dict[tuple[int, str, int], float] = {}
 
     def path_factor(self, path: ForwardingPath) -> float:
@@ -75,11 +85,14 @@ class ThroughputModel:
         """The latent mean speed (kbytes/sec) for one site-round."""
         if server_speed <= 0:
             raise ValueError("server_speed must be positive")
-        return (
+        speed = (
             server_speed
             * self.path_factor(path)
             * self.round_factor(site_id, path.family, round_idx)
         )
+        if self._faults is not None:
+            speed *= self._faults.path_degradation(path.as_path, round_idx)
+        return speed
 
     def sample_download_speed(
         self, round_mean: float, rng: random.Random

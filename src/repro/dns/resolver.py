@@ -9,8 +9,9 @@ the tests use to verify cache behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
-from ..errors import DnsError, NoRecord, NxDomain
+from ..errors import DnsError, DnsTimeout, NoRecord, NxDomain
 from ..net.addresses import Address, AddressFamily
 from ..obs import metrics
 from .records import RecordType, RRSet
@@ -55,6 +56,13 @@ class Resolver:
     #: statistics: (hits, misses) for observability and tests.
     hits: int = 0
     misses: int = 0
+    #: optional fault hook ``(name, family, now, attempt) -> seconds or
+    #: None``; a non-None return makes the lookup attempt raise
+    #: :class:`DnsTimeout` (carrying that cost) before touching the cache —
+    #: a timeout is transient, not an answer.
+    fault_check: Callable[[str, AddressFamily, float, int], float | None] | None = (
+        None
+    )
 
     def _cached(
         self, name: str, rtype: RecordType, now: float
@@ -93,7 +101,11 @@ class Resolver:
         return result, False
 
     def resolve(
-        self, name: str, family: AddressFamily, now: float = 0.0
+        self,
+        name: str,
+        family: AddressFamily,
+        now: float = 0.0,
+        attempt: int = 0,
     ) -> ResolutionResult:
         """Resolve ``name`` to addresses of ``family`` at time ``now``.
 
@@ -101,8 +113,17 @@ class Resolver:
         when the name exists but has no address of the family (a site with
         an A record but no AAAA raises NoRecord for IPv6 — that is exactly
         the "not IPv6 accessible" signal of the paper's first phase).
+        With a ``fault_check`` installed, an attempt may instead raise
+        :class:`DnsTimeout`; ``attempt`` distinguishes retries so they are
+        fresh draws from the fault plan.
         """
         rtype = RecordType.for_family(family)
+        if self.fault_check is not None:
+            timeout = self.fault_check(name, family, now, attempt)
+            if timeout is not None:
+                raise DnsTimeout(
+                    f"lookup of {name} {rtype.value} timed out", seconds=timeout
+                )
         current = name.lower()
         from_cache = True
         for _ in range(MAX_CNAME_DEPTH):
@@ -125,13 +146,17 @@ class Resolver:
         raise DnsError(f"CNAME chain too deep resolving {name}")
 
     def query_both(
-        self, name: str, now: float = 0.0
+        self, name: str, now: float = 0.0, attempt: int = 0
     ) -> dict[AddressFamily, ResolutionResult | None]:
-        """The monitor's first phase: A and AAAA queries for one site."""
+        """The monitor's first phase: A and AAAA queries for one site.
+
+        Negative answers (NXDOMAIN, no record of the type) map to ``None``;
+        an injected :class:`DnsTimeout` propagates so the caller can retry.
+        """
         results: dict[AddressFamily, ResolutionResult | None] = {}
         for family in (AddressFamily.IPV4, AddressFamily.IPV6):
             try:
-                results[family] = self.resolve(name, family, now)
+                results[family] = self.resolve(name, family, now, attempt)
             except (NxDomain, NoRecord):
                 results[family] = None
         return results

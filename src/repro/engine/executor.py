@@ -31,6 +31,8 @@ _LOG = get_logger("engine.executor")
 _SHARDS_DISPATCHED = metrics.counter("engine.shards_dispatched")
 _SHARD_SECONDS = metrics.histogram("engine.shard_seconds")
 _JOBS_GAUGE = metrics.gauge("engine.jobs")
+_SHARD_RETRIES = metrics.counter("engine.shard_retries")
+_SHARDS_DEGRADED = metrics.counter("engine.shards_degraded")
 
 
 class Executor:
@@ -65,14 +67,24 @@ class SerialExecutor(Executor):
 
 
 class ParallelExecutor(Executor):
-    """Process-pool backed fan-out over ``jobs`` worker processes."""
+    """Process-pool backed fan-out over ``jobs`` worker processes.
+
+    A worker that raises — or dies outright, taking the pool with it
+    (``BrokenProcessPool``) — does not abort the campaign: the failed
+    shard is resubmitted up to ``shard_retries`` times to a fresh pool,
+    and whatever still fails is re-run serially in this process (graceful
+    degradation; determinism makes the result identical to the worker's).
+    """
 
     name = "process"
 
-    def __init__(self, jobs: int = 2) -> None:
+    def __init__(self, jobs: int = 2, shard_retries: int = 1) -> None:
         if jobs < 1:
             raise EngineError("ParallelExecutor needs jobs >= 1")
+        if shard_retries < 0:
+            raise EngineError("ParallelExecutor needs shard_retries >= 0")
         self.jobs = jobs
+        self.shard_retries = shard_retries
 
     def run(
         self, shards: list[VantageShard], world=None
@@ -90,9 +102,75 @@ class ParallelExecutor(Executor):
             "dispatching shards to process pool",
             extra={"shards": len(shards), "jobs": workers},
         )
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(execute_shard, shards))
-        return self._record(results)
+        results: dict[int, ShardResult] = {}
+        pending = list(enumerate(shards))
+        for round_no in range(self.shard_retries + 1):
+            if not pending:
+                break
+            if round_no:
+                _SHARD_RETRIES.inc(len(pending))
+                _LOG.warning(
+                    "retrying failed shards in a fresh pool",
+                    extra={
+                        "attempt": round_no,
+                        "shards": [s.vantage_name for _, s in pending],
+                    },
+                )
+            pending = self._pool_round(pending, workers, results)
+        for idx, shard in pending:
+            # Out of pool retries: degrade gracefully to in-process
+            # execution rather than aborting the whole campaign.
+            _SHARDS_DEGRADED.inc()
+            _LOG.warning(
+                "worker kept failing; running shard in-process",
+                extra={"vantage": shard.vantage_name},
+            )
+            results[idx] = execute_shard(shard, world=world)
+        return self._record([results[i] for i in range(len(shards))])
+
+    def _pool_round(
+        self,
+        pending: list[tuple[int, VantageShard]],
+        workers: int,
+        results: dict[int, ShardResult],
+    ) -> list[tuple[int, VantageShard]]:
+        """One pool pass over ``pending``; returns the shards that failed."""
+        failed: list[tuple[int, VantageShard]] = []
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(pending))
+        ) as pool:
+            futures = {
+                pool.submit(execute_shard, shard): (idx, shard)
+                for idx, shard in pending
+            }
+            for future in concurrent.futures.as_completed(futures):
+                idx, shard = futures[future]
+                try:
+                    results[idx] = future.result()
+                except concurrent.futures.process.BrokenProcessPool:
+                    # The dead worker takes every in-flight future down;
+                    # collect all still-unfinished shards and stop waiting.
+                    _LOG.warning(
+                        "process pool broke mid-campaign",
+                        extra={"vantage": shard.vantage_name},
+                    )
+                    failed = [
+                        (i, s)
+                        for f, (i, s) in futures.items()
+                        if i not in results and (i, s) not in failed
+                    ]
+                    break
+                except Exception as exc:
+                    _LOG.warning(
+                        "shard failed in worker",
+                        extra={
+                            "vantage": shard.vantage_name,
+                            "error": repr(exc),
+                        },
+                    )
+                    failed.append((idx, shard))
+        failed.sort()
+        return failed
 
 
 def make_executor(execution: ExecutionConfig | None = None) -> Executor:
@@ -106,5 +184,7 @@ def make_executor(execution: ExecutionConfig | None = None) -> Executor:
         execution = ExecutionConfig.from_env()
     execution.validate()
     if execution.backend == "process":
-        return ParallelExecutor(jobs=execution.jobs)
+        return ParallelExecutor(
+            jobs=execution.jobs, shard_retries=execution.shard_retries
+        )
     return SerialExecutor()

@@ -22,6 +22,8 @@ which is why serial and process backends yield bit-identical repositories.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import time
 from dataclasses import dataclass, replace
 
@@ -104,6 +106,25 @@ def _vantage_named(world, name: str) -> VantagePoint:
     )
 
 
+def _maybe_kill_for_test(shard: VantageShard) -> None:
+    """Deterministic worker-failure hook for the degradation tests.
+
+    ``REPRO_TEST_KILL_SHARD=<vantage>`` makes that vantage's shard raise
+    inside pool workers (never in the main process, so the executor's
+    serial fallback succeeds); ``<vantage>:exit`` hard-kills the worker
+    process instead, exercising the BrokenProcessPool path.
+    """
+    spec = os.environ.get("REPRO_TEST_KILL_SHARD")
+    if not spec or multiprocessing.parent_process() is None:
+        return
+    name, _, mode = spec.partition(":")
+    if name != shard.vantage_name:
+        return
+    if mode == "exit":
+        os._exit(13)
+    raise EngineError(f"test hook killed shard {shard.vantage_name!r}")
+
+
 def execute_shard(shard: VantageShard, world=None) -> ShardResult:
     """Run one shard to completion; the engine's worker entry point.
 
@@ -112,6 +133,7 @@ def execute_shard(shard: VantageShard, world=None) -> ShardResult:
     the pickled shard — the world is rebuilt from ``shard.config`` and
     cached per process.
     """
+    _maybe_kill_for_test(shard)
     if world is None:
         world = _world_for(shard.config)
     started = time.perf_counter()
@@ -220,12 +242,17 @@ def _w6d_environment(world, vantage: VantagePoint) -> VantageEnvironment:
         content_lookup=content_lookup,
         path_provider=world._path_provider(vantage.asn),
         owner_lookup=world.owner_of_address,
+        fault_hook=world.server_fault_hook(),
     )
     w6d_round = world.config.adoption.world_ipv6_day_round
+    w6d_clock = SimulationClock.world_ipv6_day()
     return VantageEnvironment(
-        resolver=Resolver(store=world.zone_snapshot(w6d_round)),
+        resolver=Resolver(
+            store=world.zone_snapshot(w6d_round),
+            fault_check=world.dns_fault_check(w6d_clock),
+        ),
         client=client,
-        clock=SimulationClock.world_ipv6_day(),
+        clock=w6d_clock,
         site_list=lambda round_idx: list(names),
         external_inputs=lambda round_idx: [],
         site_id_of=lambda name: world.catalog.by_name(name).site_id,

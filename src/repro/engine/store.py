@@ -32,6 +32,7 @@ import pickle
 from dataclasses import dataclass
 
 from ..config import ScenarioConfig
+from ..errors import ReproError
 from ..monitor.aggregate import CentralRepository
 from ..monitor.database import SERIAL_FORMAT
 from ..monitor.tool import RoundReport
@@ -124,7 +125,11 @@ class CampaignStore:
                     name: [RoundReport.from_dict(r) for r in rows]
                     for name, rows in reports_data["reports"].items()
                 }
-            except (OSError, ValueError, KeyError) as exc:
+            except (OSError, ValueError, KeyError, TypeError, ReproError) as exc:
+                # Truncated JSON raises ValueError, missing keys KeyError,
+                # malformed rows TypeError, and a format/monotonicity
+                # violation in the payload a MonitorError (ReproError) —
+                # all of them mean "this entry is unusable, recompute".
                 _LOG.warning(
                     "unreadable store entry; treating as miss",
                     extra={"digest": digest[:12], "error": str(exc)},

@@ -4,7 +4,7 @@ Usage::
 
     python -m repro.experiments.run_all [--scale FACTOR] [--seed SEED]
         [--backend serial|process] [--jobs N]
-        [--cache-dir DIR] [--no-cache]
+        [--cache-dir DIR] [--no-cache] [--faults PRESET]
 
 Builds one world, runs the weekly campaign plus the World IPv6 Day
 campaign, and prints all figures/tables with the paper's reference
@@ -21,6 +21,7 @@ import time
 from dataclasses import replace
 
 from ..config import EXECUTION_BACKENDS, ExecutionConfig, default_config
+from ..faults import FAULT_PRESETS, resolve_faults
 from ..obs import enable as enable_tracing
 from ..obs import span, write_report
 from . import scenario
@@ -103,6 +104,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable the on-disk campaign store",
     )
+    parser.add_argument(
+        "--faults",
+        choices=sorted(FAULT_PRESETS),
+        default=None,
+        help="fault-injection preset (default: $REPRO_FAULTS or none)",
+    )
     args = parser.parse_args(argv)
     enable_tracing()
     if args.no_cache:
@@ -129,6 +136,7 @@ def main(argv: list[str] | None = None) -> int:
                 config.adoption.base_adoption * scenario.ADOPTION_OVERSAMPLING
             ),
         ),
+        faults=resolve_faults(args.faults),
     )
     t0 = time.time()
     data = scenario.get_experiment_data(config, execution=execution)

@@ -22,7 +22,7 @@ from ..analysis.classify import (
 )
 from ..analysis.confidence import SiteScreening, kept_sites, screen_all
 from ..analysis.hypotheses import ASEvaluation, evaluate_groups
-from ..config import ExecutionConfig, ScenarioConfig, default_config
+from ..config import ExecutionConfig, FaultConfig, ScenarioConfig, default_config
 from ..core.campaign import CampaignResult, run_campaign, run_world_ipv6_day
 from ..core.world import build_world
 from ..engine import DEFAULT_CACHE_ROOT, W6D, WEEKLY, CampaignStore
@@ -46,9 +46,19 @@ EXPERIMENT_SCALE = 0.5
 ADOPTION_OVERSAMPLING = 5.0
 
 
-def experiment_config(seed: int = 20111206) -> ScenarioConfig:
-    """The configuration the experiments and benchmarks run at."""
+def experiment_config(
+    seed: int = 20111206, faults: "str | FaultConfig | None" = None
+) -> ScenarioConfig:
+    """The configuration the experiments and benchmarks run at.
+
+    ``faults`` selects a fault preset by name (or passes a
+    :class:`~repro.config.FaultConfig` directly); ``None`` falls back to
+    the ``REPRO_FAULTS`` environment variable, which defaults to no
+    fault injection — so existing callers and caches are unaffected.
+    """
     from dataclasses import replace
+
+    from ..faults import resolve_faults
 
     config = default_config(seed).scaled(EXPERIMENT_SCALE)
     return replace(
@@ -57,6 +67,7 @@ def experiment_config(seed: int = 20111206) -> ScenarioConfig:
             config.adoption,
             base_adoption=config.adoption.base_adoption * ADOPTION_OVERSAMPLING,
         ),
+        faults=resolve_faults(faults),
     )
 
 

@@ -1,0 +1,30 @@
+"""Deterministic fault injection.
+
+The paper's pipeline exists *because* measurements fail: download loops
+exhaust without converging, AAAA lookups time out, tunnels flap, and
+Table 3 attributes removed sites to exactly those failure modes.  This
+package perturbs the synthetic Internet with seeded, reproducible faults
+so the sanitization machinery is exercised on realistically dirty data.
+
+Every fault decision is a pure function of the master seed and the
+decision's coordinates (site, family, round, attempt, ...), drawn from a
+named RNG stream — so every vantage point, executor backend, and worker
+process sees the identical failure schedule, and a campaign with faults
+enabled is exactly as reproducible as one without.
+"""
+
+from .plan import (
+    FAULT_PRESETS,
+    FaultPlan,
+    ServerFault,
+    fault_preset,
+    resolve_faults,
+)
+
+__all__ = [
+    "FAULT_PRESETS",
+    "FaultPlan",
+    "ServerFault",
+    "fault_preset",
+    "resolve_faults",
+]

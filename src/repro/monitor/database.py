@@ -74,6 +74,33 @@ class PathObservation:
     as_path: tuple[int, ...]
 
 
+#: fault kinds recorded by the monitor (injected failures only — a
+#: structurally unreachable destination is not a fault).
+FAULT_KINDS = (
+    "dns_timeout",
+    "dns_exhausted",
+    "timeout",
+    "reset",
+    "exhausted",
+)
+
+
+@dataclass(frozen=True)
+class FaultObservation:
+    """One injected failure the monitor observed (and possibly retried).
+
+    ``kind`` is one of :data:`FAULT_KINDS`: the two DNS kinds come from
+    the resolver, "timeout"/"reset" from failed download attempts, and
+    the two "*exhausted" kinds mark a site-family-round abandoned after
+    the retry budget ran out.
+    """
+
+    site_id: int
+    round_idx: int
+    family: AddressFamily
+    kind: str
+
+
 @dataclass
 class MeasurementDatabase:
     """All tables for one vantage point, with query helpers."""
@@ -92,6 +119,8 @@ class MeasurementDatabase:
     paths: dict[tuple[int, AddressFamily], list[PathObservation]] = field(
         default_factory=dict
     )
+    #: injected failures in observation order (empty in fault-free runs).
+    faults: list[FaultObservation] = field(default_factory=list)
     #: memoized :meth:`dual_stack_sites` result; invalidated on download
     #: writes (the only table that query reads).
     _dual_stack_cache: list[int] | None = field(
@@ -133,6 +162,16 @@ class MeasurementDatabase:
         key = (obs.site_id, obs.family)
         rows = self.paths.setdefault(key, [])
         self._append_in_order(rows, obs)
+
+    def add_fault(self, obs: FaultObservation) -> None:
+        if obs.kind not in FAULT_KINDS:
+            raise MonitorError(f"unknown fault kind {obs.kind!r}")
+        if self.faults and self.faults[-1].round_idx > obs.round_idx:
+            raise MonitorError(
+                f"out-of-order fault insert: round {obs.round_idx} "
+                f"after {self.faults[-1].round_idx}"
+            )
+        self.faults.append(obs)
 
     @staticmethod
     def _append_in_order(rows: list, obs) -> None:
@@ -238,6 +277,15 @@ class MeasurementDatabase:
                 crossed.update(row.as_path[1:])
         return crossed
 
+    def fault_counts(self, round_idx: int | None = None) -> dict[str, int]:
+        """Failure counts by kind, overall or for one round."""
+        counts: dict[str, int] = {}
+        for obs in self.faults:
+            if round_idx is not None and obs.round_idx != round_idx:
+                continue
+            counts[obs.kind] = counts.get(obs.kind, 0) + 1
+        return counts
+
     def __len__(self) -> int:
         return sum(len(rows) for rows in self.downloads.values())
 
@@ -253,7 +301,7 @@ class MeasurementDatabase:
         database whose iteration order — and canonical JSON digest —
         matches the original bit for bit.
         """
-        return {
+        data = {
             "format": SERIAL_FORMAT,
             "vantage_name": self.vantage_name,
             "dns": [
@@ -286,6 +334,14 @@ class MeasurementDatabase:
                 for o in rows
             ],
         }
+        if self.faults:
+            # Emitted only when nonempty so fault-free databases keep their
+            # historical canonical form (and content digest) bit for bit.
+            data["faults"] = [
+                [o.site_id, o.family.value, o.round_idx, o.kind]
+                for o in self.faults
+            ]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "MeasurementDatabase":
@@ -345,6 +401,15 @@ class MeasurementDatabase:
                     family=AddressFamily(family),
                     dest_asn=dest_asn,
                     as_path=tuple(as_path),
+                )
+            )
+        for site_id, family, round_idx, kind in data.get("faults", []):
+            db.add_fault(
+                FaultObservation(
+                    site_id=site_id,
+                    round_idx=round_idx,
+                    family=AddressFamily(family),
+                    kind=kind,
                 )
             )
         return db

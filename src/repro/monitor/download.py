@@ -21,14 +21,22 @@ from ..web.http import DownloadResult, HttpClient
 
 #: download-loop metrics (module-cached: ``obs`` resets them in place).
 _DOWNLOADS = metrics.counter("download.samples")
+_FAILED = metrics.counter("download.samples_failed")
 _CONVERGED = metrics.counter("download.loops_converged")
 _EXHAUSTED = metrics.counter("download.loops_exhausted")
+_GAVE_UP = metrics.counter("download.loops_gave_up")
 _LOOP_SAMPLES = metrics.histogram("download.samples_per_loop")
 
 
 @dataclass(frozen=True)
 class RepeatedDownloadOutcome:
-    """Statistics of one site-family's downloads within a round."""
+    """Statistics of one site-family's downloads within a round.
+
+    Failed attempts (injected timeouts/resets) never enter the speed
+    statistics; they are counted separately.  ``gave_up`` marks a loop
+    abandoned after ``max_retries`` consecutive failures — with zero
+    successes ``first_result`` is None and ``n_samples`` is 0.
+    """
 
     n_samples: int
     mean_speed: float
@@ -36,7 +44,11 @@ class RepeatedDownloadOutcome:
     converged: bool
     page_bytes: int
     total_seconds: float
-    first_result: DownloadResult
+    first_result: DownloadResult | None
+    n_failed: int = 0
+    n_timeouts: int = 0
+    n_resets: int = 0
+    gave_up: bool = False
 
 
 class RepeatedDownloader:
@@ -59,28 +71,58 @@ class RepeatedDownloader:
 
         Speeds, not times, are accumulated: for a fixed page size the two
         criteria are equivalent, and speed is what the paper reports.
+        Failed attempts are retried with exponential backoff (the k-th
+        retry waits ``retry_initial_seconds * retry_backoff ** k``
+        simulated seconds); ``max_retries`` consecutive failures abandon
+        the loop.
         """
         cfg = self._config
         acc = RunningStats()
         total_seconds = 0.0
         first: DownloadResult | None = None
         converged = False
+        gave_up = False
+        n_failed = n_timeouts = n_resets = 0
+        consecutive_failed = 0
+        attempt_idx = 0
         while acc.n < cfg.max_downloads:
-            result = self._client.get(final_name, address, family, round_idx, rng)
+            result = self._client.get(
+                final_name, address, family, round_idx, rng,
+                fault_key=f"loop:{attempt_idx}",
+            )
+            attempt_idx += 1
+            total_seconds += result.seconds
+            if not result.ok:
+                n_failed += 1
+                if result.failure == "timeout":
+                    n_timeouts += 1
+                elif result.failure == "reset":
+                    n_resets += 1
+                if consecutive_failed >= cfg.max_retries:
+                    gave_up = True
+                    break
+                total_seconds += (
+                    cfg.retry_initial_seconds
+                    * cfg.retry_backoff ** consecutive_failed
+                )
+                consecutive_failed += 1
+                continue
+            consecutive_failed = 0
             if first is None:
                 first = result
             acc.add(result.speed_kbytes_per_sec)
-            total_seconds += result.seconds
             if acc.n < cfg.min_downloads:
                 continue
             interval = interval_from_stats(acc, cfg.confidence)
             if interval.meets_target(cfg.ci_relative_width):
                 converged = True
                 break
-        assert first is not None  # loop runs at least once
         _DOWNLOADS.inc(acc.n)
+        _FAILED.inc(n_failed)
         _LOOP_SAMPLES.observe(acc.n)
         (_CONVERGED if converged else _EXHAUSTED).inc()
+        if gave_up:
+            _GAVE_UP.inc()
         if not converged and acc.n >= 2:
             # Report the final interval even when the target was missed.
             interval = interval_from_stats(acc, cfg.confidence)
@@ -90,7 +132,11 @@ class RepeatedDownloader:
             mean_speed=acc.mean,
             ci_half_width=half_width,
             converged=converged,
-            page_bytes=first.page_bytes,
+            page_bytes=first.page_bytes if first is not None else 0,
             total_seconds=total_seconds,
             first_result=first,
+            n_failed=n_failed,
+            n_timeouts=n_timeouts,
+            n_resets=n_resets,
+            gave_up=gave_up,
         )

@@ -113,17 +113,39 @@ def export_page_checks_csv(db: MeasurementDatabase, path: pathlib.Path) -> int:
     )
 
 
+def export_faults_csv(db: MeasurementDatabase, path: pathlib.Path) -> int:
+    """Write per-round failure counters, one row per (round, family, kind)."""
+    counts: dict[tuple[int, str, str], int] = {}
+    for obs in db.faults:
+        key = (obs.round_idx, obs.family.value, obs.kind)
+        counts[key] = counts.get(key, 0) + 1
+
+    def rows():
+        for (round_idx, family, kind) in sorted(counts):
+            yield (round_idx, family, kind, counts[(round_idx, family, kind)])
+
+    return _write_csv(path, ("round", "family", "kind", "count"), rows())
+
+
 def export_database(
     db: MeasurementDatabase, directory: pathlib.Path
 ) -> dict[str, int]:
-    """Export one vantage point's database; returns per-table row counts."""
+    """Export one vantage point's database; returns per-table row counts.
+
+    ``faults.csv`` (and its manifest entry) appears only when failures
+    were observed, so fault-free export trees keep their historical
+    layout and bytes.
+    """
     directory.mkdir(parents=True, exist_ok=True)
-    return {
+    counts = {
         "downloads": export_downloads_csv(db, directory / "downloads.csv"),
         "paths": export_paths_csv(db, directory / "paths.csv"),
         "dns": export_dns_csv(db, directory / "dns.csv"),
         "page_checks": export_page_checks_csv(db, directory / "page_checks.csv"),
     }
+    if db.faults:
+        counts["faults"] = export_faults_csv(db, directory / "faults.csv")
+    return counts
 
 
 def export_repository(
@@ -135,6 +157,7 @@ def export_repository(
 
         <directory>/manifest.json
         <directory>/<vantage>/downloads.csv  paths.csv  dns.csv  page_checks.csv
+        <directory>/<vantage>/faults.csv          (faulty campaigns only)
     """
     if not repository.vantage_names:
         raise MonitorError("repository holds no vantage points to export")

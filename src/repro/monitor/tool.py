@@ -24,14 +24,15 @@ from typing import Callable
 
 from ..config import MonitorConfig
 from ..dataplane.clock import SimulationClock
-from ..dns.resolver import Resolver
-from ..errors import MonitorError, UnreachableError
+from ..dns.resolver import ResolutionResult, Resolver
+from ..errors import DnsTimeout, MonitorError, NoRecord, NxDomain, UnreachableError
 from ..net.addresses import AddressFamily
 from ..obs import get_logger, metrics
-from ..web.http import HttpClient
+from ..web.http import DownloadResult, HttpClient
 from .database import (
     DnsObservation,
     DownloadObservation,
+    FaultObservation,
     MeasurementDatabase,
     PageCheck,
     PathObservation,
@@ -52,6 +53,8 @@ _IDENTITY_FAILED = metrics.counter("monitor.identity_failed")
 _DUAL_STACK = metrics.counter("monitor.dual_stack")
 _MEASURED = metrics.counter("monitor.sites_measured")
 _SLOT_OCCUPANCY = metrics.gauge("monitor.slot_occupancy")
+_FAULTS = metrics.counter("monitor.faults_observed")
+_RETRIES_EXHAUSTED = metrics.counter("monitor.retries_exhausted")
 
 
 @dataclass
@@ -79,10 +82,12 @@ class RoundReport:
     n_dual_stack: int
     n_measured: int
     makespan_seconds: float
+    #: injected failures observed this round (0 in fault-free runs).
+    n_failures: int = 0
 
     def to_dict(self) -> dict:
         """JSON-ready form (the engine's shard-result wire format)."""
-        return {
+        data = {
             "round_idx": self.round_idx,
             "n_monitored": self.n_monitored,
             "n_new": self.n_new,
@@ -90,6 +95,11 @@ class RoundReport:
             "n_measured": self.n_measured,
             "makespan_seconds": self.makespan_seconds,
         }
+        if self.n_failures:
+            # Key emitted only when nonzero: fault-free payloads (and the
+            # digests over them) stay bit-identical to earlier versions.
+            data["n_failures"] = self.n_failures
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RoundReport":
@@ -101,6 +111,7 @@ class RoundReport:
             n_dual_stack=data["n_dual_stack"],
             n_measured=data["n_measured"],
             makespan_seconds=data["makespan_seconds"],
+            n_failures=data.get("n_failures", 0),
         )
 
 
@@ -128,6 +139,7 @@ class MonitoringTool:
         self._monitored: list[str] = []
         self._monitored_set: set[str] = set()
         self._last_round: int | None = None
+        self._round_faults = 0
 
     # -- public API -----------------------------------------------------------
 
@@ -139,6 +151,7 @@ class MonitoringTool:
                 f"(got {round_idx} after {self._last_round})"
             )
         self._last_round = round_idx
+        self._round_faults = 0
         if not self.vantage.active_at(round_idx):
             return RoundReport(round_idx, 0, 0, 0, 0, 0.0)
 
@@ -180,6 +193,7 @@ class MonitoringTool:
                 "new": n_new,
                 "dual_stack": n_dual_stack,
                 "measured": n_measured,
+                "failures": self._round_faults,
             },
         )
         return RoundReport(
@@ -189,6 +203,7 @@ class MonitoringTool:
             n_dual_stack=n_dual_stack,
             n_measured=n_measured,
             makespan_seconds=makespan - round_start,
+            n_failures=self._round_faults,
         )
 
     @property
@@ -210,13 +225,99 @@ class MonitoringTool:
                 n_new += 1
         return n_new
 
+    def _record_fault(
+        self, site_id: int, round_idx: int, family: AddressFamily, kind: str
+    ) -> None:
+        """Record one injected failure (database, metrics, round counter)."""
+        self.database.add_fault(
+            FaultObservation(
+                site_id=site_id, round_idx=round_idx, family=family, kind=kind
+            )
+        )
+        _FAULTS.inc()
+        if kind in ("exhausted", "dns_exhausted"):
+            _RETRIES_EXHAUSTED.inc()
+        self._round_faults += 1
+
+    def _backoff_seconds(self, attempt: int) -> float:
+        """Simulated wait before retry ``attempt`` (0-based, exponential)."""
+        return (
+            self.config.retry_initial_seconds
+            * self.config.retry_backoff ** attempt
+        )
+
+    def _query_both_with_retry(
+        self, name: str, site_id: int, round_idx: int, now: float
+    ) -> tuple[dict[AddressFamily, ResolutionResult | None], float]:
+        """The DNS phase with bounded retry on injected timeouts.
+
+        Returns the per-family answers plus the extra simulated seconds
+        the timeouts and backoff waits cost.  A family whose retry budget
+        is exhausted counts as unresolved — in a faulty world a site can
+        look v6-dark for a round, exactly the transient AAAA outages the
+        paper's sanitization had to cope with.
+        """
+        results: dict[AddressFamily, ResolutionResult | None] = {}
+        extra = 0.0
+        for family in (AddressFamily.IPV4, AddressFamily.IPV6):
+            for attempt in range(self.config.max_retries + 1):
+                try:
+                    results[family] = self.env.resolver.resolve(
+                        name, family, now + extra, attempt
+                    )
+                    break
+                except (NxDomain, NoRecord):
+                    results[family] = None
+                    break
+                except DnsTimeout as exc:
+                    self._record_fault(site_id, round_idx, family, "dns_timeout")
+                    extra += exc.seconds
+                    if attempt < self.config.max_retries:
+                        extra += self._backoff_seconds(attempt)
+            else:
+                results[family] = None
+                self._record_fault(site_id, round_idx, family, "dns_exhausted")
+        return results, extra
+
+    def _probe_with_retry(
+        self,
+        answer: ResolutionResult,
+        family: AddressFamily,
+        site_id: int,
+        round_idx: int,
+    ) -> tuple[DownloadResult | None, float]:
+        """One identity-phase GET with bounded retry on injected faults.
+
+        Returns (successful result or None, simulated seconds spent).
+        """
+        seconds = 0.0
+        for attempt in range(self.config.max_retries + 1):
+            result = self.env.client.get(
+                answer.final_name,
+                answer.addresses[0],
+                family,
+                round_idx,
+                self.rng,
+                fault_key=f"probe:{attempt}",
+            )
+            seconds += result.seconds
+            if result.ok:
+                return result, seconds
+            self._record_fault(site_id, round_idx, family, result.failure)
+            if attempt < self.config.max_retries:
+                seconds += self._backoff_seconds(attempt)
+        self._record_fault(site_id, round_idx, family, "exhausted")
+        return None, seconds
+
     def _monitor_site(
         self, name: str, round_idx: int, now: float, listed: bool = True
     ) -> tuple[float, bool, bool]:
         """Monitor one site; returns (duration, dual_stack, fully_measured)."""
         _SITES_MONITORED.inc()
         site_id = self.env.site_id_of(name)
-        answers = self.env.resolver.query_both(name, now)
+        answers, dns_extra = self._query_both_with_retry(
+            name, site_id, round_idx, now
+        )
         v4 = answers[AddressFamily.IPV4]
         v6 = answers[AddressFamily.IPV6]
         self.database.add_dns(
@@ -231,20 +332,28 @@ class MonitoringTool:
         )
         if v4 is None or v6 is None:
             _DNS_FILTERED.inc()
-            return DNS_PHASE_SECONDS, False, False
+            return DNS_PHASE_SECONDS + dns_extra, False, False
         _DUAL_STACK.inc()
 
         # Page identity phase: one download per family, compare byte counts.
         try:
-            probe_v4 = self.env.client.get(
-                v4.final_name, v4.addresses[0], AddressFamily.IPV4, round_idx, self.rng
+            probe_v4, v4_seconds = self._probe_with_retry(
+                v4, AddressFamily.IPV4, site_id, round_idx
             )
-            probe_v6 = self.env.client.get(
-                v6.final_name, v6.addresses[0], AddressFamily.IPV6, round_idx, self.rng
+            probe_v6, v6_seconds = self._probe_with_retry(
+                v6, AddressFamily.IPV6, site_id, round_idx
             )
         except UnreachableError:
             _UNREACHABLE.inc()
-            return DNS_PHASE_SECONDS + PAGE_CHECK_SECONDS, True, False
+            return DNS_PHASE_SECONDS + dns_extra + PAGE_CHECK_SECONDS, True, False
+        if probe_v4 is None or probe_v6 is None:
+            # Retry budget exhausted on an identity probe: give the site
+            # up for this round, like an unreachable destination.
+            return (
+                DNS_PHASE_SECONDS + dns_extra + v4_seconds + v6_seconds,
+                True,
+                False,
+            )
         larger = max(probe_v4.page_bytes, probe_v6.page_bytes)
         identical = (
             abs(probe_v4.page_bytes - probe_v6.page_bytes) / larger
@@ -259,12 +368,13 @@ class MonitoringTool:
                 identical=identical,
             )
         )
-        duration = probe_v4.seconds + probe_v6.seconds + DNS_PHASE_SECONDS
+        duration = v4_seconds + v6_seconds + DNS_PHASE_SECONDS + dns_extra
         if not identical:
             _IDENTITY_FAILED.inc()
             return duration, True, False
 
         # Performance phase: repeated downloads, IPv4 first then IPv6.
+        fully_measured = True
         for family, answer in (
             (AddressFamily.IPV4, v4),
             (AddressFamily.IPV6, v6),
@@ -273,6 +383,16 @@ class MonitoringTool:
                 answer.final_name, answer.addresses[0], family, round_idx, self.rng
             )
             duration += outcome.total_seconds
+            for _ in range(outcome.n_timeouts):
+                self._record_fault(site_id, round_idx, family, "timeout")
+            for _ in range(outcome.n_resets):
+                self._record_fault(site_id, round_idx, family, "reset")
+            if outcome.gave_up:
+                self._record_fault(site_id, round_idx, family, "exhausted")
+            if outcome.first_result is None:
+                # Every attempt failed: nothing measurable this round.
+                fully_measured = False
+                continue
             self.database.add_download(
                 DownloadObservation(
                     site_id=site_id,
@@ -295,5 +415,6 @@ class MonitoringTool:
                     as_path=outcome.first_result.as_path,
                 )
             )
-        _MEASURED.inc()
-        return duration, True, True
+        if fully_measured:
+            _MEASURED.inc()
+        return duration, True, fully_measured

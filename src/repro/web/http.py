@@ -16,6 +16,7 @@ from typing import Callable, Optional
 from ..dataplane.path import ForwardingPath
 from ..dataplane.performance import ThroughputModel
 from ..errors import DownloadError, UnreachableError
+from ..faults.plan import ServerFault
 from ..net.addresses import Address, AddressFamily
 
 
@@ -42,11 +43,19 @@ ContentLookup = Callable[[str, AddressFamily, int], ContentEndpoint]
 PathProvider = Callable[[int, int, AddressFamily, int], Optional[ForwardingPath]]
 #: address -> owning ASN.
 OwnerLookup = Callable[[Address], int]
+#: (site_id, family, round, fault_key) -> injected fault or None.
+FaultHook = Callable[[int, AddressFamily, int, str], Optional[ServerFault]]
 
 
 @dataclass(frozen=True)
 class DownloadResult:
-    """One completed page download."""
+    """One page download attempt — completed, or failed by a fault.
+
+    Failed attempts (``ok`` False) carry the fault kind in ``failure``
+    ("timeout" or "reset"), zero speed, and the simulated seconds the
+    failed attempt burned; callers retry or record them as failed
+    samples, never feed them into speed statistics.
+    """
 
     final_name: str
     family: AddressFamily
@@ -56,6 +65,8 @@ class DownloadResult:
     page_bytes: int
     speed_kbytes_per_sec: float
     seconds: float
+    ok: bool = True
+    failure: str = ""
 
 
 class HttpClient:
@@ -67,11 +78,13 @@ class HttpClient:
         content_lookup: ContentLookup,
         path_provider: PathProvider,
         owner_lookup: OwnerLookup,
+        fault_hook: FaultHook | None = None,
     ) -> None:
         self._model = model
         self._content_lookup = content_lookup
         self._path_provider = path_provider
         self._owner_lookup = owner_lookup
+        self._fault_hook = fault_hook
 
     def get(
         self,
@@ -80,11 +93,16 @@ class HttpClient:
         family: AddressFamily,
         round_idx: int,
         rng: random.Random,
+        fault_key: str = "",
     ) -> DownloadResult:
         """Fetch the main page at ``address`` once.
 
         Raises :class:`UnreachableError` when no forwarding path exists
-        (the destination is v6-dark from this vantage, say).
+        (the destination is v6-dark from this vantage, say).  With a
+        fault hook installed, the attempt may instead come back failed
+        (``ok`` False); ``fault_key`` names the attempt (probe, loop
+        sample, retry) so every GET is an independent draw from the
+        fault plan.
         """
         if address.family is not family:
             raise DownloadError(
@@ -97,6 +115,21 @@ class HttpClient:
             raise UnreachableError(
                 f"no {family} path to AS{owner_asn} for {final_name}"
             )
+        if self._fault_hook is not None:
+            fault = self._fault_hook(endpoint.site_id, family, round_idx, fault_key)
+            if fault is not None:
+                return DownloadResult(
+                    final_name=final_name,
+                    family=family,
+                    address=address,
+                    server_asn=endpoint.server_asn,
+                    as_path=path.as_path,
+                    page_bytes=endpoint.page_bytes,
+                    speed_kbytes_per_sec=0.0,
+                    seconds=fault.seconds,
+                    ok=False,
+                    failure=fault.kind,
+                )
         round_mean = self._model.round_mean_speed(
             endpoint.server_speed, path, endpoint.site_id, round_idx
         )

@@ -121,3 +121,72 @@ class TestCampaignStore:
         meta = json.loads((entry / "meta.json").read_text(encoding="utf-8"))
         assert meta["repository_digest"] == repository.content_digest()
         assert meta["seed"] == cfg.seed
+
+
+class TestCorruptedEntryRobustness:
+    """Any unreadable cache entry is a miss with a warning — never a crash."""
+
+    @staticmethod
+    def _saved_entry(tmp_path):
+        store = CampaignStore(tmp_path)
+        cfg = small_config(seed=3)
+        repository, reports = tiny_campaign()
+        entry = store.save(cfg, repository, reports)
+        return store, cfg, repository, reports, entry
+
+    def _assert_miss_then_recompute(self, store, cfg, repository, reports):
+        assert store.load(cfg) is None
+        # "Recompute" in the CLI means re-running and re-saving; the
+        # rewritten entry must be fully usable again.
+        store.save(cfg, repository, reports)
+        stored = store.load(cfg)
+        assert stored is not None
+        assert stored.repository.content_digest() == repository.content_digest()
+
+    def test_truncated_repository_json(self, tmp_path):
+        store, cfg, repository, reports, entry = self._saved_entry(tmp_path)
+        payload = (entry / "repository.json").read_text(encoding="utf-8")
+        (entry / "repository.json").write_text(
+            payload[: len(payload) // 2], encoding="utf-8"
+        )
+        self._assert_miss_then_recompute(store, cfg, repository, reports)
+
+    def test_missing_reports_key(self, tmp_path):
+        store, cfg, repository, reports, entry = self._saved_entry(tmp_path)
+        (entry / "reports.json").write_text("{}", encoding="utf-8")
+        self._assert_miss_then_recompute(store, cfg, repository, reports)
+
+    def test_malformed_table_rows(self, tmp_path):
+        store, cfg, repository, reports, entry = self._saved_entry(tmp_path)
+        data = json.loads((entry / "repository.json").read_text(encoding="utf-8"))
+        vantage_name = next(iter(data["databases"]))
+        data["databases"][vantage_name]["downloads"] = [17]
+        (entry / "repository.json").write_text(json.dumps(data), encoding="utf-8")
+        self._assert_miss_then_recompute(store, cfg, repository, reports)
+
+    def test_unsupported_database_format(self, tmp_path):
+        store, cfg, repository, reports, entry = self._saved_entry(tmp_path)
+        data = json.loads((entry / "repository.json").read_text(encoding="utf-8"))
+        vantage_name = next(iter(data["databases"]))
+        data["databases"][vantage_name]["format"] = 99
+        (entry / "repository.json").write_text(json.dumps(data), encoding="utf-8")
+        self._assert_miss_then_recompute(store, cfg, repository, reports)
+
+    def test_out_of_order_rows_violate_invariant(self, tmp_path):
+        store, cfg, repository, reports, entry = self._saved_entry(tmp_path)
+        data = json.loads((entry / "repository.json").read_text(encoding="utf-8"))
+        vantage_name = next(iter(data["databases"]))
+        rows = data["databases"][vantage_name]["downloads"]
+        rows.reverse()
+        (entry / "repository.json").write_text(json.dumps(data), encoding="utf-8")
+        self._assert_miss_then_recompute(store, cfg, repository, reports)
+
+    def test_corruption_is_logged_as_warning(self, tmp_path, caplog):
+        store, cfg, repository, reports, entry = self._saved_entry(tmp_path)
+        (entry / "repository.json").write_text("{not json", encoding="utf-8")
+        with caplog.at_level("WARNING", logger="repro.engine.store"):
+            assert store.load(cfg) is None
+        assert any(
+            "unreadable store entry" in record.message
+            for record in caplog.records
+        )

@@ -11,6 +11,8 @@ from repro.config import (
     AnalysisConfig,
     CampaignConfig,
     DualStackConfig,
+    ExecutionConfig,
+    FaultConfig,
     MonitorConfig,
     PerformanceConfig,
     ScenarioConfig,
@@ -127,5 +129,84 @@ class TestValidation:
 
     def test_scenario_validates_subconfigs(self):
         cfg = replace(default_config(), monitor=MonitorConfig(max_concurrent=0))
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+
+class TestRetryValidation:
+    """Bad retry/backoff knobs fail fast, naming the offending field."""
+
+    def test_negative_max_retries_rejected(self):
+        with pytest.raises(ConfigError, match="max_retries"):
+            MonitorConfig(max_retries=-1).validate()
+
+    def test_backoff_below_one_rejected(self):
+        with pytest.raises(ConfigError, match="retry_backoff"):
+            MonitorConfig(retry_backoff=0.5).validate()
+
+    def test_negative_initial_delay_rejected(self):
+        with pytest.raises(ConfigError, match="retry_initial_seconds"):
+            MonitorConfig(retry_initial_seconds=-1.0).validate()
+
+    def test_zero_retries_is_allowed(self):
+        MonitorConfig(max_retries=0).validate()
+
+
+class TestExecutionValidation:
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(ConfigError, match="jobs"):
+            ExecutionConfig(jobs=0).validate()
+
+    def test_negative_shard_retries_rejected(self):
+        with pytest.raises(ConfigError, match="shard_retries"):
+            ExecutionConfig(shard_retries=-1).validate()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError, match="backend"):
+            ExecutionConfig(backend="threads").validate()
+
+
+class TestFaultValidation:
+    def test_defaults_validate_and_are_inactive(self):
+        cfg = FaultConfig()
+        cfg.validate()
+        assert not cfg.active
+
+    def test_any_positive_rate_makes_it_active(self):
+        assert FaultConfig(aaaa_failure_rate=0.1).active
+        assert FaultConfig(tunnel_breakage_rate=0.1).active
+        assert FaultConfig(link_degradation_rate=0.1).active
+
+    @pytest.mark.parametrize(
+        "field_name,value",
+        [
+            ("a_failure_rate", -0.1),
+            ("aaaa_failure_rate", 1.5),
+            ("server_timeout_rate", -1.0),
+            ("server_reset_rate", 2.0),
+            ("tunnel_breakage_rate", -0.5),
+            ("link_degradation_rate", 1.1),
+        ],
+    )
+    def test_rates_must_be_probabilities(self, field_name, value):
+        with pytest.raises(ConfigError, match=field_name):
+            replace(FaultConfig(), **{field_name: value}).validate()
+
+    def test_multipliers_must_be_at_least_one(self):
+        with pytest.raises(ConfigError, match="v6_fault_multiplier"):
+            FaultConfig(v6_fault_multiplier=0.5).validate()
+        with pytest.raises(ConfigError, match="impaired_fault_multiplier"):
+            FaultConfig(impaired_fault_multiplier=0.0).validate()
+
+    def test_degradation_factor_bounds(self):
+        with pytest.raises(ConfigError, match="link_degradation_factor"):
+            FaultConfig(link_degradation_factor=0.0).validate()
+        with pytest.raises(ConfigError, match="link_degradation_factor"):
+            FaultConfig(link_degradation_factor=1.5).validate()
+
+    def test_scenario_validates_fault_subconfig(self):
+        cfg = replace(
+            default_config(), faults=FaultConfig(aaaa_failure_rate=-1.0)
+        )
         with pytest.raises(ConfigError):
             cfg.validate()
