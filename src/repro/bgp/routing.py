@@ -75,6 +75,19 @@ class Route:
         if len(set(self.path)) != len(self.path):
             raise RoutingError(f"AS path has a loop: {self.path}")
 
+    @classmethod
+    def trusted(cls, path: tuple[int, ...], route_class: RouteClass) -> "Route":
+        """Construct without the O(n) loop/emptiness validation.
+
+        For paths the oracle derives from already loop-free routing state
+        (Dijkstra trees, explicitly membership-checked concatenations);
+        the public constructor keeps validating for everything else.
+        """
+        route = cls.__new__(cls)
+        object.__setattr__(route, "path", path)
+        object.__setattr__(route, "route_class", route_class)
+        return route
+
 
 @dataclass
 class _DestinationRoutes:
@@ -260,7 +273,7 @@ class PathOracle:
     ) -> tuple[Route | None, Route | None]:
         """Best and second-best (distinct first hop) routes at ``src``."""
         if src == state.dest:
-            route = Route(path=(src,), route_class=RouteClass.CUSTOMER)
+            route = Route.trusted((src,), RouteClass.CUSTOMER)
             return route, None
 
         def weight(asn: int) -> float:
@@ -306,11 +319,11 @@ class PathOracle:
         if not candidates:
             return None, None
         candidates.sort(key=lambda c: (c[0], c[1], c[2], c[3]))
-        primary = Route(path=candidates[0][4], route_class=candidates[0][0])
+        primary = Route.trusted(candidates[0][4], candidates[0][0])
         alternate = None
         for cand in candidates[1:]:
             if cand[3] != candidates[0][3]:
-                alternate = Route(path=cand[4], route_class=cand[0])
+                alternate = Route.trusted(cand[4], cand[0])
                 break
         return primary, alternate
 
@@ -354,9 +367,7 @@ class PathOracle:
                 continue
             head = self.route(src, provider, family)
             if head is not None and dest not in head.path:
-                return Route(
-                    path=head.path + (dest,), route_class=head.route_class
-                )
+                return Route.trusted(head.path + (dest,), head.route_class)
         return None
 
     def as_path(

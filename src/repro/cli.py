@@ -7,6 +7,8 @@ Subcommands::
     repro quickrun  [--scale S] [--seed N]                # small world + H1/H2 verdicts
     repro export    --out DIR [--scale S] [--seed N]      # campaign data as CSV + manifest
     repro profile   [--scale S] [--seed N] [--out P]      # phase-time breakdown + JSON report
+    repro bench     [--scale S] [--seed N] [--out P]      # perf workloads + BENCH_rounds.json
+                    [--smoke] [--check] [--baseline P]    #   (deterministic regression gates)
     repro show-config                                     # the default scenario, as text
 
 Every campaign subcommand also takes ``--backend serial|process`` and
@@ -39,6 +41,19 @@ from .experiments import run_all as run_all_module
 from .experiments.scenario import build_contexts
 from .faults import FAULT_PRESETS, resolve_faults
 from .monitor.export import export_repository
+from .perf import (
+    DEFAULT_REPORT as BENCH_DEFAULT_OUT,
+    DEFAULT_SCALE as BENCH_DEFAULT_SCALE,
+    DEFAULT_SEED as BENCH_DEFAULT_SEED,
+    WORKLOADS,
+    compare_reports,
+    evaluate_gates,
+    read_report as read_bench_report,
+    render_report,
+    run_bench,
+    wall_clock_deltas,
+    write_report as write_bench_report,
+)
 
 #: default output of ``repro profile`` (the perf-trajectory seed file).
 PROFILE_DEFAULT_OUT = "BENCH_profile_small.json"
@@ -149,6 +164,47 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the perf workloads; gate on deterministic work counters."""
+    report = run_bench(
+        seed=args.seed, scale=args.scale, workloads=args.workloads or None
+    )
+    print(render_report(report))
+    failures = 0
+    if args.smoke or args.check:
+        gates = evaluate_gates(report)
+        print("\nstructural gates:")
+        for gate in gates:
+            print(f"  {gate.render()}")
+        failures += sum(1 for g in gates if not g.passed)
+    if args.check:
+        baseline_path = pathlib.Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"\nbaseline {baseline_path} not found; cannot --check")
+            failures += 1
+        else:
+            baseline = read_bench_report(baseline_path)
+            comparisons = compare_reports(report, baseline)
+            mismatched = [c for c in comparisons if not c.passed]
+            print(
+                f"\nbaseline comparison vs {baseline_path}: "
+                f"{len(comparisons) - len(mismatched)}/{len(comparisons)} "
+                "counters match"
+            )
+            for comparison in mismatched:
+                print(f"  {comparison.render()}")
+            for line in wall_clock_deltas(report, baseline):
+                print(f"  {line}")
+            failures += len(mismatched)
+    if args.out:
+        path = write_bench_report(report, args.out)
+        print(f"\nbench report written to {path}")
+    if failures:
+        print(f"\n{failures} perf gate(s) failed")
+        return 1
+    return 0
+
+
 def _cmd_show_config(args: argparse.Namespace) -> int:
     config = default_config()
     for field in dataclasses.fields(config):
@@ -225,6 +281,41 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--out", default=PROFILE_DEFAULT_OUT)
     _add_execution_args(profile)
     profile.set_defaults(func=_cmd_profile)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the perf workloads and check the deterministic gates",
+    )
+    bench.add_argument("--scale", type=float, default=BENCH_DEFAULT_SCALE)
+    bench.add_argument("--seed", type=int, default=BENCH_DEFAULT_SEED)
+    bench.add_argument(
+        "--workloads",
+        nargs="*",
+        choices=sorted(WORKLOADS),
+        default=None,
+        help="subset of workloads to run (default: all)",
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="evaluate the structural work-counter gates (exit 1 on failure)",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="also compare work counters against --baseline (exact match)",
+    )
+    bench.add_argument(
+        "--baseline",
+        default=BENCH_DEFAULT_OUT,
+        help=f"baseline report for --check (default: {BENCH_DEFAULT_OUT})",
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        help="write the JSON bench report to this path",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     show = sub.add_parser("show-config", help="print the default scenario")
     show.set_defaults(func=_cmd_show_config)

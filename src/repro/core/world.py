@@ -353,6 +353,36 @@ class ZonePublisher:
     store: ZoneStore = field(default_factory=ZoneStore)
     #: last round whose records have been published (-1 = nothing yet).
     published_round: int = -1
+    #: lazily-built index: round → sites whose AAAA state can change there
+    #: (adoption round, event day, day after the event).  Advancing a
+    #: round then touches the handful of transitioning sites instead of
+    #: re-checking the whole catalog.
+    _events_by_round: dict[int, list] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _transition_candidates(self, start: int, round_idx: int) -> list:
+        """Sites whose v6 accessibility may differ across [start, round_idx]."""
+        if self._events_by_round is None:
+            index: dict[int, list] = {}
+            for site in self.world.catalog.sites:
+                rounds = set()
+                if site.adoption_round is not None:
+                    rounds.add(site.adoption_round)
+                if site.w6d_event_round is not None:
+                    rounds.add(site.w6d_event_round)
+                    rounds.add(site.w6d_event_round + 1)
+                for r in rounds:
+                    index.setdefault(r, []).append(site)
+            self._events_by_round = index
+        seen: set[int] = set()
+        candidates = []
+        for r in range(start, round_idx + 1):
+            for site in self._events_by_round.get(r, ()):
+                if site.site_id not in seen:
+                    seen.add(site.site_id)
+                    candidates.append(site)
+        return candidates
 
     def advance_to(self, round_idx: int) -> None:
         """Publish records that exist as of ``round_idx`` (idempotent)."""
@@ -370,7 +400,7 @@ class ZonePublisher:
                         value=world.address_of(site, AddressFamily.IPV4),
                     )
                 )
-        for site in world.catalog.sites:
+        for site in self._transition_candidates(start, round_idx):
             published = site.v6_accessible_at(self.published_round) if (
                 self.published_round >= 0
             ) else False

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from functools import cached_property
 
 from ..errors import DnsError
 from ..net.addresses import Address, AddressFamily, IPv4Address, IPv6Address
@@ -20,6 +21,11 @@ class RecordType(Enum):
     A = "A"
     AAAA = "AAAA"
     CNAME = "CNAME"
+
+    # Members are singletons, so identity hashing is equivalent to the
+    # default ``hash(self._name_)`` — and skips a string hash on every
+    # enum-keyed dict access in the resolver/zone hot path.
+    __hash__ = object.__hash__
 
     @classmethod
     def for_family(cls, family: AddressFamily) -> "RecordType":
@@ -85,15 +91,21 @@ class RRSet:
                     f"({self.name}, {self.rtype})"
                 )
 
-    @property
+    @cached_property
     def ttl(self) -> float:
         """Effective TTL of the set (minimum over members)."""
         if not self.records:
             return 0.0
         return min(record.ttl for record in self.records)
 
+    @cached_property
+    def address_tuple(self) -> tuple[Address, ...]:
+        """The address payloads, memoised (RRSets are immutable and the
+        zone view hands the same instance to every round's resolution)."""
+        return tuple(record.address for record in self.records)
+
     def addresses(self) -> list[Address]:
-        return [record.address for record in self.records]
+        return list(self.address_tuple)
 
     def __len__(self) -> int:
         return len(self.records)

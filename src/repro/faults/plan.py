@@ -3,12 +3,12 @@
 A :class:`FaultPlan` turns a :class:`~repro.config.FaultConfig` plus the
 scenario's master seed into concrete yes/no (and how-long) decisions.
 Every decision is keyed by its full coordinates — site, family, round,
-attempt — and drawn from a fresh named RNG stream, the same technique
-:class:`~repro.dataplane.performance.ThroughputModel` uses for round
-noise.  No shared mutable stream is ever consumed, so two components
-(or two processes) asking the same question always get the same answer,
-and the *order* in which questions are asked cannot perturb any other
-subsystem's randomness.
+attempt — and is a single digest-derived uniform
+(:func:`~repro.rng.derive_uniform`): one SHA-256 per decision, no
+generator object.  No shared mutable stream is ever consumed, so two
+components (or two processes) asking the same question always get the
+same answer, and the *order* in which questions are asked cannot perturb
+any other subsystem's randomness.
 """
 
 from __future__ import annotations
@@ -20,7 +20,7 @@ from typing import Iterable
 from ..config import FaultConfig
 from ..errors import ConfigError
 from ..net.addresses import AddressFamily
-from ..rng import RngStreams, derive_seed
+from ..rng import derive_seed, derive_uniform
 
 
 @dataclass(frozen=True)
@@ -42,18 +42,22 @@ class FaultPlan:
     def __init__(self, config: FaultConfig, master_seed: int) -> None:
         config.validate()
         self.config = config
-        self._rngs = RngStreams(derive_seed(master_seed, "faults"))
+        self._seed = derive_seed(master_seed, "faults")
         self._tunnel_cache: dict[tuple[int, int], bool] = {}
         self._link_cache: dict[tuple[int, int], float] = {}
 
     # -- primitive draws ------------------------------------------------------
+
+    def _uniform(self, stream: str) -> float:
+        """One digest-derived uniform per decision coordinate."""
+        return derive_uniform(self._seed, stream)
 
     def _chance(self, stream: str, rate: float) -> bool:
         if rate <= 0.0:
             return False
         if rate >= 1.0:
             return True
-        return self._rngs.fresh(stream).random() < rate
+        return self._uniform(stream) < rate
 
     # -- DNS ------------------------------------------------------------------
 
@@ -95,9 +99,9 @@ class FaultPlan:
         reset_rate = min(1.0 - timeout_rate, cfg.server_reset_rate * rate_multiplier)
         if timeout_rate <= 0.0 and reset_rate <= 0.0:
             return None
-        draw = self._rngs.fresh(
+        draw = self._uniform(
             f"server:{site_id}:{family.value}:{round_idx}:{attempt_key}"
-        ).random()
+        )
         if draw < timeout_rate:
             return ServerFault("timeout", cfg.timeout_seconds)
         if draw < timeout_rate + reset_rate:

@@ -19,7 +19,7 @@ from ..net.addresses import AddressFamily
 SERIAL_FORMAT = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DnsObservation:
     """Outcome of the A/AAAA query phase for one site-round."""
 
@@ -37,7 +37,7 @@ class DnsObservation:
         return self.has_v4 and self.has_v6
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PageCheck:
     """Outcome of the page-identity phase for one site-round."""
 
@@ -48,7 +48,7 @@ class PageCheck:
     identical: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DownloadObservation:
     """The repeated-download statistics of one (site, family, round)."""
 
@@ -63,7 +63,7 @@ class DownloadObservation:
     timestamp: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PathObservation:
     """The BGP view of one (site, family, round)."""
 
@@ -85,7 +85,7 @@ FAULT_KINDS = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FaultObservation:
     """One injected failure the monitor observed (and possibly retried).
 

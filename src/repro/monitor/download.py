@@ -17,7 +17,7 @@ from ..net.addresses import Address, AddressFamily
 from ..obs import metrics
 from ..stats.descriptive import RunningStats
 from ..stats.intervals import interval_from_stats
-from ..web.http import DownloadResult, HttpClient
+from ..web.http import DownloadResult, DownloadSession, HttpClient
 
 #: download-loop metrics (module-cached: ``obs`` resets them in place).
 _DOWNLOADS = metrics.counter("download.samples")
@@ -66,6 +66,7 @@ class RepeatedDownloader:
         family: AddressFamily,
         round_idx: int,
         rng: random.Random,
+        session: DownloadSession | None = None,
     ) -> RepeatedDownloadOutcome:
         """Download until the CI target is met (or max_downloads reached).
 
@@ -75,8 +76,16 @@ class RepeatedDownloader:
         retry waits ``retry_initial_seconds * retry_backoff ** k``
         simulated seconds); ``max_retries`` consecutive failures abandon
         the loop.
+
+        The loop's endpoint/path lookups happen once, at session open;
+        pass ``session`` (e.g. the one the identity probe already opened)
+        to skip even that, otherwise one is opened here.  May raise
+        :class:`UnreachableError` from the open, exactly where the first
+        per-sample GET used to raise it.
         """
         cfg = self._config
+        if session is None:
+            session = self._client.open(final_name, address, family, round_idx)
         acc = RunningStats()
         total_seconds = 0.0
         first: DownloadResult | None = None
@@ -85,10 +94,12 @@ class RepeatedDownloader:
         n_failed = n_timeouts = n_resets = 0
         consecutive_failed = 0
         attempt_idx = 0
+        # Per-attempt fault keys are only consulted by the fault hook;
+        # skip building ~200k of the strings per faults-off campaign.
+        keyed = session.has_fault_hook
         while acc.n < cfg.max_downloads:
-            result = self._client.get(
-                final_name, address, family, round_idx, rng,
-                fault_key=f"loop:{attempt_idx}",
+            result = session.get(
+                rng, fault_key=f"loop:{attempt_idx}" if keyed else ""
             )
             attempt_idx += 1
             total_seconds += result.seconds
@@ -129,7 +140,8 @@ class RepeatedDownloader:
         half_width = interval.half_width if acc.n >= 2 else 0.0
         return RepeatedDownloadOutcome(
             n_samples=acc.n,
-            mean_speed=acc.mean,
+            # A loop abandoned before its first success has no mean.
+            mean_speed=acc.mean if acc.n else 0.0,
             ci_half_width=half_width,
             converged=converged,
             page_bytes=first.page_bytes if first is not None else 0,

@@ -25,10 +25,10 @@ from typing import Callable
 from ..config import MonitorConfig
 from ..dataplane.clock import SimulationClock
 from ..dns.resolver import ResolutionResult, Resolver
-from ..errors import DnsTimeout, MonitorError, NoRecord, NxDomain, UnreachableError
+from ..errors import DnsTimeout, MonitorError, UnreachableError
 from ..net.addresses import AddressFamily
 from ..obs import get_logger, metrics
-from ..web.http import DownloadResult, HttpClient
+from ..web.http import DownloadResult, DownloadSession, HttpClient
 from .database import (
     DnsObservation,
     DownloadObservation,
@@ -140,6 +140,8 @@ class MonitoringTool:
         self._monitored_set: set[str] = set()
         self._last_round: int | None = None
         self._round_faults = 0
+        #: name → site id memo (stable for the life of the world).
+        self._site_ids: dict[str, int] = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -166,21 +168,27 @@ class MonitoringTool:
         # The worker pool: heap of (free_at, slot), dispatch in order.
         slots = [(round_start, slot) for slot in range(self.config.max_concurrent)]
         heapq.heapify(slots)
+        # Finish times of dispatched sites; dispatch instants are
+        # non-decreasing, so draining entries <= free_at leaves exactly
+        # the sites still busy — an O(1) amortised occupancy count in
+        # place of a scan over every slot per dispatch.
+        busy: list[float] = []
         n_dual_stack = 0
         n_measured = 0
         makespan = round_start
         for name in order:
             free_at, slot = heapq.heappop(slots)
+            while busy and busy[0] <= free_at:
+                heapq.heappop(busy)
             # Occupancy at this dispatch instant: the popped slot plus
             # every other slot still busy past it.
-            _SLOT_OCCUPANCY.update_max(
-                1 + sum(1 for busy_until, _ in slots if busy_until > free_at)
-            )
+            _SLOT_OCCUPANCY.update_max(1 + len(busy))
             duration, dual_stack, measured = self._monitor_site(
                 name, round_idx, free_at, listed=name in listed_now
             )
             finish = free_at + duration
             heapq.heappush(slots, (finish, slot))
+            heapq.heappush(busy, finish)
             makespan = max(makespan, finish)
             n_dual_stack += int(dual_stack)
             n_measured += int(measured)
@@ -258,16 +266,24 @@ class MonitoringTool:
         paper's sanitization had to cope with.
         """
         results: dict[AddressFamily, ResolutionResult | None] = {}
+        resolver = self.env.resolver
+        if resolver.fault_check is None:
+            # Faults off: DnsTimeout is impossible, so the retry loop is
+            # pure overhead on the hottest per-site path.
+            results[AddressFamily.IPV4] = resolver.resolve_quiet(
+                name, AddressFamily.IPV4, now, 0
+            )
+            results[AddressFamily.IPV6] = resolver.resolve_quiet(
+                name, AddressFamily.IPV6, now, 0
+            )
+            return results, 0.0
         extra = 0.0
         for family in (AddressFamily.IPV4, AddressFamily.IPV6):
             for attempt in range(self.config.max_retries + 1):
                 try:
-                    results[family] = self.env.resolver.resolve(
+                    results[family] = resolver.resolve_quiet(
                         name, family, now + extra, attempt
                     )
-                    break
-                except (NxDomain, NoRecord):
-                    results[family] = None
                     break
                 except DnsTimeout as exc:
                     self._record_fault(site_id, round_idx, family, "dns_timeout")
@@ -281,7 +297,7 @@ class MonitoringTool:
 
     def _probe_with_retry(
         self,
-        answer: ResolutionResult,
+        session: DownloadSession,
         family: AddressFamily,
         site_id: int,
         round_idx: int,
@@ -292,14 +308,7 @@ class MonitoringTool:
         """
         seconds = 0.0
         for attempt in range(self.config.max_retries + 1):
-            result = self.env.client.get(
-                answer.final_name,
-                answer.addresses[0],
-                family,
-                round_idx,
-                self.rng,
-                fault_key=f"probe:{attempt}",
-            )
+            result = session.get(self.rng, fault_key=f"probe:{attempt}")
             seconds += result.seconds
             if result.ok:
                 return result, seconds
@@ -314,7 +323,9 @@ class MonitoringTool:
     ) -> tuple[float, bool, bool]:
         """Monitor one site; returns (duration, dual_stack, fully_measured)."""
         _SITES_MONITORED.inc()
-        site_id = self.env.site_id_of(name)
+        site_id = self._site_ids.get(name)
+        if site_id is None:
+            site_id = self._site_ids[name] = self.env.site_id_of(name)
         answers, dns_extra = self._query_both_with_retry(
             name, site_id, round_idx, now
         )
@@ -336,12 +347,23 @@ class MonitoringTool:
         _DUAL_STACK.inc()
 
         # Page identity phase: one download per family, compare byte counts.
+        # Sessions pin the endpoint/path lookups once per (site, family);
+        # the performance phase below reuses them.  Opens are interleaved
+        # with the probes so an unreachable v6 destination is discovered
+        # at exactly the point the old per-GET code raised (after the v4
+        # probe has consumed its shared-RNG draws).
         try:
+            session_v4 = self.env.client.open(
+                v4.final_name, v4.addresses[0], AddressFamily.IPV4, round_idx
+            )
             probe_v4, v4_seconds = self._probe_with_retry(
-                v4, AddressFamily.IPV4, site_id, round_idx
+                session_v4, AddressFamily.IPV4, site_id, round_idx
+            )
+            session_v6 = self.env.client.open(
+                v6.final_name, v6.addresses[0], AddressFamily.IPV6, round_idx
             )
             probe_v6, v6_seconds = self._probe_with_retry(
-                v6, AddressFamily.IPV6, site_id, round_idx
+                session_v6, AddressFamily.IPV6, site_id, round_idx
             )
         except UnreachableError:
             _UNREACHABLE.inc()
@@ -373,14 +395,20 @@ class MonitoringTool:
             _IDENTITY_FAILED.inc()
             return duration, True, False
 
-        # Performance phase: repeated downloads, IPv4 first then IPv6.
+        # Performance phase: repeated downloads, IPv4 first then IPv6,
+        # reusing the identity probes' sessions (no further lookups).
         fully_measured = True
-        for family, answer in (
-            (AddressFamily.IPV4, v4),
-            (AddressFamily.IPV6, v6),
+        for family, answer, session in (
+            (AddressFamily.IPV4, v4, session_v4),
+            (AddressFamily.IPV6, v6, session_v6),
         ):
             outcome = self.downloader.run(
-                answer.final_name, answer.addresses[0], family, round_idx, self.rng
+                answer.final_name,
+                answer.addresses[0],
+                family,
+                round_idx,
+                self.rng,
+                session=session,
             )
             duration += outcome.total_seconds
             for _ in range(outcome.n_timeouts):

@@ -25,6 +25,11 @@ class AddressFamily(Enum):
     IPV4 = "IPv4"
     IPV6 = "IPv6"
 
+    # Members are singletons; identity hashing matches the default
+    # name-string hash but is one C-level call in the per-family dicts
+    # the monitor builds for every site-round.
+    __hash__ = object.__hash__
+
     @property
     def bits(self) -> int:
         """Address width in bits."""

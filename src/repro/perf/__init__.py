@@ -1,0 +1,43 @@
+"""Benchmark + perf-regression subsystem (``repro bench``).
+
+Standardized workloads over the pipeline's hot paths
+(:mod:`repro.perf.workloads`), a schema'd ``BENCH_rounds.json`` report
+(:mod:`repro.perf.bench`), and deterministic work-counter gates
+(:mod:`repro.perf.regress`) that CI runs instead of flaky wall-clock
+thresholds.  Wall-clock is always reported, never gated.
+"""
+
+from .bench import (
+    DEFAULT_REPORT,
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    SCHEMA,
+    read_report,
+    render_report,
+    run_bench,
+    write_report,
+)
+from .regress import (
+    GateResult,
+    compare_reports,
+    evaluate_gates,
+    wall_clock_deltas,
+)
+from .workloads import WORKLOADS, WorkloadResult
+
+__all__ = [
+    "DEFAULT_REPORT",
+    "DEFAULT_SCALE",
+    "DEFAULT_SEED",
+    "GateResult",
+    "SCHEMA",
+    "WORKLOADS",
+    "WorkloadResult",
+    "compare_reports",
+    "evaluate_gates",
+    "read_report",
+    "render_report",
+    "run_bench",
+    "wall_clock_deltas",
+    "write_report",
+]

@@ -1,0 +1,89 @@
+"""Bench orchestration: run workloads, build/write ``BENCH_rounds.json``.
+
+The report layout (schema ``repro.perf/1``) mirrors ``repro.obs``'s
+``BENCH_*.json`` trajectory convention: a flat JSON object checked into
+the repository so successive PRs diff the perf trajectory in review.
+Work counters are the contract; wall-clock rides along for the humans.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from .workloads import WORKLOADS, WorkloadResult
+
+#: report schema identifier (bump on incompatible layout changes).
+SCHEMA = "repro.perf/1"
+
+#: default on-disk location of the checked-in baseline.
+DEFAULT_REPORT = "BENCH_rounds.json"
+
+#: the default benchmark configuration (kept CI-affordable; EXPERIMENTS.md
+#: records full-scale numbers measured with ``--scale 1.0``).
+DEFAULT_SEED = 11
+DEFAULT_SCALE = 0.1
+
+
+def run_bench(
+    seed: int = DEFAULT_SEED,
+    scale: float = DEFAULT_SCALE,
+    workloads: list[str] | None = None,
+) -> dict:
+    """Run the named workloads (default: all) and build the report."""
+    names = list(workloads) if workloads else list(WORKLOADS)
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        raise ValueError(
+            f"unknown workloads {unknown}; expected {sorted(WORKLOADS)}"
+        )
+    results: dict[str, WorkloadResult] = {}
+    for name in names:
+        results[name] = WORKLOADS[name](seed, scale)
+    return {
+        "bench": "rounds",
+        "schema": SCHEMA,
+        "meta": {"seed": seed, "scale": scale},
+        "workloads": {name: r.as_dict() for name, r in results.items()},
+    }
+
+
+def write_report(report: dict, path: str | pathlib.Path) -> pathlib.Path:
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(report, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    return out
+
+
+def read_report(path: str | pathlib.Path) -> dict:
+    return json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+
+
+def render_report(report: dict) -> str:
+    """Fixed-width workload summary for terminal display."""
+    lines = [
+        f"bench {report['bench']} "
+        f"(seed {report['meta']['seed']}, scale {report['meta']['scale']})"
+    ]
+    lines.append(
+        f"{'workload':<12} {'wall_s':>8} {'zone walks':>11} "
+        f"{'lookups':>8} {'sessions':>9} {'samples':>8} {'rng ctor':>9}"
+    )
+    for name, data in report["workloads"].items():
+        counters = data["counters"]
+        lines.append(
+            f"{name:<12} {data['wall_seconds']:>8.3f} "
+            f"{counters['dns.zone_walks']:>11.0f} "
+            f"{counters['web.endpoint_lookups']:>8.0f} "
+            f"{counters['web.sessions']:>9.0f} "
+            f"{counters['download.samples']:>8.0f} "
+            f"{counters['rng.constructions']:>9.0f}"
+        )
+        for key, value in sorted(data["derived"].items()):
+            lines.append(f"    {key} = {value:g}")
+        digest = data.get("meta", {}).get("repository_digest")
+        if digest:
+            lines.append(f"    repository_digest = {digest}")
+    return "\n".join(lines)

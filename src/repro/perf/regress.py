@@ -1,0 +1,233 @@
+"""Deterministic perf-regression gates.
+
+Wall-clock on shared CI runners is noise; the gates here are exact
+arithmetic over the work counters a :mod:`repro.perf.workloads` run
+snapshots.  Two layers:
+
+* :func:`evaluate_gates` — structural invariants with hard bounds
+  (zone walks per site, endpoint/path lookups per download loop, RNG
+  constructions per fault decision).  These encode the optimization
+  contract directly and hold at any (seed, scale).
+* :func:`compare_reports` — exact counter equality against a checked-in
+  baseline report of the same configuration; wall-clock deltas ride
+  along as information for the humans, never as a failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: hard bounds for the structural gates.  Pre-optimization the round loop
+#: walked the zones ~2.89 times per monitored site and resolved the
+#: endpoint/path once per *sample* (~5+ per loop); the bounds assert the
+#: optimized shape with a little slack for config-shape variation, not
+#: for regressions.
+MAX_ZONE_WALKS_PER_SITE = 1.5
+MAX_ENDPOINT_LOOKUPS_PER_LOOP = 1.25
+MAX_RNG_CONSTRUCTIONS_PER_DECISION = 0.0
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """One gate's verdict: what was checked, observed, and required."""
+
+    workload: str
+    gate: str
+    passed: bool
+    observed: float
+    bound: str
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"[{status}] {self.workload}.{self.gate}: "
+            f"observed {self.observed:g}, require {self.bound}"
+        )
+
+
+def _workload(report: dict, name: str) -> dict | None:
+    return report.get("workloads", {}).get(name)
+
+
+def evaluate_gates(report: dict) -> list[GateResult]:
+    """Run every applicable structural gate over a bench report."""
+    results: list[GateResult] = []
+
+    for name in ("round_loop", "end_to_end"):
+        data = _workload(report, name)
+        if data is None:
+            continue
+        counters = data["counters"]
+        derived = data["derived"]
+        results.append(
+            GateResult(
+                workload=name,
+                gate="zone_walks_per_site",
+                passed=derived["zone_walks_per_site"] <= MAX_ZONE_WALKS_PER_SITE,
+                observed=derived["zone_walks_per_site"],
+                bound=f"<= {MAX_ZONE_WALKS_PER_SITE}",
+            )
+        )
+        results.append(
+            GateResult(
+                workload=name,
+                gate="endpoint_lookups_per_loop",
+                passed=(
+                    derived["endpoint_lookups_per_loop"]
+                    <= MAX_ENDPOINT_LOOKUPS_PER_LOOP
+                ),
+                observed=derived["endpoint_lookups_per_loop"],
+                bound=f"<= {MAX_ENDPOINT_LOOKUPS_PER_LOOP}",
+            )
+        )
+        results.append(
+            GateResult(
+                workload=name,
+                gate="endpoint_equals_path_lookups",
+                passed=(
+                    counters["web.endpoint_lookups"]
+                    == counters["web.path_lookups"]
+                ),
+                observed=(
+                    counters["web.endpoint_lookups"]
+                    - counters["web.path_lookups"]
+                ),
+                bound="== 0 (every open does exactly one of each)",
+            )
+        )
+        results.append(
+            GateResult(
+                workload=name,
+                gate="sessions_bounded_by_dual_stack",
+                passed=(
+                    counters["web.sessions"]
+                    <= 2 * counters["monitor.dual_stack"]
+                ),
+                observed=counters["web.sessions"],
+                bound=f"<= {2 * counters['monitor.dual_stack']:g} "
+                      "(2 per dual-stack site-round)",
+            )
+        )
+        results.append(
+            GateResult(
+                workload=name,
+                gate="dns_cache_hits_nonzero",
+                passed=counters["dns.cache_hits"] > 0,
+                observed=counters["dns.cache_hits"],
+                bound="> 0 (second family answered from cache)",
+            )
+        )
+
+    data = _workload(report, "dns_phase")
+    if data is not None:
+        walks_per_query = data["derived"]["zone_walks_per_query"]
+        results.append(
+            GateResult(
+                workload="dns_phase",
+                gate="zone_walks_per_query",
+                passed=walks_per_query <= 0.75,
+                observed=walks_per_query,
+                bound="<= 0.75 (one walk answers both families)",
+            )
+        )
+
+    data = _workload(report, "fault_plan")
+    if data is not None:
+        per_decision = data["derived"]["rng_constructions_per_decision"]
+        results.append(
+            GateResult(
+                workload="fault_plan",
+                gate="rng_constructions_per_decision",
+                passed=per_decision <= MAX_RNG_CONSTRUCTIONS_PER_DECISION,
+                observed=per_decision,
+                bound=f"<= {MAX_RNG_CONSTRUCTIONS_PER_DECISION:g} "
+                      "(digest uniforms, no generator objects)",
+            )
+        )
+
+    return results
+
+
+def _meta_matches(report: dict, baseline: dict) -> bool:
+    keys = ("seed", "scale")
+    rm, bm = report.get("meta", {}), baseline.get("meta", {})
+    return all(rm.get(k) == bm.get(k) for k in keys)
+
+
+def compare_reports(report: dict, baseline: dict) -> list[GateResult]:
+    """Exact work-counter comparison against a baseline bench report.
+
+    Only valid for matching (seed, scale); a configuration mismatch is
+    itself reported as a failed gate rather than silently comparing
+    apples to oranges.  Wall-clock is deliberately not compared.
+    """
+    results: list[GateResult] = []
+    if not _meta_matches(report, baseline):
+        results.append(
+            GateResult(
+                workload="report",
+                gate="baseline_config_matches",
+                passed=False,
+                observed=0.0,
+                bound=(
+                    f"meta {report.get('meta')} vs baseline "
+                    f"{baseline.get('meta')}"
+                ),
+            )
+        )
+        return results
+    for name, base_data in baseline.get("workloads", {}).items():
+        data = _workload(report, name)
+        if data is None:
+            results.append(
+                GateResult(
+                    workload=name,
+                    gate="present",
+                    passed=False,
+                    observed=0.0,
+                    bound="workload missing from report",
+                )
+            )
+            continue
+        for counter, base_value in base_data.get("counters", {}).items():
+            value = data["counters"].get(counter, 0.0)
+            results.append(
+                GateResult(
+                    workload=name,
+                    gate=f"counter:{counter}",
+                    passed=value == base_value,
+                    observed=value,
+                    bound=f"== {base_value:g}",
+                )
+            )
+        base_digest = base_data.get("meta", {}).get("repository_digest")
+        if base_digest is not None:
+            digest = data.get("meta", {}).get("repository_digest")
+            results.append(
+                GateResult(
+                    workload=name,
+                    gate="repository_digest",
+                    passed=digest == base_digest,
+                    observed=float(digest == base_digest),
+                    bound=f"== {base_digest[:12]}…",
+                )
+            )
+    return results
+
+
+def wall_clock_deltas(report: dict, baseline: dict) -> list[str]:
+    """Informational wall-clock comparison lines (never gate failures)."""
+    lines = []
+    for name, base_data in baseline.get("workloads", {}).items():
+        data = _workload(report, name)
+        if data is None:
+            continue
+        base_wall = base_data.get("wall_seconds", 0.0)
+        wall = data.get("wall_seconds", 0.0)
+        if base_wall > 0:
+            ratio = wall / base_wall
+            lines.append(
+                f"{name}: {wall:.3f}s vs baseline {base_wall:.3f}s "
+                f"({ratio:.2f}x, informational)"
+            )
+    return lines

@@ -1,0 +1,254 @@
+"""Standardized benchmark workloads over the measurement pipeline.
+
+Each workload runs one well-bounded slice of the system — the campaign
+round loop, the DNS phase, the fault plan, or the whole pipeline — under
+tracing, and returns a :class:`WorkloadResult` carrying wall-clock time
+plus the *deterministic work counters* (zone walks, endpoint/path
+lookups, RNG constructions, samples).  Wall-clock is for the humans; the
+counters are what the regression gate compares, because for a fixed
+(seed, scale) they are exact integers stable across machines and Python
+versions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .. import obs
+from ..config import ExecutionConfig, small_config
+from ..core import build_world, run_campaign
+from ..experiments.scenario import build_contexts
+from ..faults import FaultPlan, fault_preset
+from ..net.addresses import AddressFamily
+
+#: benchmarks always run in process (serial backend): the work counters
+#: live in this process's registry, and a worker pool would scatter them.
+_SERIAL = ExecutionConfig(backend="serial", jobs=1)
+
+#: counters snapshot into every workload result (missing ones read 0).
+WORK_COUNTERS = (
+    "dns.zone_walks",
+    "dns.cache_hits",
+    "dns.cache_misses",
+    "web.endpoint_lookups",
+    "web.path_lookups",
+    "web.sessions",
+    "rng.constructions",
+    "download.samples",
+    "download.loops_converged",
+    "download.loops_exhausted",
+    "download.loops_gave_up",
+    "monitor.sites_monitored",
+    "monitor.sites_measured",
+    "monitor.dual_stack",
+    "bgp.route_computations",
+)
+
+
+@dataclass
+class WorkloadResult:
+    """One workload's outcome: timings, work counters, derived ratios."""
+
+    name: str
+    wall_seconds: float
+    counters: dict[str, float] = field(default_factory=dict)
+    #: per-span-name totals for the spans the workload cares about.
+    spans: dict[str, dict] = field(default_factory=dict)
+    #: ratios computed from the counters (the gate-friendly view).
+    derived: dict[str, float] = field(default_factory=dict)
+    #: free-form extras (repository digest, decision counts, ...).
+    meta: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "counters": dict(self.counters),
+            "spans": dict(self.spans),
+            "derived": dict(self.derived),
+            "meta": dict(self.meta),
+        }
+
+
+def _counter_value(name: str) -> float:
+    metric = obs.get_registry().get(name)
+    value = getattr(metric, "value", 0.0) if metric is not None else 0.0
+    return float(value or 0.0)
+
+
+def _snapshot_counters() -> dict[str, float]:
+    return {name: _counter_value(name) for name in WORK_COUNTERS}
+
+
+def _span_totals(*names: str) -> dict[str, dict]:
+    tracer = obs.get_tracer()
+    out: dict[str, dict] = {}
+    for name in names:
+        spans = tracer.completed(name)
+        if spans:
+            out[name] = {
+                "count": len(spans),
+                "total_s": sum(s.duration for s in spans),
+            }
+    return out
+
+
+def _loop_count(counters: dict[str, float]) -> float:
+    return (
+        counters["download.loops_converged"]
+        + counters["download.loops_exhausted"]
+        + counters["download.loops_gave_up"]
+    )
+
+
+def _campaign_derived(counters: dict[str, float], wall: float) -> dict[str, float]:
+    """The gate ratios: per-site zone walks, per-loop lookups, throughput."""
+    sites = counters["monitor.sites_monitored"]
+    loops = _loop_count(counters)
+    samples = counters["download.samples"]
+    return {
+        "zone_walks_per_site": counters["dns.zone_walks"] / sites if sites else 0.0,
+        "endpoint_lookups_per_loop": (
+            counters["web.endpoint_lookups"] / loops if loops else 0.0
+        ),
+        "path_lookups_per_loop": (
+            counters["web.path_lookups"] / loops if loops else 0.0
+        ),
+        "rng_constructions_per_sample": (
+            counters["rng.constructions"] / samples if samples else 0.0
+        ),
+        "samples_per_second": samples / wall if wall > 0 else 0.0,
+    }
+
+
+def round_loop(seed: int, scale: float) -> WorkloadResult:
+    """The campaign round loop: build the world, run every round.
+
+    This is the ~93%-of-wall-time path the optimization work targets;
+    ``campaign.round`` span totals and the work counters both come back.
+    """
+    obs.reset()
+    obs.enable()
+    config = small_config(seed=seed, scale=scale)
+    world = build_world(config)
+    t0 = time.perf_counter()
+    run_campaign(world, execution=_SERIAL)
+    wall = time.perf_counter() - t0
+    counters = _snapshot_counters()
+    return WorkloadResult(
+        name="round_loop",
+        wall_seconds=wall,
+        counters=counters,
+        spans=_span_totals("campaign.round", "campaign.run"),
+        derived=_campaign_derived(counters, wall),
+    )
+
+
+def dns_phase(seed: int, scale: float) -> WorkloadResult:
+    """The DNS phase alone: every site resolved for both families.
+
+    Publishes the final round's records, then issues the monitor's
+    A + AAAA query pair for every catalog site — the workload that
+    exposes authoritative-walk and cache-accounting regressions.
+    """
+    obs.reset()
+    obs.enable()
+    config = small_config(seed=seed, scale=scale)
+    world = build_world(config)
+    final_round = config.campaign.n_rounds - 1
+    env = world.environment_for(world.vantages[0])
+    t0 = time.perf_counter()
+    world.advance_to_round(final_round)
+    now = world.clock.time_of_round(final_round)
+    n_queries = 0
+    for site in world.catalog.sites:
+        env.resolver.query_both(site.name, now)
+        n_queries += 2
+    wall = time.perf_counter() - t0
+    counters = _snapshot_counters()
+    walks = counters["dns.zone_walks"]
+    return WorkloadResult(
+        name="dns_phase",
+        wall_seconds=wall,
+        counters=counters,
+        derived={
+            "zone_walks_per_query": walks / n_queries if n_queries else 0.0,
+            "queries_per_second": n_queries / wall if wall > 0 else 0.0,
+        },
+        meta={"n_queries": n_queries},
+    )
+
+
+#: fault-plan decisions per benchmark run (coordinates swept below).
+FAULT_DECISIONS = 20_000
+
+
+def fault_plan(seed: int, scale: float = 1.0) -> WorkloadResult:
+    """The fault plan alone: a sweep of DNS and server fault decisions.
+
+    ``scale`` sizes the sweep.  The gate counter is ``rng.constructions``:
+    every decision must be a direct digest-derived uniform, never a
+    ``random.Random`` construction.
+    """
+    obs.reset()
+    obs.enable()
+    plan = FaultPlan(fault_preset("heavy"), master_seed=seed)
+    n = max(1, int(FAULT_DECISIONS * scale))
+    t0 = time.perf_counter()
+    for idx in range(n):
+        site_id = idx % 977
+        round_idx = idx % 13
+        plan.dns_failure(f"site-{site_id}.example.", AddressFamily.IPV6,
+                         round_idx, idx % 3)
+        plan.server_fault(site_id, AddressFamily.IPV6, round_idx,
+                          f"loop:{idx % 7}")
+    wall = time.perf_counter() - t0
+    counters = _snapshot_counters()
+    return WorkloadResult(
+        name="fault_plan",
+        wall_seconds=wall,
+        counters=counters,
+        derived={
+            "decisions_per_second": (2 * n) / wall if wall > 0 else 0.0,
+            "rng_constructions_per_decision": (
+                counters["rng.constructions"] / (2 * n)
+            ),
+        },
+        meta={"n_decisions": 2 * n},
+    )
+
+
+def end_to_end(seed: int, scale: float) -> WorkloadResult:
+    """The whole pipeline: world, campaign, analysis, repository digest.
+
+    The digest pins bit-identity: for the baseline (seed, scale) it must
+    match the CI-pinned faults-off value no matter which caches fire.
+    """
+    obs.reset()
+    obs.enable()
+    config = small_config(seed=seed, scale=scale)
+    t0 = time.perf_counter()
+    world = build_world(config)
+    result = run_campaign(world, execution=_SERIAL)
+    build_contexts(config, result)
+    wall = time.perf_counter() - t0
+    counters = _snapshot_counters()
+    derived = _campaign_derived(counters, wall)
+    return WorkloadResult(
+        name="end_to_end",
+        wall_seconds=wall,
+        counters=counters,
+        spans=_span_totals("campaign.round", "campaign.run", "world.build",
+                           "analysis.contexts"),
+        derived=derived,
+        meta={"repository_digest": result.repository.content_digest()},
+    )
+
+
+#: name -> callable(seed, scale); the bench CLI's workload registry.
+WORKLOADS = {
+    "round_loop": round_loop,
+    "dns_phase": dns_phase,
+    "fault_plan": fault_plan,
+    "end_to_end": end_to_end,
+}

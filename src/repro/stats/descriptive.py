@@ -31,7 +31,7 @@ def stdev(values: Sequence[float]) -> float:
     return math.sqrt(sum((v - m) ** 2 for v in values) / (n - 1))
 
 
-@dataclass
+@dataclass(slots=True)
 class RunningStats:
     """Welford's online mean/variance accumulator."""
 

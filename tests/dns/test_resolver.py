@@ -105,6 +105,83 @@ class TestCaching:
         assert not resolver.resolve("dual.example.", V4, now=1.0).from_cache
 
 
+class TestWholeNamePrefetch:
+    """One authoritative walk answers A, AAAA, and CNAME for a name."""
+
+    def test_second_family_answered_from_cache(self, resolver):
+        resolver.resolve("dual.example.", V4, now=0.0)
+        misses_before = resolver.misses
+        result = resolver.resolve("dual.example.", V6, now=1.0)
+        assert result.from_cache
+        assert resolver.misses == misses_before
+
+    def test_sites_sharing_cdn_target_hit_cache_within_round(self):
+        """Two CDN customers CNAME to one edge name: the second site's
+        queries only miss on its own CNAME — the shared edge answers
+        both its families from cache."""
+        store = ZoneStore()
+        zone = store.zone_for("example.")
+        zone.add(ResourceRecord("edge.cdn.example.", RecordType.A, IPv4Address(7)))
+        zone.add(
+            ResourceRecord("edge.cdn.example.", RecordType.AAAA, IPv6Address(7))
+        )
+        zone.add(
+            ResourceRecord("site-a.example.", RecordType.CNAME, "edge.cdn.example.")
+        )
+        zone.add(
+            ResourceRecord("site-b.example.", RecordType.CNAME, "edge.cdn.example.")
+        )
+        resolver = Resolver(store=store)
+        first = resolver.query_both("site-a.example.", now=0.0)
+        assert first[V4].final_name == "edge.cdn.example."
+        misses_before = resolver.misses
+        second = resolver.query_both("site-b.example.", now=1.0)
+        assert second[V4].final_name == "edge.cdn.example."
+        assert second[V6].addresses == (IPv6Address(7),)
+        # Only site-b's own name missed; the shared edge was all hits.
+        assert resolver.misses == misses_before + 1
+
+    def test_aaaa_reuses_chain_resolved_for_a(self):
+        store = ZoneStore()
+        zone = store.zone_for("example.")
+        zone.add(ResourceRecord("edge.cdn.example.", RecordType.A, IPv4Address(7)))
+        zone.add(
+            ResourceRecord("edge.cdn.example.", RecordType.AAAA, IPv6Address(7))
+        )
+        zone.add(
+            ResourceRecord("www.example.", RecordType.CNAME, "edge.cdn.example.")
+        )
+        resolver = Resolver(store=store)
+        resolver.resolve("www.example.", V4, now=0.0)
+        misses_before = resolver.misses
+        result = resolver.resolve("www.example.", V6, now=1.0)
+        assert result.from_cache
+        assert result.final_name == "edge.cdn.example."
+        assert resolver.misses == misses_before
+
+    def test_cached_nxdomain_stays_nxdomain(self, resolver):
+        """The cached negative must keep NXDOMAIN and NoRecord distinct:
+        an unknown name answers NXDOMAIN from cache, not NoRecord."""
+        with pytest.raises(NxDomain):
+            resolver.resolve("ghost.example.", V4, now=0.0)
+        misses_before = resolver.misses
+        with pytest.raises(NxDomain):
+            resolver.resolve("ghost.example.", V6, now=1.0)
+        assert resolver.misses == misses_before
+
+
+class TestResolveQuiet:
+    def test_negative_answers_return_none(self, resolver):
+        assert resolver.resolve_quiet("v4only.example.", V6) is None
+        assert resolver.resolve_quiet("ghost.example.", V4) is None
+
+    def test_positive_answer_matches_resolve(self, resolver):
+        quiet = resolver.resolve_quiet("dual.example.", V4, now=0.0)
+        loud = resolver.resolve("dual.example.", V4, now=1.0)
+        assert quiet.addresses == loud.addresses
+        assert quiet.final_name == loud.final_name
+
+
 class TestQueryBoth:
     def test_dual_stack_site(self, resolver):
         answers = resolver.query_both("dual.example.")

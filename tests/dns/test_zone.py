@@ -114,3 +114,61 @@ class TestZoneStore:
         store = ZoneStore()
         store.zone_for("example.").add(a_record("www.example."))
         assert len(store) == 1
+
+
+class TestZoneView:
+    """Per-name memoisation with push-based, per-name invalidation."""
+
+    def test_view_object_is_stable(self):
+        store = ZoneStore()
+        store.zone_for("example.").add(a_record("www.example."))
+        assert store.view() is store.view()
+
+    def test_entry_memoised_across_lookups(self):
+        store = ZoneStore()
+        store.zone_for("example.").add(a_record("www.example."))
+        view = store.view()
+        assert view.entry("www.example.") is view.entry("www.example.")
+
+    def test_entry_collects_all_types_in_one_walk(self):
+        store = ZoneStore()
+        zone = store.zone_for("example.")
+        zone.add(a_record("www.example."))
+        zone.add(ResourceRecord("www.example.", RecordType.AAAA, IPv6Address(1)))
+        entry = store.view().entry("www.example.")
+        assert entry.exists
+        assert set(entry.rrsets) == {RecordType.A, RecordType.AAAA}
+
+    def test_mutation_evicts_only_that_name(self):
+        store = ZoneStore()
+        zone = store.zone_for("example.")
+        zone.add(a_record("www.example."))
+        zone.add(a_record("other.example.", 2))
+        view = store.view()
+        stale = view.entry("www.example.")
+        other = view.entry("other.example.")
+        zone.add(ResourceRecord("www.example.", RecordType.AAAA, IPv6Address(1)))
+        # Same view object; only the mutated name was recomputed.
+        assert store.view() is view
+        fresh = view.entry("www.example.")
+        assert fresh is not stale
+        assert RecordType.AAAA in fresh.rrsets
+        assert view.entry("other.example.") is other
+
+    def test_negative_entry_evicted_on_add(self):
+        store = ZoneStore()
+        zone = store.zone_for("example.")
+        zone.add(a_record("www.example."))
+        view = store.view()
+        assert not view.entry("new.example.").exists
+        zone.add(a_record("new.example.", 3))
+        assert view.entry("new.example.").exists
+
+    def test_remove_evicts_name(self):
+        store = ZoneStore()
+        zone = store.zone_for("example.")
+        zone.add(a_record("www.example."))
+        view = store.view()
+        assert view.entry("www.example.").exists
+        zone.remove("www.example.", RecordType.A)
+        assert not view.entry("www.example.").exists

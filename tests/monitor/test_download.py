@@ -9,6 +9,7 @@ import pytest
 from repro.config import MonitorConfig, PerformanceConfig
 from repro.dataplane.path import ForwardingPath
 from repro.dataplane.performance import ThroughputModel
+from repro.faults.plan import ServerFault
 from repro.monitor.download import RepeatedDownloader
 from repro.net.addresses import AddressFamily, IPv4Address
 from repro.rng import RngStreams
@@ -17,7 +18,11 @@ from repro.web.http import ContentEndpoint, HttpClient
 V4 = AddressFamily.IPV4
 
 
-def make_downloader(noise_sigma: float, config: MonitorConfig | None = None):
+def make_downloader(
+    noise_sigma: float,
+    config: MonitorConfig | None = None,
+    fault_hook=None,
+):
     model = ThroughputModel(
         PerformanceConfig(
             measurement_noise_sigma=noise_sigma, round_noise_sigma=0.0
@@ -34,6 +39,7 @@ def make_downloader(noise_sigma: float, config: MonitorConfig | None = None):
         ),
         path_provider=lambda *a: path,
         owner_lookup=lambda a: 2,
+        fault_hook=fault_hook,
     )
     return RepeatedDownloader(client, config or MonitorConfig())
 
@@ -75,3 +81,47 @@ class TestStoppingRule:
         outcome = downloader.run("s", IPv4Address(1), V4, 0, random.Random(2))
         # latent = 80 (server) since path factor is 1 for a 1-hop path.
         assert outcome.mean_speed == pytest.approx(80.0, rel=0.1)
+
+
+class TestGiveUp:
+    """The abandoned-loop edge: max_retries consecutive failures."""
+
+    def test_all_failing_loop_gives_up_with_exact_timing(self):
+        fault = ServerFault(kind="timeout", seconds=3.5)
+        downloader = make_downloader(
+            noise_sigma=0.0, fault_hook=lambda site, fam, r, key: fault
+        )
+        outcome = downloader.run("s", IPv4Address(1), V4, 0, random.Random(2))
+        cfg = MonitorConfig()
+        assert outcome.gave_up
+        assert not outcome.converged
+        assert outcome.n_samples == 0
+        assert outcome.first_result is None
+        assert outcome.page_bytes == 0
+        assert outcome.mean_speed == 0.0
+        assert outcome.n_failed == cfg.max_retries + 1
+        assert outcome.n_timeouts == cfg.max_retries + 1
+        assert outcome.n_resets == 0
+        # Every attempt burns the fault's seconds; backoff is charged
+        # after each failure *except* the last one (the loop gives up
+        # instead of waiting again).
+        expected = (cfg.max_retries + 1) * fault.seconds + sum(
+            cfg.retry_initial_seconds * cfg.retry_backoff**k
+            for k in range(cfg.max_retries)
+        )
+        assert outcome.total_seconds == pytest.approx(expected)
+
+    def test_transient_fault_recovers_without_giving_up(self):
+        fails = {"loop:0", "loop:1"}
+        downloader = make_downloader(
+            noise_sigma=0.0,
+            fault_hook=lambda site, fam, r, key: (
+                ServerFault(kind="reset", seconds=1.0) if key in fails else None
+            ),
+        )
+        outcome = downloader.run("s", IPv4Address(1), V4, 0, random.Random(2))
+        assert not outcome.gave_up
+        assert outcome.converged
+        assert outcome.n_failed == 2
+        assert outcome.n_resets == 2
+        assert outcome.n_samples == MonitorConfig().min_downloads

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from repro.rng import RngStreams, derive_seed
+import random
+
+from repro import obs
+from repro.rng import RngStreams, derive_seed, derive_uniform
 
 
 class TestDeriveSeed:
@@ -12,6 +15,59 @@ class TestDeriveSeed:
     def test_differs_by_name_and_seed(self):
         assert derive_seed(1, "a") != derive_seed(1, "b")
         assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_pinned_value(self):
+        """SHA-256-derived: stable across Python versions and processes.
+        A changed pin means every seeded scenario in the repo changed."""
+        assert derive_seed(11, "adoption") == 18420719352658139260
+
+    def test_memoised(self):
+        before = derive_seed.cache_info().hits
+        derive_seed(7, "memo-probe")
+        derive_seed(7, "memo-probe")
+        assert derive_seed.cache_info().hits > before
+
+
+class TestDeriveUniform:
+    def test_in_unit_interval(self):
+        for idx in range(200):
+            draw = derive_uniform(11, f"decision:{idx}")
+            assert 0.0 <= draw < 1.0
+
+    def test_deterministic(self):
+        assert derive_uniform(11, "x") == derive_uniform(11, "x")
+        assert derive_uniform(11, "x") != derive_uniform(11, "y")
+
+    def test_matches_seed_bits(self):
+        """The uniform is the top 53 bits of the derived seed — the same
+        entropy a ``random.Random(seed).random()`` would consume, without
+        constructing the generator."""
+        seed = derive_seed(11, "x")
+        assert derive_uniform(11, "x") == (seed >> 11) * (2.0**-53)
+
+    def test_no_generator_constructed(self):
+        obs.reset()
+        counter = obs.metrics.counter("rng.constructions")
+        derive_uniform(11, "counter-probe")
+        assert counter.value == 0
+
+
+class TestConstructionCounter:
+    def test_stream_counts_first_construction_only(self):
+        obs.reset()
+        counter = obs.metrics.counter("rng.constructions")
+        streams = RngStreams(42)
+        streams.stream("x")
+        streams.stream("x")
+        assert counter.value == 1
+
+    def test_fresh_counts_every_call(self):
+        obs.reset()
+        counter = obs.metrics.counter("rng.constructions")
+        streams = RngStreams(42)
+        streams.fresh("x")
+        streams.fresh("x")
+        assert counter.value == 2
 
 
 class TestRngStreams:
