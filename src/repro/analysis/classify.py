@@ -13,6 +13,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable
 
+from ..data.columnar import columnar_view
+from ..data.query import dest_asn, modal_as_path
 from ..monitor.database import MeasurementDatabase
 from ..net.addresses import AddressFamily
 from ..obs import span
@@ -54,10 +56,11 @@ def classify_site(
     by the path they used most of the time, as the paper effectively does
     by comparing stable AS-path snapshots).
     """
-    dest_v4 = db.dest_asn(site_id, AddressFamily.IPV4)
-    dest_v6 = db.dest_asn(site_id, AddressFamily.IPV6)
-    path_v4 = db.as_path(site_id, AddressFamily.IPV4)
-    path_v6 = db.as_path(site_id, AddressFamily.IPV6)
+    cdb = columnar_view(db)
+    dest_v4 = dest_asn(cdb, site_id, AddressFamily.IPV4)
+    dest_v6 = dest_asn(cdb, site_id, AddressFamily.IPV6)
+    path_v4 = modal_as_path(cdb, site_id, AddressFamily.IPV4)
+    path_v6 = modal_as_path(cdb, site_id, AddressFamily.IPV6)
     if dest_v4 is None or dest_v6 is None or path_v4 is None or path_v6 is None:
         return None
     if dest_v4 != dest_v6:

@@ -17,6 +17,8 @@ from enum import Enum
 from typing import Iterable
 
 from ..config import AnalysisConfig, MonitorConfig
+from ..data.columnar import columnar_view
+from ..data.query import converged_speeds, download_rounds, path_change_rounds
 from ..monitor.database import MeasurementDatabase
 from ..net.addresses import AddressFamily
 from ..obs import metrics, span
@@ -71,7 +73,8 @@ def _check_family(
     analysis_cfg: AnalysisConfig,
 ) -> tuple[RemovalReason | None, int | None]:
     """Screen one family's series; returns (reason, step_round)."""
-    speeds = db.speeds(site_id, family)
+    cdb = columnar_view(db)
+    speeds = converged_speeds(cdb, site_id, family)
     if len(speeds) < monitor_cfg.min_rounds:
         return RemovalReason.INSUFFICIENT_SAMPLES, None
 
@@ -82,7 +85,7 @@ def _check_family(
         persistence=analysis_cfg.step_persistence,
     )
     if step is not None:
-        rounds = db.download_rounds(site_id, family)
+        rounds = download_rounds(cdb, site_id, family)
         step_round = rounds[step.index] if step.index < len(rounds) else rounds[-1]
         reason = (
             RemovalReason.STEP_UP if step.direction > 0 else RemovalReason.STEP_DOWN
@@ -109,8 +112,9 @@ def _check_family(
 def _near_path_change(
     db: MeasurementDatabase, site_id: int, step_round: int
 ) -> bool:
+    cdb = columnar_view(db)
     for family in (AddressFamily.IPV4, AddressFamily.IPV6):
-        for change_round in db.path_change_rounds(site_id, family):
+        for change_round in path_change_rounds(cdb, site_id, family):
             if abs(change_round - step_round) <= PATH_CHANGE_WINDOW:
                 return True
     return False

@@ -14,9 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from ..data.columnar import columnar_view
+from ..data.query import mean_speed as query_mean_speed
+from ..data.query import modal_as_path
 from ..monitor.database import MeasurementDatabase
 from ..net.addresses import AddressFamily
-from .metrics import site_mean_speed
 
 #: Bucket labels in table order; the last is open-ended.
 BUCKETS = ("1", "2", "3", "4", ">=5")
@@ -50,12 +52,13 @@ def performance_by_hopcount(
     adjacent destination is 1 hop).  Sites without a path or without
     speed data in a family are skipped for that family.
     """
+    cdb = columnar_view(db)
     sums: dict[tuple[AddressFamily, str], float] = {}
     counts: dict[tuple[AddressFamily, str], int] = {}
     for site_id in site_ids:
         for family in (AddressFamily.IPV4, AddressFamily.IPV6):
-            path = db.as_path(site_id, family)
-            speed = site_mean_speed(db, site_id, family)
+            path = modal_as_path(cdb, site_id, family)
+            speed = query_mean_speed(cdb, site_id, family)
             if path is None or speed is None or len(path) < 2:
                 continue
             bucket = bucket_of(len(path) - 1)

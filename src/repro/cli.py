@@ -6,6 +6,11 @@ Subcommands::
                     [--cache-dir DIR] [--no-cache]        #   (campaign store knobs)
     repro quickrun  [--scale S] [--seed N]                # small world + H1/H2 verdicts
     repro export    --out DIR [--scale S] [--seed N]      # campaign data as CSV + manifest
+                    [--cache-dir DIR] [--no-cache]        #   (store-first, run on miss)
+    repro serve     [--host H] [--port N]                 # campaign store HTTP JSON API
+                    [--cache-dir DIR] [--max-rows N]
+    repro cache ls     [--json] [--cache-dir DIR]         # list stored campaigns
+    repro cache prune  --keep-latest N [--cache-dir DIR]  # drop all but the newest N
     repro profile   [--scale S] [--seed N] [--out P]      # phase-time breakdown + JSON report
     repro bench     [--scale S] [--seed N] [--out P]      # perf workloads + BENCH_rounds.json
                     [--smoke] [--check] [--baseline P]    #   (deterministic regression gates)
@@ -38,6 +43,7 @@ from .analysis.hypotheses import ASVerdict, verdict_fractions
 from .config import EXECUTION_BACKENDS, ExecutionConfig, default_config, small_config
 from .core import build_world, run_campaign
 from .experiments import run_all as run_all_module
+from .experiments import scenario
 from .experiments.scenario import build_contexts
 from .faults import FAULT_PRESETS, resolve_faults
 from .monitor.export import export_repository
@@ -133,13 +139,115 @@ def _cmd_quickrun(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_cache_args(args: argparse.Namespace) -> None:
+    """Honour --cache-dir / --no-cache before the store is first used."""
+    if getattr(args, "no_cache", False):
+        scenario.configure_cache(None)
+    elif getattr(args, "cache_dir", None) is not None:
+        scenario.configure_cache(args.cache_dir)
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
+    """Export campaign CSVs, store-first.
+
+    Without explicit ``--backend``/``--jobs`` the campaign store is
+    consulted: a hit exports the serialized measurement repository
+    directly — no world build, no campaign re-run — and a miss runs the
+    campaign then stores it.  Explicit backend flags always run the
+    campaign on that backend (the CI backend-equivalence job relies on
+    this), leaving the store untouched.
+    """
+    from .engine import WEEKLY
+
+    _apply_cache_args(args)
     config = _with_faults(small_config(seed=args.seed, scale=args.scale), args)
-    world = build_world(config)
-    result = run_campaign(world, execution=_execution_from(args))
-    manifest = export_repository(result.repository, pathlib.Path(args.out))
+    execution = _execution_from(args)
+    store = scenario.get_store() if execution is None else None
+    repository = None
+    if store is not None:
+        repository = store.load_repository(config, kind=WEEKLY)
+        if repository is not None:
+            print("campaign store hit; exporting stored measurement data")
+    if repository is None:
+        world = build_world(config)
+        result = run_campaign(world, execution=execution)
+        repository = result.repository
+        if store is not None:
+            store.save(
+                config, result.repository, result.reports, kind=WEEKLY,
+                world=world,
+            )
+    manifest = export_repository(repository, pathlib.Path(args.out))
     print(f"exported campaign data; manifest at {manifest}")
-    print(f"repository digest: {result.repository.content_digest()}")
+    print(f"repository digest: {repository.content_digest()}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the campaign store over HTTP (lazy import: stdlib http)."""
+    from .data.serve import ServeConfig, run_server
+
+    _apply_cache_args(args)
+    store = scenario.get_store()
+    if store is None:
+        print("repro serve: the campaign store is disabled (--no-cache?)")
+        return 1
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        cache_root=str(store.root),
+        max_rows=args.max_rows,
+        lru_campaigns=args.lru_campaigns,
+    )
+    return run_server(config, store)
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or prune the on-disk campaign store."""
+    import json as json_module
+
+    _apply_cache_args(args)
+    store = scenario.get_store()
+    if store is None:
+        print("repro cache: the campaign store is disabled")
+        return 1
+    if args.cache_command == "ls":
+        entries = store.entries()
+        if args.json:
+            print(
+                json_module.dumps(
+                    [
+                        {
+                            "digest": e.digest,
+                            "kind": e.kind,
+                            "seed": e.seed,
+                            "repository_digest": e.repository_digest,
+                            "size_bytes": e.size_bytes,
+                        }
+                        for e in entries
+                    ],
+                    indent=2,
+                )
+            )
+            return 0
+        if not entries:
+            print(f"no stored campaigns under {store.root}")
+            return 0
+        print(f"{'DIGEST':16s}  {'KIND':8s}  {'SEED':>10s}  {'SIZE':>10s}")
+        for entry in entries:
+            seed = "-" if entry.seed is None else str(entry.seed)
+            print(
+                f"{entry.digest[:16]:16s}  {entry.kind:8s}  {seed:>10s}  "
+                f"{entry.size_bytes:>10d}"
+            )
+        return 0
+    # prune
+    removed = store.prune(args.keep_latest)
+    kept = len(store.entries())
+    print(
+        f"pruned {len(removed)} stored campaign(s); {kept} kept "
+        f"under {store.root}"
+    )
     return 0
 
 
@@ -269,9 +377,58 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--out", required=True)
     export.add_argument("--scale", type=float, default=1.0)
     export.add_argument("--seed", type=int, default=11)
+    export.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="campaign store root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    export.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk campaign store",
+    )
     _add_execution_args(export)
     _add_faults_arg(export)
     export.set_defaults(func=_cmd_export)
+
+    serve = sub.add_parser(
+        "serve", help="serve stored campaigns over an HTTP JSON API"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="campaign store root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    serve.add_argument(
+        "--max-rows",
+        type=int,
+        default=10_000,
+        help="per-request row ceiling (larger requests get a 413)",
+    )
+    serve.add_argument(
+        "--lru-campaigns",
+        type=int,
+        default=4,
+        help="loaded campaigns kept in memory",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    cache = sub.add_parser("cache", help="inspect the campaign store")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_ls = cache_sub.add_parser("ls", help="list stored campaigns")
+    cache_ls.add_argument("--json", action="store_true")
+    cache_ls.add_argument("--cache-dir", metavar="DIR", default=None)
+    cache_ls.set_defaults(func=_cmd_cache)
+    cache_prune = cache_sub.add_parser(
+        "prune", help="delete all but the newest N stored campaigns"
+    )
+    cache_prune.add_argument("--keep-latest", type=int, required=True)
+    cache_prune.add_argument("--cache-dir", metavar="DIR", default=None)
+    cache_prune.set_defaults(func=_cmd_cache)
 
     profile = sub.add_parser(
         "profile", help="run the small campaign and print a phase-time breakdown"

@@ -1,0 +1,470 @@
+"""Struct-of-arrays encodings of the measurement tables.
+
+The paper promised public access to its measurement data (§5.5); the
+CampaignStore already persists campaigns as row-oriented JSON.  This
+module adds the columnar layer on top: every table of a
+:class:`~repro.monitor.database.MeasurementDatabase` — DNS observations,
+page checks, downloads, AS paths, faults, plus the per-round DNS
+counters — as typed columns, with dictionary encoding for the low-
+cardinality values (address family, fault kind, AS path) and lazily
+built per-``(site_id, family, round)`` sorted indices for point lookups.
+
+Bit-identity contract: the columnar form is defined as a *transposition*
+of :meth:`MeasurementDatabase.to_dict`'s wire rows, and decoding rebuilds
+the database through :meth:`MeasurementDatabase.from_dict`, so a
+round trip (rows → columns → rows) reproduces the original database —
+and therefore :meth:`CentralRepository.content_digest` — bit for bit.
+
+``columnar.json`` (written by the campaign store next to
+``repository.json``) carries one :class:`ColumnarRepository` payload and
+is loadable without unpickling the world or importing the monitor.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+
+from ..errors import DataError
+from ..monitor.aggregate import CentralRepository
+from ..monitor.database import FAULT_KINDS, MeasurementDatabase
+from ..monitor.vantage import VantagePoint
+from ..net.addresses import AddressFamily
+from ..obs import metrics
+
+#: columnar file-format version; bumped on incompatible layout changes.
+COLUMNAR_FORMAT = 1
+
+#: fixed dictionary for family columns (codes are list positions).
+FAMILY_DICTIONARY = (AddressFamily.IPV4.value, AddressFamily.IPV6.value)
+
+#: plain column dtypes a payload may declare.
+DTYPES = ("i64", "f64", "bool", "str")
+
+#: conversion effectiveness counters (serve's LRU and the store read these).
+_ENCODES = metrics.counter("data.columnar.encodes")
+_DECODES = metrics.counter("data.columnar.decodes")
+
+
+@dataclass
+class Column:
+    """One plainly-stored typed column."""
+
+    name: str
+    dtype: str
+    values: list
+
+    def __post_init__(self) -> None:
+        if self.dtype not in DTYPES:
+            raise DataError(f"unknown column dtype {self.dtype!r}")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def get(self, row: int):
+        return self.values[row]
+
+    def raw(self, row: int):
+        """The sortable storage value (identical to :meth:`get` here)."""
+        return self.values[row]
+
+    def to_payload(self) -> dict:
+        return {"dtype": self.dtype, "values": list(self.values)}
+
+
+@dataclass
+class DictColumn:
+    """A dictionary-encoded column: per-row codes into a value list.
+
+    Used for the low-cardinality columns — address family, fault kind —
+    and for AS paths, where a campaign observes few distinct paths but
+    records one per (site, family, round).
+    """
+
+    name: str
+    codes: list[int]
+    dictionary: list
+
+    def __post_init__(self) -> None:
+        n = len(self.dictionary)
+        for code in self.codes:
+            if not isinstance(code, int) or not 0 <= code < n:
+                raise DataError(
+                    f"column {self.name!r}: code {code!r} outside "
+                    f"dictionary of {n} entries"
+                )
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def get(self, row: int):
+        return self.dictionary[self.codes[row]]
+
+    def raw(self, row: int) -> int:
+        return self.codes[row]
+
+    def encode(self, value) -> int | None:
+        """The code for ``value``, or None when it never occurs."""
+        try:
+            return self.dictionary.index(value)
+        except ValueError:
+            return None
+
+    def to_payload(self) -> dict:
+        return {
+            "dtype": "dict",
+            "codes": list(self.codes),
+            "dictionary": list(self.dictionary),
+        }
+
+
+def _column_from_payload(name: str, payload: dict) -> "Column | DictColumn":
+    try:
+        dtype = payload["dtype"]
+        if dtype == "dict":
+            return DictColumn(
+                name=name,
+                codes=list(payload["codes"]),
+                dictionary=list(payload["dictionary"]),
+            )
+        return Column(name=name, dtype=dtype, values=list(payload["values"]))
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"malformed column payload for {name!r}: {exc}") from exc
+
+
+class SortedIndex:
+    """Row ids sorted by a key-column tuple, with equal-range lookup.
+
+    The sort is stable, so within one full key the original row order —
+    the monitor's monotone round order — is preserved, and an equal-range
+    probe on a key *prefix* (``site_id`` alone, or ``site_id, family``)
+    returns rows in ascending row id.
+    """
+
+    def __init__(self, table: "ColumnarTable", keys: tuple[str, ...]) -> None:
+        self.keys = keys
+        columns = [table.column(key) for key in keys]
+
+        def key_of(row: int) -> tuple:
+            return tuple(column.raw(row) for column in columns)
+
+        self.order = sorted(range(table.n_rows), key=key_of)
+        self._tuples = [key_of(row) for row in self.order]
+
+    def equal_range(self, prefix: tuple) -> list[int]:
+        """Row ids whose key starts with ``prefix``, ascending."""
+        k = len(prefix)
+        lo = bisect_left(self._tuples, prefix, key=lambda t: t[:k])
+        hi = bisect_right(self._tuples, prefix, key=lambda t: t[:k])
+        return sorted(self.order[lo:hi])
+
+
+#: table name -> (column name, dtype or "dict") in wire-row order.
+TABLE_SCHEMAS: dict[str, tuple[tuple[str, str], ...]] = {
+    "dns": (
+        ("site_id", "i64"), ("name", "str"), ("round", "i64"),
+        ("has_v4", "bool"), ("has_v6", "bool"), ("listed", "bool"),
+    ),
+    "dns_counts": (
+        ("round", "i64"), ("queried", "i64"),
+        ("with_a", "i64"), ("with_aaaa", "i64"),
+    ),
+    "page_checks": (
+        ("site_id", "i64"), ("round", "i64"), ("v4_bytes", "i64"),
+        ("v6_bytes", "i64"), ("identical", "bool"),
+    ),
+    "downloads": (
+        ("site_id", "i64"), ("family", "dict"), ("round", "i64"),
+        ("n_samples", "i64"), ("mean_speed", "f64"), ("ci_half_width", "f64"),
+        ("converged", "bool"), ("page_bytes", "i64"), ("timestamp", "f64"),
+    ),
+    "paths": (
+        ("site_id", "i64"), ("family", "dict"), ("round", "i64"),
+        ("dest_asn", "i64"), ("as_path", "dict"),
+    ),
+    "faults": (
+        ("site_id", "i64"), ("family", "dict"), ("round", "i64"),
+        ("kind", "dict"),
+    ),
+}
+
+#: the key columns each table's sorted index covers (prefix-probe order:
+#: equality pushdown needs site_id first, then family).
+TABLE_INDEX_KEYS: dict[str, tuple[str, ...]] = {
+    "dns": ("site_id", "round"),
+    "dns_counts": ("round",),
+    "page_checks": ("site_id", "round"),
+    "downloads": ("site_id", "family", "round"),
+    "paths": ("site_id", "family", "round"),
+    "faults": ("site_id", "family", "round"),
+}
+
+#: columns with a *fixed* dictionary (shared vocabulary, stable codes).
+_FIXED_DICTIONARIES = {
+    "family": list(FAMILY_DICTIONARY),
+    "kind": list(FAULT_KINDS),
+}
+
+
+class ColumnarTable:
+    """One table as named columns plus lazily built sorted indices."""
+
+    def __init__(
+        self, name: str, columns: dict[str, "Column | DictColumn"]
+    ) -> None:
+        self.name = name
+        self.columns = columns
+        lengths = {len(column) for column in columns.values()}
+        if len(lengths) > 1:
+            raise DataError(
+                f"table {name!r}: ragged columns (lengths {sorted(lengths)})"
+            )
+        self.n_rows = lengths.pop() if lengths else 0
+        self._indices: dict[tuple[str, ...], SortedIndex] = {}
+
+    def column(self, name: str) -> "Column | DictColumn":
+        if name not in self.columns:
+            raise DataError(
+                f"table {self.name!r} has no column {name!r} "
+                f"(columns: {', '.join(self.columns)})"
+            )
+        return self.columns[name]
+
+    @property
+    def index_keys(self) -> tuple[str, ...]:
+        return TABLE_INDEX_KEYS[self.name]
+
+    def index(self, keys: tuple[str, ...] | None = None) -> SortedIndex:
+        keys = keys or self.index_keys
+        if keys not in self._indices:
+            self._indices[keys] = SortedIndex(self, keys)
+        return self._indices[keys]
+
+    def rows(self) -> list[list]:
+        """Wire rows (the ``to_dict`` layout) rebuilt from the columns."""
+        columns = [self.columns[name] for name, _ in TABLE_SCHEMAS[self.name]]
+        return [
+            [column.get(row) for column in columns]
+            for row in range(self.n_rows)
+        ]
+
+    def to_payload(self) -> dict:
+        return {
+            "n_rows": self.n_rows,
+            "columns": {
+                name: column.to_payload() for name, column in self.columns.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, name: str, payload: dict) -> "ColumnarTable":
+        if name not in TABLE_SCHEMAS:
+            raise DataError(f"unknown columnar table {name!r}")
+        try:
+            columns_payload = payload["columns"]
+            declared = payload["n_rows"]
+        except (KeyError, TypeError) as exc:
+            raise DataError(f"malformed table payload for {name!r}") from exc
+        columns: dict[str, Column | DictColumn] = {}
+        for column_name, dtype in TABLE_SCHEMAS[name]:
+            if column_name not in columns_payload:
+                raise DataError(f"table {name!r} misses column {column_name!r}")
+            column = _column_from_payload(
+                column_name, columns_payload[column_name]
+            )
+            expected = "dict" if dtype == "dict" else dtype
+            actual = "dict" if isinstance(column, DictColumn) else column.dtype
+            if actual != expected:
+                raise DataError(
+                    f"table {name!r} column {column_name!r}: dtype "
+                    f"{actual!r}, schema requires {expected!r}"
+                )
+            columns[column_name] = column
+        table = cls(name, columns)
+        if table.n_rows != declared:
+            raise DataError(
+                f"table {name!r}: declared {declared} rows, "
+                f"columns hold {table.n_rows}"
+            )
+        return table
+
+    @classmethod
+    def from_rows(cls, name: str, rows: list) -> "ColumnarTable":
+        """Transpose wire rows into columns (dictionary-encoding as set
+        by the schema; AS-path dictionaries are first-appearance order)."""
+        schema = TABLE_SCHEMAS[name]
+        columns: dict[str, Column | DictColumn] = {}
+        for position, (column_name, dtype) in enumerate(schema):
+            values = [row[position] for row in rows]
+            if dtype != "dict":
+                columns[column_name] = Column(column_name, dtype, values)
+                continue
+            if column_name in _FIXED_DICTIONARIES:
+                dictionary = list(_FIXED_DICTIONARIES[column_name])
+                positions = {value: i for i, value in enumerate(dictionary)}
+            else:
+                dictionary, positions = [], {}
+            codes = []
+            for value in values:
+                key = tuple(value) if isinstance(value, list) else value
+                if key not in positions:
+                    positions[key] = len(dictionary)
+                    dictionary.append(value)
+                codes.append(positions[key])
+            columns[column_name] = DictColumn(column_name, codes, dictionary)
+        return cls(name, columns)
+
+
+class ColumnarDatabase:
+    """Every table of one vantage point's database, in columnar form."""
+
+    def __init__(
+        self, vantage_name: str, tables: dict[str, ColumnarTable]
+    ) -> None:
+        self.vantage_name = vantage_name
+        self.tables = tables
+
+    def table(self, name: str) -> ColumnarTable:
+        if name not in self.tables:
+            raise DataError(
+                f"unknown table {name!r} (tables: {', '.join(self.tables)})"
+            )
+        return self.tables[name]
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self.tables)
+
+    def row_counts(self) -> dict[str, int]:
+        return {name: table.n_rows for name, table in self.tables.items()}
+
+    @classmethod
+    def from_database(cls, db: MeasurementDatabase) -> "ColumnarDatabase":
+        """Encode a database by transposing its wire-form rows."""
+        _ENCODES.inc()
+        data = db.to_dict()
+        tables = {
+            name: ColumnarTable.from_rows(name, data.get(name, []))
+            for name in TABLE_SCHEMAS
+        }
+        return cls(vantage_name=data["vantage_name"], tables=tables)
+
+    def to_database(self) -> MeasurementDatabase:
+        """Decode back to row objects through the wire-format loader, so
+        the monotone-round invariants are re-validated and the rebuilt
+        database is bit-identical to the encoded one."""
+        from ..monitor.database import SERIAL_FORMAT
+
+        _DECODES.inc()
+        data = {
+            "format": SERIAL_FORMAT,
+            "vantage_name": self.vantage_name,
+            "dns": self.tables["dns"].rows(),
+            "dns_counts": self.tables["dns_counts"].rows(),
+            "page_checks": self.tables["page_checks"].rows(),
+            "downloads": self.tables["downloads"].rows(),
+            "paths": self.tables["paths"].rows(),
+        }
+        faults = self.tables["faults"].rows()
+        if faults:
+            data["faults"] = faults
+        return MeasurementDatabase.from_dict(data)
+
+    def to_payload(self) -> dict:
+        return {
+            "vantage_name": self.vantage_name,
+            "tables": {
+                name: table.to_payload() for name, table in self.tables.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ColumnarDatabase":
+        try:
+            vantage_name = payload["vantage_name"]
+            tables_payload = payload["tables"]
+        except (KeyError, TypeError) as exc:
+            raise DataError("malformed columnar database payload") from exc
+        tables = {}
+        for name in TABLE_SCHEMAS:
+            if name not in tables_payload:
+                raise DataError(f"columnar payload misses table {name!r}")
+            tables[name] = ColumnarTable.from_payload(name, tables_payload[name])
+        return cls(vantage_name=vantage_name, tables=tables)
+
+
+@dataclass
+class ColumnarRepository:
+    """A whole campaign — vantage roster plus columnar databases.
+
+    This is the ``columnar.json`` payload the campaign store writes next
+    to ``repository.json``; :meth:`to_repository` materialises the
+    row-object :class:`CentralRepository` when an analysis needs it.
+    """
+
+    vantages: dict[str, dict] = field(default_factory=dict)
+    databases: dict[str, ColumnarDatabase] = field(default_factory=dict)
+
+    @classmethod
+    def from_repository(cls, repository: CentralRepository) -> "ColumnarRepository":
+        vantages, databases = {}, {}
+        for vantage, db in repository.items():
+            vantages[vantage.name] = vantage.to_dict()
+            databases[vantage.name] = ColumnarDatabase.from_database(db)
+        return cls(vantages=vantages, databases=databases)
+
+    def to_repository(self) -> CentralRepository:
+        repository = CentralRepository()
+        for name, vantage_data in self.vantages.items():
+            repository.add(
+                VantagePoint.from_dict(vantage_data),
+                self.databases[name].to_database(),
+            )
+        return repository
+
+    def to_payload(self) -> dict:
+        return {
+            "format": COLUMNAR_FORMAT,
+            "vantages": list(self.vantages.values()),
+            "databases": {
+                name: cdb.to_payload() for name, cdb in self.databases.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ColumnarRepository":
+        fmt = payload.get("format") if isinstance(payload, dict) else None
+        if fmt != COLUMNAR_FORMAT:
+            raise DataError(
+                f"unsupported columnar format {fmt!r} "
+                f"(expected {COLUMNAR_FORMAT})"
+            )
+        try:
+            vantage_rows = payload["vantages"]
+            database_payloads = payload["databases"]
+        except KeyError as exc:
+            raise DataError("malformed columnar repository payload") from exc
+        vantages, databases = {}, {}
+        for vantage_data in vantage_rows:
+            name = vantage_data.get("name")
+            if name not in database_payloads:
+                raise DataError(f"columnar payload misses database {name!r}")
+            vantages[name] = vantage_data
+            databases[name] = ColumnarDatabase.from_payload(
+                database_payloads[name]
+            )
+        return cls(vantages=vantages, databases=databases)
+
+
+def columnar_view(db: MeasurementDatabase) -> ColumnarDatabase:
+    """The cached columnar view of a database (the query core's input).
+
+    Memoized on the database instance; any table write invalidates, so a
+    view taken after the campaign completes is encoded exactly once and
+    shared by every analysis pass.
+    """
+    view = db._columnar_cache
+    if view is None:
+        view = ColumnarDatabase.from_database(db)
+        db._columnar_cache = view
+    return view

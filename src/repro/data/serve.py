@@ -1,0 +1,461 @@
+"""``repro serve`` — a stdlib-only campaign serving API.
+
+The paper's §5.5: "the currently limited public access to its data ...
+would obviously be required to allow independent validation of the
+findings."  This module puts the campaign store on the network: a JSON
+HTTP API over ``.repro-cache/campaigns/`` with an LRU of loaded columnar
+campaigns, per-request spans/metrics, and bounded request handling.
+
+Endpoints::
+
+    GET  /healthz                                  liveness probe
+    GET  /campaigns                                store listing (meta only)
+    GET  /campaigns/<digest>                       vantages + table row counts
+    GET  /campaigns/<digest>/tables/<name>         one table page, columnar
+         ?vantage=NAME&offset=N&limit=N
+    POST /campaigns/<digest>/query                 repro.data.query over HTTP
+         {"vantage": ..., "table": ..., "where": [...], "group_by": [...],
+          "aggregates": [...], "select": [...], "limit": N}
+    GET  /campaigns/<digest>/analysis/classify     Fig-4 site classification
+         ?vantage=NAME
+
+Every response body is canonical JSON (sorted keys, no whitespace), so
+a served result can be byte-diffed against the same payload computed
+directly from the row objects — the CI serve-smoke job does exactly
+that.  Errors are structured (``{"error": {"code", "message"}}``) with
+the appropriate 4xx status; a traceback never crosses the socket.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, urlparse
+
+from ..analysis.classify import classify_sites
+from ..engine.store import DEFAULT_CACHE_ROOT, CampaignStore
+from ..errors import DataError
+from ..monitor.database import MeasurementDatabase
+from ..obs import get_logger, metrics, span
+from .columnar import ColumnarDatabase
+from .query import MAX_QUERY_ROWS, Query, run_query
+
+_LOG = get_logger("data.serve")
+
+#: request accounting (the serve-smoke job and tests read these).
+_REQUESTS = metrics.counter("data.serve.requests")
+_ERRORS = metrics.counter("data.serve.errors")
+_CACHE_HITS = metrics.counter("data.serve.cache_hits")
+_CACHE_MISSES = metrics.counter("data.serve.cache_misses")
+_LATENCY = metrics.histogram("data.serve.latency_ms")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Bounds and knobs for one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    cache_root: str = DEFAULT_CACHE_ROOT
+    #: per-request row ceiling (requests asking for more get a 413).
+    max_rows: int = 10_000
+    #: loaded columnar campaigns kept in memory.
+    lru_campaigns: int = 4
+    #: request body ceiling in bytes.
+    max_body_bytes: int = 1_000_000
+    #: socket timeout per request, seconds.
+    request_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_rows <= 0 or self.max_rows > MAX_QUERY_ROWS:
+            raise DataError(
+                f"max_rows must be in 1..{MAX_QUERY_ROWS}, got {self.max_rows}"
+            )
+        if self.lru_campaigns <= 0:
+            raise DataError("lru_campaigns must be positive")
+
+
+class HttpError(DataError):
+    """An error with a status code and a machine-readable code."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+def _bad_request(message: str) -> HttpError:
+    return HttpError(400, "bad_request", message)
+
+
+def _not_found(message: str) -> HttpError:
+    return HttpError(404, "not_found", message)
+
+
+@dataclass
+class LoadedCampaign:
+    """One store entry resident in the serving LRU."""
+
+    digest: str
+    meta: dict
+    vantages: dict[str, dict]
+    columnar: dict[str, ColumnarDatabase]
+    #: row-object databases, materialised per vantage on first use.
+    _databases: dict[str, MeasurementDatabase] = field(default_factory=dict)
+
+    def columnar_for(self, vantage: str | None) -> ColumnarDatabase:
+        if vantage is None:
+            raise _bad_request("a 'vantage' parameter is required")
+        if vantage not in self.columnar:
+            raise _not_found(
+                f"unknown vantage {vantage!r} "
+                f"(vantages: {', '.join(sorted(self.columnar))})"
+            )
+        return self.columnar[vantage]
+
+    def database_for(self, vantage: str | None) -> MeasurementDatabase:
+        cdb = self.columnar_for(vantage)
+        if vantage not in self._databases:
+            self._databases[vantage] = cdb.to_database()
+        return self._databases[vantage]
+
+
+class CampaignCache:
+    """A small LRU of loaded columnar campaigns keyed by digest."""
+
+    def __init__(self, store: CampaignStore, capacity: int) -> None:
+        self.store = store
+        self.capacity = capacity
+        self._entries: OrderedDict[str, LoadedCampaign] = OrderedDict()
+
+    def get(self, digest: str) -> LoadedCampaign:
+        if digest in self._entries:
+            self._entries.move_to_end(digest)
+            _CACHE_HITS.inc()
+            return self._entries[digest]
+        _CACHE_MISSES.inc()
+        with span("serve.load_campaign", digest=digest[:12]):
+            loaded = self.store.load_columnar_entry(digest)
+        if loaded is None:
+            raise _not_found(f"unknown campaign digest {digest!r}")
+        meta, columnar = loaded
+        campaign = LoadedCampaign(
+            digest=digest,
+            meta=meta,
+            vantages=dict(columnar.vantages),
+            columnar=dict(columnar.databases),
+        )
+        self._entries[digest] = campaign
+        while len(self._entries) > self.capacity:
+            evicted, _ = self._entries.popitem(last=False)
+            _LOG.debug("evicted campaign from LRU", extra={"digest": evicted[:12]})
+        return campaign
+
+
+def canonical_json(payload: dict) -> bytes:
+    """The byte-stable response encoding (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+def classification_payload(db: MeasurementDatabase) -> dict:
+    """Fig-4 site classification of one vantage, as a JSON-ready dict.
+
+    Computed through ``analysis.classify`` (which itself runs on the
+    query core) over the dual-stack population; the CI serve-smoke job
+    byte-compares this payload computed from the columnar store against
+    the same payload computed from the row-object repository.
+    """
+    classifications = classify_sites(db, db.dual_stack_sites())
+    return {
+        "vantage": db.vantage_name,
+        "n_sites": len(classifications),
+        "sites": [
+            {
+                "site_id": site_id,
+                "category": c.category.value,
+                "dest_v4": c.dest_v4,
+                "dest_v6": c.dest_v6,
+                "path_v4": list(c.path_v4),
+                "path_v6": list(c.path_v6),
+            }
+            for site_id, c in sorted(classifications.items())
+        ],
+    }
+
+
+class ServeApp:
+    """The socket-free request core (handlers and tests call this)."""
+
+    def __init__(self, store: CampaignStore, config: ServeConfig) -> None:
+        self.config = config
+        self.cache = CampaignCache(store, config.lru_campaigns)
+        self.store = store
+
+    # -- routing -------------------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        params: dict[str, str],
+        body: bytes | None = None,
+    ) -> tuple[int, dict]:
+        """Dispatch one request; returns ``(status, payload)``."""
+        try:
+            return 200, self._route(method, path, params, body)
+        except HttpError as exc:
+            _ERRORS.inc()
+            return exc.status, {
+                "error": {"code": exc.code, "message": str(exc)}
+            }
+        except DataError as exc:
+            _ERRORS.inc()
+            return 400, {"error": {"code": "bad_request", "message": str(exc)}}
+        except Exception as exc:  # never let a traceback cross the socket
+            _ERRORS.inc()
+            _LOG.warning(
+                "internal error serving request",
+                extra={"path": path, "error": str(exc)},
+            )
+            return 500, {
+                "error": {"code": "internal", "message": "internal server error"}
+            }
+
+    def _route(
+        self, method: str, path: str, params: dict[str, str], body: bytes | None
+    ) -> dict:
+        parts = [part for part in path.split("/") if part]
+        if parts == ["healthz"]:
+            self._require(method, "GET")
+            return {"status": "ok"}
+        if parts == ["campaigns"]:
+            self._require(method, "GET")
+            return self._list_campaigns()
+        if len(parts) >= 2 and parts[0] == "campaigns":
+            campaign = self.cache.get(parts[1])
+            if len(parts) == 2:
+                self._require(method, "GET")
+                return self._campaign_detail(campaign)
+            if len(parts) == 4 and parts[2] == "tables":
+                self._require(method, "GET")
+                return self._table_page(campaign, parts[3], params)
+            if len(parts) == 3 and parts[2] == "query":
+                self._require(method, "POST")
+                return self._query(campaign, body)
+            if len(parts) == 4 and parts[2] == "analysis":
+                self._require(method, "GET")
+                return self._analysis(campaign, parts[3], params)
+        raise _not_found(f"no such resource: {path}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise HttpError(
+                405, "method_not_allowed", f"use {expected} for this resource"
+            )
+
+    # -- endpoints -----------------------------------------------------------
+
+    def _list_campaigns(self) -> dict:
+        campaigns = [
+            {
+                "digest": entry.digest,
+                "kind": entry.kind,
+                "seed": entry.seed,
+                "repository_digest": entry.repository_digest,
+            }
+            for entry in self.store.entries()
+        ]
+        return {"campaigns": campaigns, "n_campaigns": len(campaigns)}
+
+    def _campaign_detail(self, campaign: LoadedCampaign) -> dict:
+        return {
+            "digest": campaign.digest,
+            "kind": campaign.meta.get("kind"),
+            "seed": campaign.meta.get("seed"),
+            "repository_digest": campaign.meta.get("repository_digest"),
+            "vantages": {
+                name: {
+                    "asn": vantage.get("asn"),
+                    "location": vantage.get("location"),
+                    "tables": campaign.columnar[name].row_counts(),
+                }
+                for name, vantage in sorted(campaign.vantages.items())
+            },
+        }
+
+    def _table_page(
+        self, campaign: LoadedCampaign, table_name: str, params: dict[str, str]
+    ) -> dict:
+        cdb = campaign.columnar_for(params.get("vantage"))
+        table = cdb.table(table_name)
+        offset = self._int_param(params, "offset", 0, minimum=0)
+        limit = self._int_param(
+            params, "limit", min(self.config.max_rows, 1000), minimum=1
+        )
+        self._check_limit(limit)
+        rows = list(range(table.n_rows))[offset : offset + limit]
+        columns = {
+            name: [column.get(row) for row in rows]
+            for name, column in table.columns.items()
+        }
+        return {
+            "vantage": cdb.vantage_name,
+            "table": table_name,
+            "total_rows": table.n_rows,
+            "offset": offset,
+            "n_rows": len(rows),
+            "truncated": offset + len(rows) < table.n_rows,
+            "columns": columns,
+        }
+
+    def _query(self, campaign: LoadedCampaign, body: bytes | None) -> dict:
+        if not body:
+            raise _bad_request("POST /query requires a JSON body")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise _bad_request(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise _bad_request("query payload must be a JSON object")
+        query = Query.from_dict(payload)
+        if query.limit is not None:
+            self._check_limit(query.limit)
+        else:
+            query = Query(
+                table=query.table,
+                where=query.where,
+                select=query.select,
+                group_by=query.group_by,
+                aggregates=query.aggregates,
+                limit=self.config.max_rows,
+            )
+        cdb = campaign.columnar_for(payload.get("vantage"))
+        with span("serve.query", table=query.table, vantage=cdb.vantage_name):
+            result = run_query(cdb, query)
+        response = result.to_payload()
+        response["vantage"] = cdb.vantage_name
+        response["table"] = query.table
+        return response
+
+    def _analysis(
+        self, campaign: LoadedCampaign, name: str, params: dict[str, str]
+    ) -> dict:
+        if name != "classify":
+            raise _not_found(f"unknown analysis endpoint {name!r}")
+        db = campaign.database_for(params.get("vantage"))
+        with span("serve.classify", vantage=db.vantage_name):
+            return classification_payload(db)
+
+    # -- parameter plumbing --------------------------------------------------
+
+    def _check_limit(self, limit: int) -> None:
+        if limit > self.config.max_rows:
+            raise HttpError(
+                413,
+                "too_large",
+                f"limit {limit} exceeds this server's max_rows "
+                f"({self.config.max_rows}); page with offset/limit instead",
+            )
+
+    @staticmethod
+    def _int_param(
+        params: dict[str, str], name: str, default: int, minimum: int
+    ) -> int:
+        raw = params.get(name)
+        if raw is None:
+            return default
+        try:
+            value = int(raw)
+        except ValueError:
+            raise _bad_request(f"parameter {name!r} must be an integer") from None
+        if value < minimum:
+            raise _bad_request(f"parameter {name!r} must be >= {minimum}")
+        return value
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin socket adapter around :class:`ServeApp.handle`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+    app: ServeApp  # set by make_server
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        _REQUESTS.inc()
+        parsed = urlparse(self.path)
+        params = dict(parse_qsl(parsed.query))
+        body: bytes | None = None
+        if method == "POST":
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > self.app.config.max_body_bytes:
+                self._respond(
+                    413,
+                    {
+                        "error": {
+                            "code": "too_large",
+                            "message": (
+                                f"request body of {length} bytes exceeds the "
+                                f"{self.app.config.max_body_bytes}-byte cap"
+                            ),
+                        }
+                    },
+                )
+                return
+            body = self.rfile.read(length) if length else b""
+        started = time.perf_counter()
+        with span("serve.request", method=method, path=parsed.path):
+            status, payload = self.app.handle(method, parsed.path, params, body)
+        _LATENCY.observe((time.perf_counter() - started) * 1000.0)
+        self._respond(status, payload)
+
+    def _respond(self, status: int, payload: dict) -> None:
+        data = canonical_json(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, fmt: str, *args) -> None:  # route to repro.obs
+        _LOG.debug("http " + fmt % args)
+
+
+def make_server(
+    config: ServeConfig, store: CampaignStore | None = None
+) -> ThreadingHTTPServer:
+    """Build a ready-to-run threading HTTP server over the store."""
+    store = store or CampaignStore(pathlib.Path(config.cache_root))
+    app = ServeApp(store, config)
+    handler = type("BoundHandler", (_Handler,), {"app": app})
+    handler.timeout = config.request_timeout
+    server = ThreadingHTTPServer((config.host, config.port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def run_server(config: ServeConfig, store: CampaignStore | None = None) -> int:
+    """Serve until interrupted (the ``repro serve`` entry point)."""
+    server = make_server(config, store)
+    host, port = server.server_address[:2]
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(store: {config.cache_root})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    finally:
+        server.server_close()
+    return 0

@@ -19,6 +19,7 @@ from .store import (
     DEFAULT_CACHE_ROOT,
     CampaignStore,
     StoredCampaign,
+    StoreEntry,
     config_digest,
 )
 
@@ -35,6 +36,7 @@ __all__ = [
     "W6D",
     "CampaignStore",
     "StoredCampaign",
+    "StoreEntry",
     "config_digest",
     "DEFAULT_CACHE_ROOT",
 ]

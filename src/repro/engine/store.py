@@ -12,6 +12,7 @@ Layout (one directory per campaign)::
     <root>/campaigns/<digest>/
         meta.json          store format, digest, kind, config snapshot
         repository.json    CentralRepository.to_dict() (every table)
+        columnar.json      ColumnarRepository payload (repro.data)
         reports.json       per-vantage RoundReport dicts
         world.pkl          pickled World (best effort; absent ok)
 
@@ -83,6 +84,33 @@ class StoredCampaign:
     world: object | None
 
 
+@dataclass(frozen=True)
+class StoreEntry:
+    """One campaign directory's identity (meta.json, no table data)."""
+
+    digest: str
+    kind: str
+    seed: int | None
+    repository_digest: str | None
+    path: pathlib.Path
+    #: meta.json modification time (entries are ordered newest first).
+    mtime: float = 0.0
+
+    @property
+    def size_bytes(self) -> int:
+        """Total bytes of the entry's files (best effort)."""
+        total = 0
+        try:
+            for child in self.path.iterdir():
+                try:
+                    total += child.stat().st_size
+                except OSError:
+                    continue
+        except OSError:
+            pass
+        return total
+
+
 class CampaignStore:
     """Content-addressed campaign persistence under one root directory."""
 
@@ -94,6 +122,52 @@ class CampaignStore:
 
     def has(self, config: ScenarioConfig, kind: str = "weekly") -> bool:
         return (self.entry_dir(config_digest(config, kind)) / "meta.json").exists()
+
+    # -- enumerate -----------------------------------------------------------
+
+    def entries(self) -> list[StoreEntry]:
+        """Every valid store entry, newest first (``repro cache ls``)."""
+        campaigns = self.root / "campaigns"
+        if not campaigns.is_dir():
+            return []
+        found: list[StoreEntry] = []
+        for entry_dir in sorted(campaigns.iterdir()):
+            meta_path = entry_dir / "meta.json"
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+                if meta.get("store_format") != STORE_FORMAT:
+                    continue
+                found.append(
+                    StoreEntry(
+                        digest=meta.get("digest", entry_dir.name),
+                        kind=meta.get("kind", "unknown"),
+                        seed=meta.get("seed"),
+                        repository_digest=meta.get("repository_digest"),
+                        path=entry_dir,
+                        mtime=meta_path.stat().st_mtime,
+                    )
+                )
+            except (OSError, ValueError, AttributeError):
+                # No/unreadable meta.json: not a valid entry; skip.
+                continue
+        found.sort(key=lambda e: (-e.mtime, e.digest))
+        return found
+
+    def prune(self, keep_latest: int) -> list[StoreEntry]:
+        """Delete all but the newest ``keep_latest`` entries; returns the
+        removed entries (``repro cache prune``)."""
+        import shutil
+
+        if keep_latest < 0:
+            raise ValueError(f"keep_latest must be >= 0, got {keep_latest}")
+        doomed = self.entries()[keep_latest:]
+        for entry in doomed:
+            shutil.rmtree(entry.path, ignore_errors=True)
+            _LOG.info(
+                "pruned store entry",
+                extra={"digest": entry.digest[:12], "dir": str(entry.path)},
+            )
+        return doomed
 
     # -- load --------------------------------------------------------------
 
@@ -154,6 +228,89 @@ class CampaignStore:
             world=world,
         )
 
+    def load_repository(
+        self, config: ScenarioConfig, kind: str = "weekly"
+    ) -> CentralRepository | None:
+        """The stored measurement repository only — no reports, no world.
+
+        The ``repro export`` path uses this: serialized DB in, CSVs out,
+        without rebuilding the simulation world.
+        """
+        return self.load_repository_by_digest(config_digest(config, kind))
+
+    def load_repository_by_digest(self, digest: str) -> CentralRepository | None:
+        """Like :meth:`load_repository` but addressed by store digest."""
+        entry = self.entry_dir(digest)
+        if not (entry / "meta.json").exists():
+            _STORE_MISSES.inc()
+            return None
+        with span("engine.store.load_repository", digest=digest[:12]):
+            try:
+                meta = json.loads(
+                    (entry / "meta.json").read_text(encoding="utf-8")
+                )
+                if meta.get("store_format") != STORE_FORMAT:
+                    _STORE_MISSES.inc()
+                    return None
+                repository = CentralRepository.from_dict(
+                    json.loads(
+                        (entry / "repository.json").read_text(encoding="utf-8")
+                    )
+                )
+            except (OSError, ValueError, KeyError, TypeError, ReproError) as exc:
+                _LOG.warning(
+                    "unreadable store entry; treating as miss",
+                    extra={"digest": digest[:12], "error": str(exc)},
+                )
+                _STORE_MISSES.inc()
+                return None
+        _STORE_HITS.inc()
+        return repository
+
+    def load_columnar_entry(self, digest: str):
+        """One entry's ``(meta, ColumnarRepository)`` — the serving path.
+
+        Prefers the stored ``columnar.json``; entries written before the
+        columnar layer existed are transposed from ``repository.json`` on
+        the fly.  Returns None on a miss or an unreadable entry.
+        """
+        from ..data.columnar import ColumnarRepository
+
+        entry = self.entry_dir(digest)
+        meta_path = entry / "meta.json"
+        if not meta_path.exists():
+            _STORE_MISSES.inc()
+            return None
+        with span("engine.store.load_columnar", digest=digest[:12]):
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+                if meta.get("store_format") != STORE_FORMAT:
+                    _STORE_MISSES.inc()
+                    return None
+                columnar_path = entry / "columnar.json"
+                if columnar_path.exists():
+                    columnar = ColumnarRepository.from_payload(
+                        json.loads(columnar_path.read_text(encoding="utf-8"))
+                    )
+                else:
+                    repository = CentralRepository.from_dict(
+                        json.loads(
+                            (entry / "repository.json").read_text(
+                                encoding="utf-8"
+                            )
+                        )
+                    )
+                    columnar = ColumnarRepository.from_repository(repository)
+            except (OSError, ValueError, KeyError, TypeError, ReproError) as exc:
+                _LOG.warning(
+                    "unreadable store entry; treating as miss",
+                    extra={"digest": digest[:12], "error": str(exc)},
+                )
+                _STORE_MISSES.inc()
+                return None
+        _STORE_HITS.inc()
+        return meta, columnar
+
     @staticmethod
     def _load_world(path: pathlib.Path, digest: str):
         if not path.exists():
@@ -187,6 +344,7 @@ class CampaignStore:
                 json.dumps(repository.to_dict(), separators=(",", ":")),
                 encoding="utf-8",
             )
+            self._save_columnar(entry / "columnar.json", repository, digest)
             (entry / "reports.json").write_text(
                 json.dumps(
                     {
@@ -222,6 +380,23 @@ class CampaignStore:
             extra={"digest": digest[:12], "kind": kind, "dir": str(entry)},
         )
         return entry
+
+    @staticmethod
+    def _save_columnar(
+        path: pathlib.Path, repository: CentralRepository, digest: str
+    ) -> None:
+        """Write the columnar artifact (lazily imported: ``repro.data``
+        itself imports the monitor this module already depends on)."""
+        from ..data.columnar import ColumnarRepository
+
+        path.write_text(
+            json.dumps(
+                ColumnarRepository.from_repository(repository).to_payload(),
+                separators=(",", ":"),
+            ),
+            encoding="utf-8",
+        )
+        _LOG.debug("columnar artifact written", extra={"digest": digest[:12]})
 
     @staticmethod
     def _save_world(path: pathlib.Path, world, digest: str) -> None:

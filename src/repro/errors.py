@@ -74,3 +74,7 @@ class AnalysisError(ReproError):
 
 class EngineError(ReproError):
     """The execution engine was misused or a shard could not be executed."""
+
+
+class DataError(ReproError):
+    """A columnar payload or query is malformed or references unknown data."""

@@ -178,6 +178,16 @@ def _store() -> CampaignStore | None:
     return _STORE
 
 
+def get_store() -> CampaignStore | None:
+    """The configured disk-tier store, or None when caching is disabled.
+
+    Public accessor for the CLI paths (``repro export`` / ``serve`` /
+    ``cache``) so they honour :func:`configure_cache` and the
+    ``REPRO_CACHE_DIR`` environment variable the same way campaigns do.
+    """
+    return _store()
+
+
 def configure_cache(root=None) -> None:
     """Point the disk tier at ``root``; ``None`` disables it entirely.
 

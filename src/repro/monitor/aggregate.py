@@ -71,13 +71,21 @@ class CentralRepository:
         ]
 
     def common_dual_stack_sites(self) -> set[int]:
-        """Sites measured dual-stack from every analysis vantage point."""
+        """Sites measured dual-stack from every analysis vantage point.
+
+        Runs on the columnar query core (one group-aggregate over each
+        vantage's downloads table) — lazily imported because
+        ``repro.data`` imports this module.
+        """
+        from ..data.columnar import columnar_view
+        from ..data.query import dual_stack_sites
+
         items = self.analysis_items()
         if not items:
             return set()
-        common = set(items[0][1].dual_stack_sites())
+        common = set(dual_stack_sites(columnar_view(items[0][1])))
         for _, db in items[1:]:
-            common &= set(db.dual_stack_sites())
+            common &= set(dual_stack_sites(columnar_view(db)))
         return common
 
     def __len__(self) -> int:

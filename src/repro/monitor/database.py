@@ -126,6 +126,11 @@ class MeasurementDatabase:
     _dual_stack_cache: list[int] | None = field(
         default=None, repr=False, compare=False
     )
+    #: memoized columnar view (:func:`repro.data.columnar.columnar_view`);
+    #: any table write invalidates.
+    _columnar_cache: object | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- writes --------------------------------------------------------------
 
@@ -139,6 +144,7 @@ class MeasurementDatabase:
             )
         if obs.dual_stack:
             self._append_in_order(self.dns.setdefault(obs.site_id, []), obs)
+        self._columnar_cache = None
 
     def v6_reachability(self, round_idx: int) -> float:
         """AAAA share among the round's *top-list* queries (Fig 1's metric).
@@ -152,16 +158,19 @@ class MeasurementDatabase:
 
     def add_page_check(self, check: PageCheck) -> None:
         self._append_in_order(self.page_checks.setdefault(check.site_id, []), check)
+        self._columnar_cache = None
 
     def add_download(self, obs: DownloadObservation) -> None:
         key = (obs.site_id, obs.family)
         self._append_in_order(self.downloads.setdefault(key, []), obs)
         self._dual_stack_cache = None
+        self._columnar_cache = None
 
     def add_path(self, obs: PathObservation) -> None:
         key = (obs.site_id, obs.family)
         rows = self.paths.setdefault(key, [])
         self._append_in_order(rows, obs)
+        self._columnar_cache = None
 
     def add_fault(self, obs: FaultObservation) -> None:
         if obs.kind not in FAULT_KINDS:
@@ -172,6 +181,7 @@ class MeasurementDatabase:
                 f"after {self.faults[-1].round_idx}"
             )
         self.faults.append(obs)
+        self._columnar_cache = None
 
     @staticmethod
     def _append_in_order(rows: list, obs) -> None:

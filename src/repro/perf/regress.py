@@ -25,6 +25,9 @@ from dataclasses import dataclass
 MAX_ZONE_WALKS_PER_SITE = 1.5
 MAX_ENDPOINT_LOOKUPS_PER_LOOP = 1.25
 MAX_RNG_CONSTRUCTIONS_PER_DECISION = 0.0
+#: the query battery is point lookups (indexable) plus one group
+#: aggregate per vantage; pushdown must cover nearly every scan.
+MIN_INDEX_HIT_FRACTION = 0.95
 
 
 @dataclass(frozen=True)
@@ -128,6 +131,41 @@ def evaluate_gates(report: dict) -> list[GateResult]:
                 passed=walks_per_query <= 0.75,
                 observed=walks_per_query,
                 bound="<= 0.75 (one walk answers both families)",
+            )
+        )
+
+    data = _workload(report, "query")
+    if data is not None:
+        counters = data["counters"]
+        hit_fraction = data["derived"]["index_hit_fraction"]
+        results.append(
+            GateResult(
+                workload="query",
+                gate="index_hit_fraction",
+                passed=hit_fraction >= MIN_INDEX_HIT_FRACTION,
+                observed=hit_fraction,
+                bound=f">= {MIN_INDEX_HIT_FRACTION} (pushdown stays wired in)",
+            )
+        )
+        results.append(
+            GateResult(
+                workload="query",
+                gate="groups_emitted_nonzero",
+                passed=counters["data.query.groups_emitted"] > 0,
+                observed=counters["data.query.groups_emitted"],
+                bound="> 0 (the dual-stack group-aggregate ran)",
+            )
+        )
+        encodes = counters["data.columnar.encodes"]
+        scans = counters["data.query.scans"]
+        results.append(
+            GateResult(
+                workload="query",
+                gate="columnar_view_memoized",
+                passed=0 < encodes <= scans / 50 if scans else False,
+                observed=encodes,
+                bound=f"in 1..{scans / 50:g} (one encode per vantage, "
+                      "reused across the whole battery)",
             )
         )
 

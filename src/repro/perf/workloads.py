@@ -43,6 +43,11 @@ WORK_COUNTERS = (
     "monitor.sites_measured",
     "monitor.dual_stack",
     "bgp.route_computations",
+    "data.query.scans",
+    "data.query.rows_scanned",
+    "data.query.index_hits",
+    "data.query.groups_emitted",
+    "data.columnar.encodes",
 )
 
 
@@ -245,10 +250,70 @@ def end_to_end(seed: int, scale: float) -> WorkloadResult:
     )
 
 
+def query(seed: int, scale: float) -> WorkloadResult:
+    """The columnar query core over a full campaign's tables.
+
+    Runs the analysis layer's exact query battery — dual-stack
+    group-aggregate plus the per-site point lookups classification and
+    screening issue — against every vantage's columnar view.  The gate
+    counters are ``data.query.*``: scans, rows scanned, index hits, and
+    groups emitted are exact integers for a fixed (seed, scale), and the
+    index-hit fraction asserts the predicate pushdown stays wired in.
+    """
+    from ..data.columnar import columnar_view
+    from ..data.query import (
+        converged_speeds,
+        dest_asn,
+        dual_stack_sites,
+        modal_as_path,
+        path_change_rounds,
+    )
+
+    obs.reset()
+    obs.enable()
+    config = small_config(seed=seed, scale=scale)
+    world = build_world(config)
+    result = run_campaign(world, execution=_SERIAL)
+    t0 = time.perf_counter()
+    n_queries = 0
+    n_sites = 0
+    for _, db in result.repository.items():
+        cdb = columnar_view(db)
+        sites = dual_stack_sites(cdb)
+        n_sites += len(sites)
+        n_queries += 1
+        for site_id in sites:
+            for family in (AddressFamily.IPV4, AddressFamily.IPV6):
+                converged_speeds(cdb, site_id, family)
+                dest_asn(cdb, site_id, family)
+                modal_as_path(cdb, site_id, family)
+                path_change_rounds(cdb, site_id, family)
+                n_queries += 4
+    wall = time.perf_counter() - t0
+    counters = _snapshot_counters()
+    scans = counters["data.query.scans"]
+    return WorkloadResult(
+        name="query",
+        wall_seconds=wall,
+        counters=counters,
+        derived={
+            "index_hit_fraction": (
+                counters["data.query.index_hits"] / scans if scans else 0.0
+            ),
+            "rows_scanned_per_scan": (
+                counters["data.query.rows_scanned"] / scans if scans else 0.0
+            ),
+            "queries_per_second": n_queries / wall if wall > 0 else 0.0,
+        },
+        meta={"n_queries": n_queries, "n_dual_stack_sites": n_sites},
+    )
+
+
 #: name -> callable(seed, scale); the bench CLI's workload registry.
 WORKLOADS = {
     "round_loop": round_loop,
     "dns_phase": dns_phase,
     "fault_plan": fault_plan,
     "end_to_end": end_to_end,
+    "query": query,
 }

@@ -1,0 +1,201 @@
+"""Columnar encoding: round trips, payload validation, digest parity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.data.columnar import (
+    COLUMNAR_FORMAT,
+    ColumnarDatabase,
+    ColumnarRepository,
+    ColumnarTable,
+    DictColumn,
+    columnar_view,
+)
+from repro.errors import DataError
+from repro.monitor.database import (
+    DnsObservation,
+    DownloadObservation,
+    FaultObservation,
+    MeasurementDatabase,
+    PageCheck,
+    PathObservation,
+)
+from repro.net.addresses import AddressFamily
+
+V4 = AddressFamily.IPV4
+V6 = AddressFamily.IPV6
+
+
+def populated_db(with_faults: bool = True) -> MeasurementDatabase:
+    db = MeasurementDatabase(vantage_name="T")
+    db.add_dns(DnsObservation(1, "s1", 0, True, True))
+    db.add_dns(DnsObservation(2, "s2", 0, True, False))
+    db.add_page_check(PageCheck(1, 0, 1000, 1000, True))
+    for family in (V4, V6):
+        for round_idx in (0, 1, 2):
+            db.add_download(
+                DownloadObservation(
+                    site_id=1,
+                    round_idx=round_idx,
+                    family=family,
+                    n_samples=5,
+                    mean_speed=100.0 + round_idx + (0 if family is V4 else 10),
+                    ci_half_width=1.5,
+                    converged=round_idx != 1,
+                    page_bytes=1000,
+                    timestamp=float(round_idx),
+                )
+            )
+            db.add_path(
+                PathObservation(
+                    1, round_idx, family,
+                    dest_asn=30,
+                    as_path=(10, 20, 30) if round_idx < 2 else (10, 25, 30),
+                )
+            )
+    if with_faults:
+        db.add_fault(FaultObservation(1, 0, V6, "timeout"))
+        db.add_fault(FaultObservation(1, 1, V6, "dns_timeout"))
+        db.add_fault(FaultObservation(2, 1, V4, "reset"))
+    return db
+
+
+def test_database_round_trip_is_bit_identical():
+    db = populated_db()
+    rebuilt = ColumnarDatabase.from_database(db).to_database()
+    assert rebuilt.to_dict() == db.to_dict()
+
+
+def test_payload_round_trip_through_json():
+    db = populated_db()
+    payload = json.loads(
+        json.dumps(ColumnarDatabase.from_database(db).to_payload())
+    )
+    rebuilt = ColumnarDatabase.from_payload(payload).to_database()
+    assert rebuilt.to_dict() == db.to_dict()
+
+
+def test_faults_table_round_trips():
+    db = populated_db(with_faults=True)
+    cdb = ColumnarDatabase.from_database(db)
+    table = cdb.table("faults")
+    assert table.n_rows == 3
+    # dictionary-encoded kind and family decode to the original values
+    assert table.rows() == [
+        [1, V6.value, 0, "timeout"],
+        [1, V6.value, 1, "dns_timeout"],
+        [2, V4.value, 1, "reset"],
+    ]
+    rebuilt = cdb.to_database()
+    assert rebuilt.faults == db.faults
+    assert rebuilt.fault_counts() == db.fault_counts()
+
+
+def test_faults_export_csv_round_trip(tmp_path):
+    # the CSV export of a columnar-round-tripped database is byte-equal
+    # to the original's, and its per-kind counts match fault_counts()
+    import csv
+
+    from repro.monitor.export import export_faults_csv
+
+    db = populated_db(with_faults=True)
+    rebuilt = ColumnarDatabase.from_database(db).to_database()
+    original_path = tmp_path / "original.csv"
+    rebuilt_path = tmp_path / "rebuilt.csv"
+    assert export_faults_csv(db, original_path) == export_faults_csv(
+        rebuilt, rebuilt_path
+    )
+    assert original_path.read_bytes() == rebuilt_path.read_bytes()
+    with original_path.open(newline="", encoding="utf-8") as handle:
+        by_kind: dict[str, int] = {}
+        for row in csv.DictReader(handle):
+            by_kind[row["kind"]] = by_kind.get(row["kind"], 0) + int(row["count"])
+    assert by_kind == db.fault_counts()
+
+
+def test_faultless_database_keeps_wire_layout():
+    # to_dict omits the faults key when empty; the columnar round trip
+    # must preserve that (the content digest depends on it).
+    db = populated_db(with_faults=False)
+    assert "faults" not in db.to_dict()
+    rebuilt = ColumnarDatabase.from_database(db).to_database()
+    assert "faults" not in rebuilt.to_dict()
+    assert rebuilt.to_dict() == db.to_dict()
+
+
+def test_repository_digest_parity(small_campaign):
+    repository = small_campaign.repository
+    payload = json.loads(
+        json.dumps(ColumnarRepository.from_repository(repository).to_payload())
+    )
+    rebuilt = ColumnarRepository.from_payload(payload).to_repository()
+    assert rebuilt.content_digest() == repository.content_digest()
+
+
+def test_columnar_view_is_memoized_and_invalidated():
+    db = populated_db()
+    view = columnar_view(db)
+    assert columnar_view(db) is view
+    db.add_fault(FaultObservation(2, 2, V4, "timeout"))
+    fresh = columnar_view(db)
+    assert fresh is not view
+    assert fresh.table("faults").n_rows == view.table("faults").n_rows + 1
+
+
+def test_sorted_index_equal_range_prefix():
+    db = populated_db()
+    table = ColumnarDatabase.from_database(db).table("downloads")
+    index = table.index()
+    rows = index.equal_range((1, table.column("family").encode(V6.value)))
+    assert rows == sorted(rows)
+    assert [table.column("family").get(r) for r in rows] == [V6.value] * 3
+    assert index.equal_range((99,)) == []
+
+
+def test_unknown_format_rejected():
+    with pytest.raises(DataError, match="unsupported columnar format"):
+        ColumnarRepository.from_payload({"format": COLUMNAR_FORMAT + 1})
+
+
+def test_malformed_payloads_rejected():
+    db = populated_db()
+    payload = ColumnarDatabase.from_database(db).to_payload()
+    missing = {
+        "vantage_name": "T",
+        "tables": {k: v for k, v in payload["tables"].items() if k != "dns"},
+    }
+    with pytest.raises(DataError, match="misses table 'dns'"):
+        ColumnarDatabase.from_payload(missing)
+
+    wrong_count = json.loads(json.dumps(payload))
+    wrong_count["tables"]["downloads"]["n_rows"] += 1
+    with pytest.raises(DataError, match="declared"):
+        ColumnarDatabase.from_payload(wrong_count)
+
+    wrong_dtype = json.loads(json.dumps(payload))
+    wrong_dtype["tables"]["downloads"]["columns"]["site_id"]["dtype"] = "f64"
+    with pytest.raises(DataError, match="dtype"):
+        ColumnarDatabase.from_payload(wrong_dtype)
+
+
+def test_dict_column_validates_codes():
+    with pytest.raises(DataError, match="outside"):
+        DictColumn("kind", codes=[0, 5], dictionary=["a", "b"])
+
+
+def test_ragged_columns_rejected():
+    from repro.data.columnar import Column
+
+    with pytest.raises(DataError, match="ragged"):
+        ColumnarTable(
+            "dns_counts",
+            {
+                "round": Column("round", "i64", [0, 1]),
+                "queried": Column("queried", "i64", [2]),
+                "with_a": Column("with_a", "i64", [2, 2]),
+                "with_aaaa": Column("with_aaaa", "i64", [1, 1]),
+            },
+        )

@@ -1,0 +1,228 @@
+"""Query core: predicates, pushdown, group-aggregate, helper parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.data.columnar import columnar_view
+from repro.data.query import (
+    Aggregate,
+    Filter,
+    Query,
+    converged_speeds,
+    dest_asn,
+    download_rounds,
+    dual_stack_sites,
+    mean_speed,
+    modal_as_path,
+    path_change_rounds,
+    run_query,
+    scan,
+)
+from repro.errors import DataError
+from repro.net.addresses import AddressFamily
+
+from .test_columnar import populated_db
+
+V4 = AddressFamily.IPV4
+V6 = AddressFamily.IPV6
+
+
+def _counter(name: str) -> float:
+    metric = obs.get_registry().get(name)
+    return float(getattr(metric, "value", 0.0) or 0.0)
+
+
+# -- scan --------------------------------------------------------------------
+
+
+def test_scan_without_filters_returns_every_row():
+    table = columnar_view(populated_db()).table("downloads")
+    assert scan(table) == list(range(table.n_rows))
+
+
+def test_scan_filters_and_preserves_round_order():
+    cdb = columnar_view(populated_db())
+    table = cdb.table("downloads")
+    rows = scan(
+        table,
+        (
+            Filter("site_id", "eq", 1),
+            Filter("family", "eq", V6.value),
+            Filter("converged", "eq", True),
+        ),
+    )
+    assert [table.column("round").get(r) for r in rows] == [0, 2]
+
+
+def test_scan_pushes_eq_prefix_into_index():
+    cdb = columnar_view(populated_db())
+    table = cdb.table("downloads")
+    before_hits = _counter("data.query.index_hits")
+    before_rows = _counter("data.query.rows_scanned")
+    rows = scan(table, (Filter("site_id", "eq", 1), Filter("family", "eq", V4.value)))
+    assert len(rows) == 3
+    assert _counter("data.query.index_hits") == before_hits + 1
+    # the index probe examined only the equal range, not the whole table
+    assert _counter("data.query.rows_scanned") == before_rows + 3
+
+
+def test_scan_full_scan_counts_every_row():
+    cdb = columnar_view(populated_db())
+    table = cdb.table("downloads")
+    before_hits = _counter("data.query.index_hits")
+    before_rows = _counter("data.query.rows_scanned")
+    scan(table, (Filter("converged", "eq", True),))
+    assert _counter("data.query.index_hits") == before_hits
+    assert _counter("data.query.rows_scanned") == before_rows + table.n_rows
+
+
+def test_scan_unknown_dictionary_value_matches_nothing():
+    table = columnar_view(populated_db()).table("downloads")
+    assert scan(table, (Filter("site_id", "eq", 1), Filter("family", "eq", "IPv9"))) == []
+
+
+def test_scan_unknown_column_fails_loudly():
+    table = columnar_view(populated_db()).table("downloads")
+    with pytest.raises(DataError, match="no column"):
+        scan(table, (Filter("nope", "eq", 1),))
+
+
+def test_filter_ops():
+    table = columnar_view(populated_db()).table("downloads")
+    le = scan(table, (Filter("round", "le", 1),))
+    ge = scan(table, (Filter("round", "ge", 1),))
+    ne = scan(table, (Filter("round", "ne", 1),))
+    isin = scan(table, (Filter("round", "in", [0, 2]),))
+    assert set(le) | set(ge) == set(range(table.n_rows))
+    assert sorted(ne) == sorted(isin)
+    with pytest.raises(DataError, match="unknown filter op"):
+        Filter("round", "between", 1)
+    with pytest.raises(DataError, match="requires a list"):
+        Filter("round", "in", 1)
+
+
+# -- run_query ---------------------------------------------------------------
+
+
+def test_projection_with_limit_and_truncation():
+    cdb = columnar_view(populated_db())
+    result = run_query(
+        cdb,
+        Query(table="downloads", select=("round", "mean_speed"), limit=4),
+    )
+    assert result.n_rows == 4
+    assert result.truncated is True
+    assert set(result.columns) == {"round", "mean_speed"}
+    assert result.stats["rows_matched"] == 6
+
+
+def test_group_aggregate():
+    cdb = columnar_view(populated_db())
+    result = run_query(
+        cdb,
+        Query(
+            table="downloads",
+            where=(Filter("converged", "eq", True),),
+            group_by=("family",),
+            aggregates=(
+                Aggregate(op="count", alias="n"),
+                Aggregate(op="mean", column="mean_speed"),
+                Aggregate(op="max", column="round"),
+            ),
+        ),
+    )
+    by_family = dict(zip(result.columns["family"], result.columns["n"]))
+    assert by_family == {V4.value: 2, V6.value: 2}
+    assert result.columns["mean_mean_speed"] == [101.0, 111.0]
+    assert result.stats["groups_emitted"] == 2
+
+
+def test_query_validation():
+    with pytest.raises(DataError, match="require group_by"):
+        Query(table="downloads", aggregates=(Aggregate(op="count"),))
+    with pytest.raises(DataError, match="mutually exclusive"):
+        Query(
+            table="downloads",
+            select=("round",),
+            group_by=("family",),
+            aggregates=(Aggregate(op="count"),),
+        )
+    with pytest.raises(DataError, match="at least one aggregate"):
+        Query(table="downloads", group_by=("family",))
+    with pytest.raises(DataError, match="positive integer"):
+        Query(table="downloads", limit=0)
+    with pytest.raises(DataError, match="requires a column"):
+        Aggregate(op="mean")
+
+
+def test_query_from_dict_validates_untrusted_payloads():
+    query = Query.from_dict(
+        {
+            "table": "downloads",
+            "vantage": "T",  # serve's routing key; tolerated here
+            "where": [{"column": "site_id", "op": "eq", "value": 1}],
+            "group_by": ["family"],
+            "aggregates": [{"op": "count", "alias": "n"}],
+        }
+    )
+    assert query.table == "downloads"
+    assert query.where[0].value == 1
+
+    with pytest.raises(DataError, match="unknown query fields"):
+        Query.from_dict({"table": "downloads", "order_by": ["round"]})
+    with pytest.raises(DataError, match="'table' string"):
+        Query.from_dict({"table": 7})
+    with pytest.raises(DataError, match="must be a list"):
+        Query.from_dict({"table": "downloads", "where": "site_id=1"})
+    with pytest.raises(DataError, match="must be an object"):
+        Query.from_dict({"table": "downloads", "where": ["site_id=1"]})
+
+
+# -- domain-helper parity ----------------------------------------------------
+
+
+def test_helpers_match_row_object_methods():
+    db = populated_db()
+    cdb = columnar_view(db)
+    for family in (V4, V6):
+        assert converged_speeds(cdb, 1, family) == db.speeds(1, family)
+        assert download_rounds(cdb, 1, family) == db.download_rounds(1, family)
+        assert dest_asn(cdb, 1, family) == db.dest_asn(1, family)
+        assert modal_as_path(cdb, 1, family) == db.as_path(1, family)
+        assert path_change_rounds(cdb, 1, family) == db.path_change_rounds(1, family)
+    assert dual_stack_sites(cdb) == db.dual_stack_sites()
+    # absent site
+    assert dest_asn(cdb, 99, V4) is None
+    assert modal_as_path(cdb, 99, V4) is None
+    assert mean_speed(cdb, 99, V4) is None
+
+
+def test_helper_parity_on_campaign(small_campaign):
+    for _, db in small_campaign.repository.items():
+        cdb = columnar_view(db)
+        assert dual_stack_sites(cdb) == db.dual_stack_sites()
+        for site_id in db.dual_stack_sites()[:10]:
+            for family in (V4, V6):
+                assert converged_speeds(cdb, site_id, family) == db.speeds(
+                    site_id, family
+                )
+                assert dest_asn(cdb, site_id, family) == db.dest_asn(
+                    site_id, family
+                )
+                assert modal_as_path(cdb, site_id, family) == db.as_path(
+                    site_id, family
+                )
+                assert path_change_rounds(
+                    cdb, site_id, family
+                ) == db.path_change_rounds(site_id, family)
+
+
+def test_modal_path_tie_break_latest_wins():
+    from repro.monitor.database import MeasurementDatabase, PathObservation
+
+    db = MeasurementDatabase(vantage_name="T")
+    for round_idx, path in enumerate([(1, 2), (3, 4), (3, 4), (1, 2)]):
+        db.add_path(PathObservation(1, round_idx, V4, dest_asn=9, as_path=path))
+    assert modal_as_path(columnar_view(db), 1, V4) == db.as_path(1, V4) == (1, 2)

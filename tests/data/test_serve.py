@@ -1,0 +1,214 @@
+"""The serving API: endpoints, parity, and structured error handling."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.data.serve import (
+    ServeApp,
+    ServeConfig,
+    canonical_json,
+    classification_payload,
+    make_server,
+)
+from repro.engine import WEEKLY
+from repro.engine.store import CampaignStore, config_digest
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def served_store(tmp_path_factory, small_cfg, small_campaign):
+    store = CampaignStore(tmp_path_factory.mktemp("serve-store"))
+    store.save(
+        small_cfg, small_campaign.repository, small_campaign.reports, kind=WEEKLY
+    )
+    return store, config_digest(small_cfg, WEEKLY)
+
+
+@pytest.fixture(scope="module")
+def app(served_store):
+    store, _ = served_store
+    return ServeApp(store, ServeConfig(cache_root=str(store.root)))
+
+
+def test_healthz(app):
+    assert app.handle("GET", "/healthz", {}) == (200, {"status": "ok"})
+
+
+def test_campaign_listing(app, served_store):
+    _, digest = served_store
+    status, payload = app.handle("GET", "/campaigns", {})
+    assert status == 200
+    assert payload["n_campaigns"] == 1
+    assert payload["campaigns"][0]["digest"] == digest
+
+
+def test_campaign_detail(app, served_store, small_campaign):
+    _, digest = served_store
+    status, payload = app.handle("GET", f"/campaigns/{digest}", {})
+    assert status == 200
+    names = set(small_campaign.repository.vantage_names)
+    assert set(payload["vantages"]) == names
+    vantage = sorted(names)[0]
+    db = small_campaign.repository.database(vantage)
+    tables = payload["vantages"][vantage]["tables"]
+    assert tables["downloads"] == len(db.to_dict()["downloads"])
+
+
+def test_table_page(app, served_store, small_campaign):
+    _, digest = served_store
+    vantage = sorted(small_campaign.repository.vantage_names)[0]
+    status, payload = app.handle(
+        "GET",
+        f"/campaigns/{digest}/tables/downloads",
+        {"vantage": vantage, "offset": "2", "limit": "3"},
+    )
+    assert status == 200
+    assert payload["n_rows"] == 3
+    assert payload["offset"] == 2
+    assert payload["truncated"] is True
+    wire = small_campaign.repository.database(vantage).to_dict()["downloads"]
+    assert payload["columns"]["site_id"] == [row[0] for row in wire[2:5]]
+
+
+def test_query_endpoint_matches_direct_execution(app, served_store, small_campaign):
+    _, digest = served_store
+    vantage = sorted(small_campaign.repository.vantage_names)[0]
+    body = json.dumps(
+        {
+            "vantage": vantage,
+            "table": "downloads",
+            "where": [{"column": "converged", "op": "eq", "value": True}],
+            "group_by": ["family"],
+            "aggregates": [{"op": "count", "alias": "n"}],
+        }
+    ).encode()
+    status, payload = app.handle("POST", f"/campaigns/{digest}/query", {}, body)
+    assert status == 200
+    from repro.data.columnar import columnar_view
+    from repro.data.query import Query, run_query
+
+    db = small_campaign.repository.database(vantage)
+    direct = run_query(
+        columnar_view(db),
+        Query.from_dict(json.loads(body)),
+    )
+    assert payload["columns"] == direct.columns
+
+
+def test_classify_endpoint_is_byte_identical(app, served_store, small_campaign):
+    _, digest = served_store
+    vantage = sorted(small_campaign.repository.vantage_names)[0]
+    status, payload = app.handle(
+        "GET", f"/campaigns/{digest}/analysis/classify", {"vantage": vantage}
+    )
+    assert status == 200
+    direct = classification_payload(
+        small_campaign.repository.database(vantage)
+    )
+    assert canonical_json(payload) == canonical_json(direct)
+
+
+def test_structured_errors(app, served_store):
+    _, digest = served_store
+    status, payload = app.handle("GET", "/campaigns/deadbeef", {})
+    assert status == 404
+    assert payload["error"]["code"] == "not_found"
+
+    status, payload = app.handle(
+        "GET", f"/campaigns/{digest}/tables/downloads", {"vantage": "nope"}
+    )
+    assert status == 404
+
+    status, payload = app.handle(
+        "GET", f"/campaigns/{digest}/tables/downloads", {}
+    )
+    assert status == 400  # vantage is required
+
+    status, payload = app.handle(
+        "POST", f"/campaigns/{digest}/query", {}, b"not json"
+    )
+    assert status == 400
+    assert "JSON" in payload["error"]["message"]
+
+    status, payload = app.handle(
+        "POST", f"/campaigns/{digest}/query", {}, json.dumps({"table": 7}).encode()
+    )
+    assert status == 400
+
+    status, payload = app.handle("POST", "/healthz", {}, b"{}")
+    assert status == 405
+
+    status, payload = app.handle("GET", "/nope", {})
+    assert status == 404
+
+
+def test_oversized_limit_rejected(served_store, small_campaign):
+    store, digest = served_store
+    app = ServeApp(store, ServeConfig(cache_root=str(store.root), max_rows=10))
+    vantage = sorted(small_campaign.repository.vantage_names)[0]
+    body = json.dumps(
+        {"vantage": vantage, "table": "downloads", "limit": 50}
+    ).encode()
+    status, payload = app.handle("POST", f"/campaigns/{digest}/query", {}, body)
+    assert status == 413
+    assert payload["error"]["code"] == "too_large"
+    # without an explicit limit the server clamps instead of failing
+    body = json.dumps({"vantage": vantage, "table": "downloads"}).encode()
+    status, payload = app.handle("POST", f"/campaigns/{digest}/query", {}, body)
+    assert status == 200
+    assert payload["n_rows"] == 10
+    assert payload["truncated"] is True
+
+
+def test_serve_config_validation():
+    with pytest.raises(DataError):
+        ServeConfig(max_rows=0)
+    with pytest.raises(DataError):
+        ServeConfig(lru_campaigns=0)
+
+
+def test_lru_eviction(served_store):
+    store, digest = served_store
+    app = ServeApp(store, ServeConfig(cache_root=str(store.root)))
+    app.cache.capacity = 1
+    first = app.cache.get(digest)
+    assert app.cache.get(digest) is first  # hit
+    app.cache._entries.clear()
+    assert app.cache.get(digest) is not first  # reloaded after eviction
+
+
+def test_over_http(served_store, small_campaign):
+    """One real socket round trip through ThreadingHTTPServer."""
+    store, digest = served_store
+    server = make_server(
+        ServeConfig(port=0, cache_root=str(store.root)), store
+    )
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        base = f"http://127.0.0.1:{port}"
+        with urllib.request.urlopen(f"{base}/healthz") as response:
+            assert response.status == 200
+            assert json.loads(response.read()) == {"status": "ok"}
+        vantage = sorted(small_campaign.repository.vantage_names)[0]
+        url = f"{base}/campaigns/{digest}/analysis/classify?vantage={vantage}"
+        with urllib.request.urlopen(url) as response:
+            served = response.read()
+        direct = canonical_json(
+            classification_payload(small_campaign.repository.database(vantage))
+        )
+        assert served == direct
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{base}/campaigns/deadbeef")
+        assert excinfo.value.code == 404
+        assert json.loads(excinfo.value.read())["error"]["code"] == "not_found"
+    finally:
+        server.shutdown()
+        server.server_close()

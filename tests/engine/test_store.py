@@ -190,3 +190,64 @@ class TestCorruptedEntryRobustness:
             "unreadable store entry" in record.message
             for record in caplog.records
         )
+
+
+class TestColumnarArtifact:
+    """columnar.json and the no-world load paths."""
+
+    def test_save_writes_columnar_json(self, tmp_path):
+        from repro.data.columnar import ColumnarRepository
+
+        store = CampaignStore(tmp_path)
+        cfg = small_config(seed=3)
+        repository, reports = tiny_campaign()
+        entry = store.save(cfg, repository, reports)
+        payload = json.loads((entry / "columnar.json").read_text(encoding="utf-8"))
+        rebuilt = ColumnarRepository.from_payload(payload).to_repository()
+        assert rebuilt.content_digest() == repository.content_digest()
+
+    def test_load_repository_without_world(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        cfg = small_config(seed=3)
+        repository, reports = tiny_campaign()
+        store.save(cfg, repository, reports, world={"marker": 42})
+        loaded = store.load_repository(cfg)
+        assert loaded is not None
+        assert loaded.content_digest() == repository.content_digest()
+        assert store.load_repository(small_config(seed=4)) is None
+
+    def test_load_columnar_entry(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        cfg = small_config(seed=3)
+        repository, reports = tiny_campaign()
+        store.save(cfg, repository, reports)
+        digest = config_digest(cfg)
+        meta, columnar = store.load_columnar_entry(digest)
+        assert meta["digest"] == digest
+        assert columnar.to_repository().content_digest() == (
+            repository.content_digest()
+        )
+        assert store.load_columnar_entry("deadbeef") is None
+
+    def test_load_columnar_entry_derives_from_legacy_rows(self, tmp_path):
+        # entries written before the columnar layer lack columnar.json;
+        # loading transposes repository.json on the fly
+        store = CampaignStore(tmp_path)
+        cfg = small_config(seed=3)
+        repository, reports = tiny_campaign()
+        entry = store.save(cfg, repository, reports)
+        (entry / "columnar.json").unlink()
+        loaded = store.load_columnar_entry(config_digest(cfg))
+        assert loaded is not None
+        _, columnar = loaded
+        assert columnar.to_repository().content_digest() == (
+            repository.content_digest()
+        )
+
+    def test_corrupt_columnar_json_is_a_miss(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        cfg = small_config(seed=3)
+        repository, reports = tiny_campaign()
+        entry = store.save(cfg, repository, reports)
+        (entry / "columnar.json").write_text("{not json", encoding="utf-8")
+        assert store.load_columnar_entry(config_digest(cfg)) is None

@@ -37,6 +37,7 @@ class TestRunBench:
             "dns_phase",
             "fault_plan",
             "end_to_end",
+            "query",
         }
 
     def test_unknown_workload_rejected(self):

@@ -68,6 +68,50 @@ class TestCommands:
         manifest = json.loads((tmp_path / "d" / "manifest.json").read_text())
         assert len(manifest["vantage_points"]) == 6
 
+    def test_export_reads_from_store_on_second_run(self, tmp_path, capsys):
+        from repro.experiments import scenario
+
+        store_before = scenario._STORE, scenario._STORE_CONFIGURED
+        try:
+            cache = str(tmp_path / "cache")
+            args = [
+                "export", "--seed", "11", "--scale", "0.6",
+                "--cache-dir", cache,
+            ]
+            assert main([*args, "--out", str(tmp_path / "a")]) == 0
+            first = capsys.readouterr().out
+            assert "campaign store hit" not in first
+            assert main([*args, "--out", str(tmp_path / "b")]) == 0
+            second = capsys.readouterr().out
+            assert "campaign store hit" in second
+            digest_lines = [
+                line
+                for line in (first + second).splitlines()
+                if line.startswith("repository digest:")
+            ]
+            assert len(set(digest_lines)) == 1  # stored export is identical
+            assert (tmp_path / "a" / "manifest.json").read_bytes() == (
+                tmp_path / "b" / "manifest.json"
+            ).read_bytes()
+        finally:
+            scenario._STORE, scenario._STORE_CONFIGURED = store_before
+
+    def test_export_with_explicit_backend_skips_store(self, tmp_path, capsys):
+        from repro.experiments import scenario
+
+        store_before = scenario._STORE, scenario._STORE_CONFIGURED
+        try:
+            cache = tmp_path / "cache"
+            args = [
+                "export", "--seed", "11", "--scale", "0.6",
+                "--cache-dir", str(cache), "--backend", "serial",
+            ]
+            assert main([*args, "--out", str(tmp_path / "a")]) == 0
+            # explicit backend: the campaign really ran; nothing stored
+            assert not (cache / "campaigns").exists()
+        finally:
+            scenario._STORE, scenario._STORE_CONFIGURED = store_before
+
     def test_profile_writes_report_and_prints_breakdown(self, tmp_path, capsys):
         out = tmp_path / "BENCH_profile_small.json"
         try:
