@@ -9,6 +9,11 @@ Subcommands::
                     [--cache-dir DIR] [--no-cache]        #   (store-first, run on miss)
     repro serve     [--host H] [--port N]                 # campaign store HTTP JSON API
                     [--cache-dir DIR] [--max-rows N]
+                    [--lru N]                             #   (or $REPRO_SERVE_LRU)
+    repro observe   [--scale S] [--seed N] [--json]       # derived-metric observer panel
+                    [--rounds N] [--seeds N...]           #   (long-horizon / sweep modes)
+                    [--observers NAME...]                 #   (subset of the panel)
+                    [--cache-dir DIR] [--no-cache]        #   (store-first, run on miss)
     repro cache ls     [--json] [--cache-dir DIR]         # list stored campaigns
     repro cache prune  --keep-latest N [--cache-dir DIR]  # drop all but the newest N
     repro profile   [--scale S] [--seed N] [--out P]      # phase-time breakdown + JSON report
@@ -192,14 +197,138 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if store is None:
         print("repro serve: the campaign store is disabled (--no-cache?)")
         return 1
+    # --lru wins; otherwise ServeConfig falls back to $REPRO_SERVE_LRU.
+    lru_kwargs = {} if args.lru is None else {"lru_campaigns": args.lru}
     config = ServeConfig(
         host=args.host,
         port=args.port,
         cache_root=str(store.root),
         max_rows=args.max_rows,
-        lru_campaigns=args.lru_campaigns,
+        **lru_kwargs,
     )
     return run_server(config, store)
+
+
+def _cmd_observe(args: argparse.Namespace) -> int:
+    """Run the derived-metric observer panel, store-first.
+
+    Single-seed: the observer reports (with per-round trend flags) over
+    one campaign.  ``--rounds`` runs a longer horizon than the default
+    scenario; ``--seeds`` sweeps the panel over several seeds and prints
+    the headline spread.  ``--json`` emits the canonical report document
+    — byte-identical across execution backends, which the CI
+    observer-parity job diffs directly.
+    """
+    from .data.columnar import ColumnarRepository
+    from .engine import WEEKLY
+    from .engine.store import config_digest
+    from .observers import canonical_json, run_panel
+
+    _apply_cache_args(args)
+    execution = _execution_from(args)
+    store = scenario.get_store() if execution is None else None
+    seeds = args.seeds if args.seeds else [args.seed]
+    names = args.observers or None
+    documents: dict[int, tuple[str, dict]] = {}
+    for seed in seeds:
+        config = _with_faults(small_config(seed=seed, scale=args.scale), args)
+        if args.rounds is not None:
+            config = dataclasses.replace(
+                config,
+                campaign=dataclasses.replace(
+                    config.campaign, n_rounds=args.rounds
+                ),
+            )
+        digest = config_digest(config, WEEKLY)
+        repository = None
+        if store is not None:
+            repository = store.load_repository(config, kind=WEEKLY)
+        if repository is None:
+            world = build_world(config)
+            result = run_campaign(world, execution=execution)
+            repository = result.repository
+            if store is not None:
+                store.save(
+                    config, result.repository, result.reports, kind=WEEKLY,
+                    world=world,
+                )
+        columnar = ColumnarRepository.from_repository(repository)
+        reports = run_panel(columnar, campaign_digest=digest, names=names)
+        if store is not None:
+            store.save_observer_reports(digest, reports)
+        documents[seed] = (digest, reports)
+
+    if args.json:
+        if len(seeds) == 1:
+            digest, reports = documents[seeds[0]]
+            doc = {
+                "campaign_digest": digest,
+                "reports": {
+                    name: reports[name].to_payload() for name in sorted(reports)
+                },
+            }
+        else:
+            doc = {
+                "sweep": {
+                    str(seed): {
+                        "campaign_digest": documents[seed][0],
+                        "reports": {
+                            name: documents[seed][1][name].to_payload()
+                            for name in sorted(documents[seed][1])
+                        },
+                    }
+                    for seed in seeds
+                }
+            }
+        sys.stdout.buffer.write(canonical_json(doc) + b"\n")
+        return 0
+
+    from .observers import get_observer
+
+    for seed in seeds:
+        digest, reports = documents[seed]
+        print(f"campaign {digest[:16]} (seed {seed}):")
+        print(f"  {'OBSERVER':18s} {'VER':>3s}  {'HEADLINE':>28s}  "
+              f"{'TRENDS':>6s}  DIGEST")
+        for name in sorted(reports):
+            report = reports[name]
+            observer = get_observer(name)
+            value = report.body["summary"].get(observer.headline)
+            rendered = (
+                f"{observer.headline}={value:.4f}"
+                if isinstance(value, float)
+                else f"{observer.headline}={value}"
+            )
+            n_flags = len(report.body.get("trends", []))
+            print(
+                f"  {name:18s} {report.version:>3d}  {rendered:>28s}  "
+                f"{n_flags:>6d}  {report.digest[:12]}"
+            )
+        for name in sorted(reports):
+            for flag in reports[name].body.get("trends", []):
+                arrow = "rising" if flag["direction"] > 0 else "falling"
+                print(
+                    f"  trend: {name}/{flag['series']} {flag['kind']} "
+                    f"{arrow} (magnitude {flag['magnitude']:+.4f})"
+                )
+    if len(seeds) > 1:
+        print("headline spread across seeds:")
+        observers_in_all = sorted(documents[seeds[0]][1])
+        for name in observers_in_all:
+            headline = get_observer(name).headline
+            values = [
+                documents[seed][1][name].body["summary"].get(headline)
+                for seed in seeds
+            ]
+            numeric = [v for v in values if isinstance(v, (int, float))]
+            if not numeric:
+                continue
+            mean = sum(numeric) / len(numeric)
+            print(
+                f"  {name:18s} {headline}: min {min(numeric):.4f}  "
+                f"mean {mean:.4f}  max {max(numeric):.4f}"
+            )
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -410,12 +539,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request row ceiling (larger requests get a 413)",
     )
     serve.add_argument(
-        "--lru-campaigns",
+        "--lru",
         type=int,
-        default=4,
-        help="loaded campaigns kept in memory",
+        default=None,
+        help="loaded campaigns kept in memory (default: $REPRO_SERVE_LRU or 4)",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    observe = sub.add_parser(
+        "observe", help="run the derived-metric observer panel"
+    )
+    observe.add_argument("--scale", type=float, default=1.0)
+    observe.add_argument("--seed", type=int, default=11)
+    observe.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="override the campaign round count (long-horizon mode)",
+    )
+    observe.add_argument(
+        "--seeds",
+        type=int,
+        nargs="*",
+        default=None,
+        help="sweep the panel over several seeds and print headline spread",
+    )
+    observe.add_argument(
+        "--observers",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="subset of the observer panel to run (default: all)",
+    )
+    observe.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the canonical report document on stdout",
+    )
+    observe.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="campaign store root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    observe.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk campaign store",
+    )
+    _add_execution_args(observe)
+    _add_faults_arg(observe)
+    observe.set_defaults(func=_cmd_observe)
 
     cache = sub.add_parser("cache", help="inspect the campaign store")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)

@@ -8,7 +8,9 @@ campaigns, per-request spans/metrics, and bounded request handling.
 
 Endpoints::
 
-    GET  /healthz                                  liveness probe
+    GET  /healthz                                  liveness + LRU occupancy
+    GET  /metrics                                  repro.obs counters/histograms
+    GET  /observers                                observer registry listing
     GET  /campaigns                                store listing (meta only)
     GET  /campaigns/<digest>                       vantages + table row counts
     GET  /campaigns/<digest>/tables/<name>         one table page, columnar
@@ -18,6 +20,8 @@ Endpoints::
           "aggregates": [...], "select": [...], "limit": N}
     GET  /campaigns/<digest>/analysis/classify     Fig-4 site classification
          ?vantage=NAME
+    GET  /campaigns/<digest>/observers             observer panel for one entry
+    GET  /campaigns/<digest>/observers/<name>      one ObserverReport payload
 
 Every response body is canonical JSON (sorted keys, no whitespace), so
 a served result can be byte-diffed against the same payload computed
@@ -29,6 +33,7 @@ the appropriate 4xx status; a traceback never crosses the socket.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
 from collections import OrderedDict
@@ -38,10 +43,11 @@ from urllib.parse import parse_qsl, urlparse
 
 from ..analysis.classify import classify_sites
 from ..engine.store import DEFAULT_CACHE_ROOT, CampaignStore
-from ..errors import DataError
+from ..errors import ConfigError, DataError
 from ..monitor.database import MeasurementDatabase
 from ..obs import get_logger, metrics, span
-from .columnar import ColumnarDatabase
+from ..observers import all_observers, get_observer, observer_names, run_observer
+from .columnar import ColumnarDatabase, ColumnarRepository
 from .query import MAX_QUERY_ROWS, Query, run_query
 
 _LOG = get_logger("data.serve")
@@ -54,6 +60,26 @@ _CACHE_MISSES = metrics.counter("data.serve.cache_misses")
 _LATENCY = metrics.histogram("data.serve.latency_ms")
 
 
+#: environment override for the serving LRU capacity (``repro serve --lru``
+#: wins over it; the dataclass default below is the last resort).
+LRU_ENV_VAR = "REPRO_SERVE_LRU"
+DEFAULT_LRU_CAMPAIGNS = 4
+
+
+def default_lru_campaigns() -> int:
+    """The LRU capacity from ``REPRO_SERVE_LRU``, validated."""
+    raw = os.environ.get(LRU_ENV_VAR)
+    if raw is None:
+        return DEFAULT_LRU_CAMPAIGNS
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{LRU_ENV_VAR} must be an integer, got {raw!r}"
+        ) from None
+    return value
+
+
 @dataclass(frozen=True)
 class ServeConfig:
     """Bounds and knobs for one server instance."""
@@ -63,8 +89,8 @@ class ServeConfig:
     cache_root: str = DEFAULT_CACHE_ROOT
     #: per-request row ceiling (requests asking for more get a 413).
     max_rows: int = 10_000
-    #: loaded columnar campaigns kept in memory.
-    lru_campaigns: int = 4
+    #: loaded columnar campaigns kept in memory (``--lru`` / REPRO_SERVE_LRU).
+    lru_campaigns: int = field(default_factory=default_lru_campaigns)
     #: request body ceiling in bytes.
     max_body_bytes: int = 1_000_000
     #: socket timeout per request, seconds.
@@ -75,8 +101,11 @@ class ServeConfig:
             raise DataError(
                 f"max_rows must be in 1..{MAX_QUERY_ROWS}, got {self.max_rows}"
             )
-        if self.lru_campaigns <= 0:
-            raise DataError("lru_campaigns must be positive")
+        if not isinstance(self.lru_campaigns, int) or self.lru_campaigns <= 0:
+            raise ConfigError(
+                f"lru_campaigns must be a positive integer, "
+                f"got {self.lru_campaigns!r}"
+            )
 
 
 class HttpError(DataError):
@@ -154,6 +183,10 @@ class CampaignCache:
             evicted, _ = self._entries.popitem(last=False)
             _LOG.debug("evicted campaign from LRU", extra={"digest": evicted[:12]})
         return campaign
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
 
 
 def canonical_json(payload: dict) -> bytes:
@@ -233,7 +266,19 @@ class ServeApp:
         parts = [part for part in path.split("/") if part]
         if parts == ["healthz"]:
             self._require(method, "GET")
-            return {"status": "ok"}
+            return {
+                "status": "ok",
+                "lru": {
+                    "occupancy": self.cache.occupancy,
+                    "capacity": self.cache.capacity,
+                },
+            }
+        if parts == ["metrics"]:
+            self._require(method, "GET")
+            return self._metrics()
+        if parts == ["observers"]:
+            self._require(method, "GET")
+            return self._list_observers()
         if parts == ["campaigns"]:
             self._require(method, "GET")
             return self._list_campaigns()
@@ -251,6 +296,12 @@ class ServeApp:
             if len(parts) == 4 and parts[2] == "analysis":
                 self._require(method, "GET")
                 return self._analysis(campaign, parts[3], params)
+            if len(parts) == 3 and parts[2] == "observers":
+                self._require(method, "GET")
+                return self._campaign_observers(campaign)
+            if len(parts) == 4 and parts[2] == "observers":
+                self._require(method, "GET")
+                return self._observer_report(campaign, parts[3])
         raise _not_found(f"no such resource: {path}")
 
     @staticmethod
@@ -261,6 +312,69 @@ class ServeApp:
             )
 
     # -- endpoints -----------------------------------------------------------
+
+    @staticmethod
+    def _metrics() -> dict:
+        """The process's ``repro.obs`` registry, canonical-JSON ready.
+
+        Counters, gauges, and histograms (with p50/p90/p99) — the live
+        equivalent of the ``BENCH_*.json`` metrics block, for scraping a
+        running server (``data.serve.requests`` et al. included).
+        """
+        return {"metrics": metrics.get_registry().as_dict()}
+
+    @staticmethod
+    def _list_observers() -> dict:
+        """The observer registry listing (names, versions, tables)."""
+        observers = [observer.describe() for observer in all_observers()]
+        return {"observers": observers, "n_observers": len(observers)}
+
+    def _campaign_observers(self, campaign: LoadedCampaign) -> dict:
+        """The observer panel's availability for one campaign entry."""
+        persisted = set(self.store.list_observer_reports(campaign.digest))
+        return {
+            "digest": campaign.digest,
+            "observers": [
+                {
+                    "name": observer.name,
+                    "version": observer.version,
+                    "persisted": observer.name in persisted,
+                }
+                for observer in all_observers()
+            ],
+        }
+
+    def _observer_report(self, campaign: LoadedCampaign, name: str) -> dict:
+        """One observer report: persisted artifact bytes when present,
+        otherwise recomputed from the loaded columnar data.  Both paths
+        serve byte-identical canonical JSON — the report content digest
+        guarantees it, and the artifact is re-verified before serving."""
+        from ..observers.reports import ObserverReport
+
+        if name not in observer_names():
+            raise _not_found(
+                f"unknown observer {name!r} "
+                f"(observers: {', '.join(observer_names())})"
+            )
+        raw = self.store.load_observer_report(campaign.digest, name)
+        if raw is not None:
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+                ObserverReport.from_payload(payload)  # digest re-check
+                return payload
+            except (ValueError, DataError) as exc:
+                _LOG.warning(
+                    "persisted observer report unreadable; recomputing",
+                    extra={"observer": name, "error": str(exc)},
+                )
+        observer = get_observer(name)
+        repository = ColumnarRepository(
+            vantages=dict(campaign.vantages),
+            databases=dict(campaign.columnar),
+        )
+        with span("serve.observer", observer=name, digest=campaign.digest[:12]):
+            report = run_observer(observer, repository, campaign.digest)
+        return report.to_payload()
 
     def _list_campaigns(self) -> dict:
         campaigns = [

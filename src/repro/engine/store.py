@@ -15,6 +15,7 @@ Layout (one directory per campaign)::
         columnar.json      ColumnarRepository payload (repro.data)
         reports.json       per-vantage RoundReport dicts
         world.pkl          pickled World (best effort; absent ok)
+        observers/<name>.json   canonical ObserverReport artifacts
 
 ``repository.json`` and ``reports.json`` are the same compact dict forms
 shard results use to cross process boundaries, so a store entry is
@@ -310,6 +311,48 @@ class CampaignStore:
                 return None
         _STORE_HITS.inc()
         return meta, columnar
+
+    # -- observer reports ----------------------------------------------------
+
+    def observers_dir(self, digest: str) -> pathlib.Path:
+        return self.entry_dir(digest) / "observers"
+
+    def save_observer_reports(self, digest: str, reports: dict) -> pathlib.Path:
+        """Persist observer reports next to ``columnar.json``.
+
+        ``reports`` maps observer name to
+        :class:`~repro.observers.reports.ObserverReport`; each artifact is
+        the report's canonical bytes, so the serving layer can return the
+        file contents verbatim and still match a fresh recomputation
+        byte-for-byte.
+        """
+        directory = self.observers_dir(digest)
+        with span("engine.store.save_observers", digest=digest[:12]):
+            directory.mkdir(parents=True, exist_ok=True)
+            for name in sorted(reports):
+                (directory / f"{name}.json").write_bytes(
+                    reports[name].canonical_bytes()
+                )
+        _LOG.info(
+            "observer reports stored",
+            extra={"digest": digest[:12], "n_reports": len(reports)},
+        )
+        return directory
+
+    def load_observer_report(self, digest: str, name: str) -> bytes | None:
+        """One persisted report's exact canonical bytes, or None."""
+        path = self.observers_dir(digest) / f"{name}.json"
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    def list_observer_reports(self, digest: str) -> list[str]:
+        """Names of the persisted observer reports for one entry, sorted."""
+        directory = self.observers_dir(digest)
+        if not directory.is_dir():
+            return []
+        return sorted(p.stem for p in directory.glob("*.json"))
 
     @staticmethod
     def _load_world(path: pathlib.Path, digest: str):

@@ -1,0 +1,128 @@
+"""The observer registry: small, pure, versioned derived-metric functions.
+
+An observer is a pure, deterministic function from a campaign's columnar
+data (:class:`~repro.data.columnar.ColumnarRepository`) to a JSON-ready
+body dict.  Each declares:
+
+* ``name`` — stable identifier (the serve route and artifact filename);
+* ``version`` — bumped whenever the observer's semantics change, so a
+  report consumer can tell a recomputation from a redefinition;
+* ``required_tables`` — the columnar tables it reads (validated before
+  the function runs, so a truncated store entry fails loudly);
+* ``headline`` — the key in ``body["summary"]`` that carries the
+  observer's single most important scalar (the multi-seed sweep and the
+  CLI table lean on this).
+
+Observers never see the world, the RNG, or wall-clock time — only
+already-measured data — which is what makes their reports bit-identical
+across execution backends and with observability on or off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..data.columnar import TABLE_SCHEMAS, ColumnarRepository
+from ..errors import DataError
+
+
+@dataclass(frozen=True)
+class Observer:
+    """One registered derived-metric observer."""
+
+    name: str
+    version: int
+    description: str
+    required_tables: tuple[str, ...]
+    headline: str
+    fn: Callable[[ColumnarRepository], dict]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DataError("observers need a name")
+        if not isinstance(self.version, int) or self.version < 1:
+            raise DataError(
+                f"observer {self.name!r}: version must be a positive integer"
+            )
+        unknown = [t for t in self.required_tables if t not in TABLE_SCHEMAS]
+        if unknown:
+            raise DataError(
+                f"observer {self.name!r} requires unknown tables {unknown} "
+                f"(known: {', '.join(TABLE_SCHEMAS)})"
+            )
+
+    def check_tables(self, repository: ColumnarRepository) -> None:
+        """Fail loudly when a vantage database misses a required table."""
+        for vantage, cdb in repository.databases.items():
+            for table in self.required_tables:
+                if table not in cdb.tables:
+                    raise DataError(
+                        f"observer {self.name!r}: vantage {vantage!r} has "
+                        f"no table {table!r}"
+                    )
+
+    def describe(self) -> dict:
+        """JSON-ready registry entry (the ``GET /observers`` listing)."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "description": self.description,
+            "required_tables": list(self.required_tables),
+            "headline": self.headline,
+        }
+
+
+#: the process-wide registry, in registration order.
+_REGISTRY: dict[str, Observer] = {}
+
+
+def register(
+    name: str,
+    version: int,
+    description: str,
+    required_tables: tuple[str, ...],
+    headline: str,
+) -> Callable[[Callable[[ColumnarRepository], dict]], Callable]:
+    """Class-level decorator registering one observer function."""
+
+    def wrap(fn: Callable[[ColumnarRepository], dict]) -> Callable:
+        if name in _REGISTRY:
+            raise DataError(f"observer {name!r} is already registered")
+        _REGISTRY[name] = Observer(
+            name=name,
+            version=version,
+            description=description,
+            required_tables=tuple(required_tables),
+            headline=headline,
+            fn=fn,
+        )
+        return fn
+
+    return wrap
+
+
+def get_observer(name: str) -> Observer:
+    _ensure_panel_loaded()
+    if name not in _REGISTRY:
+        raise DataError(
+            f"unknown observer {name!r} "
+            f"(observers: {', '.join(observer_names())})"
+        )
+    return _REGISTRY[name]
+
+
+def observer_names() -> list[str]:
+    """Registered observer names, sorted (the canonical panel order)."""
+    _ensure_panel_loaded()
+    return sorted(_REGISTRY)
+
+
+def all_observers() -> list[Observer]:
+    _ensure_panel_loaded()
+    return [_REGISTRY[name] for name in observer_names()]
+
+
+def _ensure_panel_loaded() -> None:
+    """Import the built-in panel exactly once (it self-registers)."""
+    from . import panel  # noqa: F401  (import side effect: registration)

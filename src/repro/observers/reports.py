@@ -1,0 +1,125 @@
+"""Versioned, content-addressed observer reports.
+
+An :class:`ObserverReport` is the unit the observer framework produces:
+one observer's derived metrics over one campaign, carried as plain JSON
+data with a schema identifier, the observer's declared version, and a
+SHA-256 content digest over the canonical encoding.  The digest is the
+framework's bit-identity contract — the same campaign data must yield
+the same digest no matter which execution backend produced the
+campaign, whether observability was enabled, or whether the report was
+computed by the CLI, the bench harness, or the serving API.
+
+Canonical encoding = JSON with sorted keys and no whitespace, identical
+to the serving layer's response encoding, so a persisted report artifact
+can be byte-diffed against a served one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from ..errors import DataError
+
+#: report schema identifier (bump on incompatible layout changes).
+REPORT_SCHEMA = "repro.observers/1"
+
+
+def canonical_json(payload) -> bytes:
+    """The byte-stable report encoding (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+@dataclass(frozen=True)
+class ObserverReport:
+    """One observer's output over one campaign.
+
+    ``body`` is the observer's JSON-ready result: by convention a
+    ``summary`` of headline scalars, a ``per_vantage`` breakdown, a
+    ``series`` of per-round trajectories, and (added by the runner) the
+    ``trends`` the significance model flagged over those series.
+    """
+
+    name: str
+    version: int
+    campaign_digest: str | None
+    body: dict
+    schema: str = REPORT_SCHEMA
+    #: content digest, derived on construction when not supplied.
+    digest: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DataError("observer reports need an observer name")
+        if not isinstance(self.version, int) or self.version < 1:
+            raise DataError(
+                f"observer {self.name!r}: version must be a positive "
+                f"integer, got {self.version!r}"
+            )
+        if not isinstance(self.body, dict):
+            raise DataError(f"observer {self.name!r}: body must be a dict")
+        expected = _digest_of(
+            self.schema, self.name, self.version, self.campaign_digest, self.body
+        )
+        if not self.digest:
+            object.__setattr__(self, "digest", expected)
+        elif self.digest != expected:
+            raise DataError(
+                f"observer report {self.name!r}: digest {self.digest[:12]}… "
+                f"does not match its content ({expected[:12]}…)"
+            )
+
+    def to_payload(self) -> dict:
+        """JSON-ready form (store artifact, serve response, CLI output)."""
+        return {
+            "schema": self.schema,
+            "observer": self.name,
+            "version": self.version,
+            "campaign_digest": self.campaign_digest,
+            "body": self.body,
+            "digest": self.digest,
+        }
+
+    def canonical_bytes(self) -> bytes:
+        """The exact bytes the store persists and the server serves."""
+        return canonical_json(self.to_payload())
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ObserverReport":
+        """Rebuild (and re-verify the digest of) a persisted report."""
+        if not isinstance(payload, dict):
+            raise DataError("observer report payload must be a JSON object")
+        schema = payload.get("schema")
+        if schema != REPORT_SCHEMA:
+            raise DataError(
+                f"unsupported observer report schema {schema!r} "
+                f"(expected {REPORT_SCHEMA})"
+            )
+        try:
+            return cls(
+                name=payload["observer"],
+                version=payload["version"],
+                campaign_digest=payload.get("campaign_digest"),
+                body=payload["body"],
+                schema=schema,
+                digest=payload.get("digest", ""),
+            )
+        except KeyError as exc:
+            raise DataError(f"observer report payload misses {exc}") from exc
+
+
+def _digest_of(
+    schema: str, name: str, version: int, campaign_digest: str | None, body: dict
+) -> str:
+    """SHA-256 over the canonical report content (digest field excluded)."""
+    content = {
+        "schema": schema,
+        "observer": name,
+        "version": version,
+        "campaign_digest": campaign_digest,
+        "body": body,
+    }
+    return hashlib.sha256(canonical_json(content)).hexdigest()

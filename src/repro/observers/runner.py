@@ -1,0 +1,79 @@
+"""Run the observer panel over a campaign and build its reports.
+
+The runner is the one place observers are executed: the CLI, the bench
+harness, and the serving layer all call :func:`run_panel`, so every
+consumer computes byte-identical reports.  The runner is also where the
+pieces meet — it validates required tables, times each observer under a
+``observers.run`` span, feeds the body's ``series`` through the trend
+significance model (:mod:`repro.observers.trends`), and seals the result
+into a content-addressed :class:`~repro.observers.reports.ObserverReport`.
+
+Metrics (``repro.obs``): ``observers.runs`` / ``observers.reports`` /
+``observers.errors`` counters and an ``observers.latency_ms`` histogram.
+None of them feed back into report content, so reports stay bit-identical
+with observability on or off.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..data.columnar import ColumnarRepository
+from ..obs import metrics
+from ..obs.trace import span
+from .registry import Observer, all_observers, get_observer
+from .reports import ObserverReport
+from .trends import analyze_series
+
+_RUNS = metrics.counter("observers.runs")
+_REPORTS = metrics.counter("observers.reports")
+_ERRORS = metrics.counter("observers.errors")
+_LATENCY = metrics.histogram("observers.latency_ms")
+
+
+def run_observer(
+    observer: Observer,
+    repository: ColumnarRepository,
+    campaign_digest: str | None = None,
+) -> ObserverReport:
+    """Run one observer over one campaign and seal its report."""
+    _RUNS.inc()
+    started = time.perf_counter()
+    try:
+        with span("observers.run", observer=observer.name):
+            observer.check_tables(repository)
+            body = observer.fn(repository)
+            body["trends"] = analyze_series(body.get("series", {}))
+    except Exception:
+        _ERRORS.inc()
+        raise
+    finally:
+        _LATENCY.observe((time.perf_counter() - started) * 1000.0)
+    report = ObserverReport(
+        name=observer.name,
+        version=observer.version,
+        campaign_digest=campaign_digest,
+        body=body,
+    )
+    _REPORTS.inc()
+    return report
+
+
+def run_panel(
+    repository: ColumnarRepository,
+    campaign_digest: str | None = None,
+    names: list[str] | None = None,
+) -> dict[str, ObserverReport]:
+    """Run the (selected) observer panel; reports keyed by observer name.
+
+    Observers run in sorted-name order — the canonical panel order —
+    so metric counters accumulate identically on every backend.
+    """
+    if names is None:
+        observers = all_observers()
+    else:
+        observers = [get_observer(name) for name in sorted(set(names))]
+    return {
+        observer.name: run_observer(observer, repository, campaign_digest)
+        for observer in observers
+    }

@@ -28,6 +28,13 @@ MAX_RNG_CONSTRUCTIONS_PER_DECISION = 0.0
 #: the query battery is point lookups (indexable) plus one group
 #: aggregate per vantage; pushdown must cover nearly every scan.
 MIN_INDEX_HIT_FRACTION = 0.95
+#: the observer panel mixes point lookups with a handful of deliberate
+#: full-table scans (per-round series), so its floor sits a bit lower.
+MIN_OBSERVER_INDEX_HIT_FRACTION = 0.90
+#: each observer may read the campaign a bounded constant number of
+#: times; the unit is download loops (~downloads-table rows), which makes
+#: the bound scale-free.  Measured shape: ~2.0 rows per loop per observer.
+MAX_OBSERVER_ROWS_PER_LOOP = 4.0
 
 
 @dataclass(frozen=True)
@@ -169,6 +176,60 @@ def evaluate_gates(report: dict) -> list[GateResult]:
             )
         )
 
+    data = _workload(report, "observers")
+    if data is not None:
+        counters = data["counters"]
+        derived = data["derived"]
+        hit_fraction = derived["index_hit_fraction"]
+        results.append(
+            GateResult(
+                workload="observers",
+                gate="index_hit_fraction",
+                passed=hit_fraction >= MIN_OBSERVER_INDEX_HIT_FRACTION,
+                observed=hit_fraction,
+                bound=f">= {MIN_OBSERVER_INDEX_HIT_FRACTION} "
+                      "(point lookups keep the pushdown)",
+            )
+        )
+        loops = (
+            counters["download.loops_converged"]
+            + counters["download.loops_exhausted"]
+            + counters["download.loops_gave_up"]
+        )
+        rows_per_observer = derived["rows_scanned_per_observer"]
+        bound = MAX_OBSERVER_ROWS_PER_LOOP * loops
+        results.append(
+            GateResult(
+                workload="observers",
+                gate="rows_scanned_per_observer",
+                passed=rows_per_observer <= bound if loops else False,
+                observed=rows_per_observer,
+                bound=f"<= {bound:g} ({MAX_OBSERVER_ROWS_PER_LOOP:g} rows "
+                      "per download loop per observer)",
+            )
+        )
+        results.append(
+            GateResult(
+                workload="observers",
+                gate="observer_errors",
+                passed=counters["observers.errors"] == 0,
+                observed=counters["observers.errors"],
+                bound="== 0 (no observer raised)",
+            )
+        )
+        results.append(
+            GateResult(
+                workload="observers",
+                gate="every_run_reported",
+                passed=(
+                    counters["observers.reports"] == counters["observers.runs"]
+                    and counters["observers.runs"] > 0
+                ),
+                observed=counters["observers.reports"],
+                bound=f"== {counters['observers.runs']:g} (runs) and > 0",
+            )
+        )
+
     data = _workload(report, "fault_plan")
     if data is not None:
         per_decision = data["derived"]["rng_constructions_per_decision"]
@@ -238,6 +299,20 @@ def compare_reports(report: dict, baseline: dict) -> list[GateResult]:
                     bound=f"== {base_value:g}",
                 )
             )
+        base_reports = base_data.get("meta", {}).get("report_digests")
+        if base_reports is not None:
+            report_digests = data.get("meta", {}).get("report_digests")
+            for observer, base_value in base_reports.items():
+                value = (report_digests or {}).get(observer)
+                results.append(
+                    GateResult(
+                        workload=name,
+                        gate=f"report_digest:{observer}",
+                        passed=value == base_value,
+                        observed=float(value == base_value),
+                        bound=f"== {base_value[:12]}…",
+                    )
+                )
         base_digest = base_data.get("meta", {}).get("repository_digest")
         if base_digest is not None:
             digest = data.get("meta", {}).get("repository_digest")

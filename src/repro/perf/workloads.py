@@ -48,6 +48,9 @@ WORK_COUNTERS = (
     "data.query.index_hits",
     "data.query.groups_emitted",
     "data.columnar.encodes",
+    "observers.runs",
+    "observers.reports",
+    "observers.errors",
 )
 
 
@@ -309,6 +312,55 @@ def query(seed: int, scale: float) -> WorkloadResult:
     )
 
 
+def observers(seed: int, scale: float) -> WorkloadResult:
+    """The derived-metric observer panel over a full campaign.
+
+    Runs every registered observer through the canonical runner and
+    snapshots the ``observers.*`` counters plus the ``data.query.*``
+    work the panel itself issued (deltas against a pre-panel snapshot,
+    so the campaign's own query work doesn't blur the gate ratios).
+    The report digests ride along in ``meta`` to pin bit-identity.
+    """
+    from ..data.columnar import ColumnarRepository
+    from ..observers import run_panel
+
+    obs.reset()
+    obs.enable()
+    config = small_config(seed=seed, scale=scale)
+    world = build_world(config)
+    result = run_campaign(world, execution=_SERIAL)
+    columnar = ColumnarRepository.from_repository(result.repository)
+    before = _snapshot_counters()
+    t0 = time.perf_counter()
+    reports = run_panel(columnar)
+    wall = time.perf_counter() - t0
+    counters = _snapshot_counters()
+    n_reports = len(reports)
+    scans = counters["data.query.scans"] - before["data.query.scans"]
+    rows = (
+        counters["data.query.rows_scanned"] - before["data.query.rows_scanned"]
+    )
+    hits = counters["data.query.index_hits"] - before["data.query.index_hits"]
+    return WorkloadResult(
+        name="observers",
+        wall_seconds=wall,
+        counters=counters,
+        spans=_span_totals("observers.run"),
+        derived={
+            "scans_per_observer": scans / n_reports if n_reports else 0.0,
+            "rows_scanned_per_observer": rows / n_reports if n_reports else 0.0,
+            "index_hit_fraction": hits / scans if scans else 0.0,
+            "reports_per_second": n_reports / wall if wall > 0 else 0.0,
+        },
+        meta={
+            "n_reports": n_reports,
+            "report_digests": {
+                name: reports[name].digest for name in sorted(reports)
+            },
+        },
+    )
+
+
 #: name -> callable(seed, scale); the bench CLI's workload registry.
 WORKLOADS = {
     "round_loop": round_loop,
@@ -316,4 +368,5 @@ WORKLOADS = {
     "fault_plan": fault_plan,
     "end_to_end": end_to_end,
     "query": query,
+    "observers": observers,
 }

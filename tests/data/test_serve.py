@@ -18,7 +18,8 @@ from repro.data.serve import (
 )
 from repro.engine import WEEKLY
 from repro.engine.store import CampaignStore, config_digest
-from repro.errors import DataError
+from repro.errors import ConfigError, DataError
+from repro.obs import metrics
 
 
 @pytest.fixture(scope="module")
@@ -37,7 +38,31 @@ def app(served_store):
 
 
 def test_healthz(app):
-    assert app.handle("GET", "/healthz", {}) == (200, {"status": "ok"})
+    status, payload = app.handle("GET", "/healthz", {})
+    assert status == 200
+    assert payload["status"] == "ok"
+    assert payload["lru"]["capacity"] == app.cache.capacity
+    assert payload["lru"]["occupancy"] == app.cache.occupancy
+
+
+def test_healthz_reports_lru_occupancy(served_store):
+    store, digest = served_store
+    app = ServeApp(store, ServeConfig(cache_root=str(store.root)))
+    assert app.handle("GET", "/healthz", {})[1]["lru"]["occupancy"] == 0
+    app.cache.get(digest)
+    assert app.handle("GET", "/healthz", {})[1]["lru"]["occupancy"] == 1
+
+
+def test_metrics_endpoint(app):
+    before = metrics.counter("data.serve.requests").value
+    metrics.counter("data.serve.requests").inc()
+    status, payload = app.handle("GET", "/metrics", {})
+    assert status == 200
+    exported = payload["metrics"]
+    assert exported["data.serve.requests"]["type"] == "counter"
+    assert exported["data.serve.requests"]["value"] == before + 1
+    # the payload is canonical-JSON clean (round trips bit-identically)
+    assert json.loads(canonical_json(payload)) == payload
 
 
 def test_campaign_listing(app, served_store):
@@ -148,6 +173,113 @@ def test_structured_errors(app, served_store):
     assert status == 404
 
 
+def _serve_errors() -> float:
+    return metrics.counter("data.serve.errors").value
+
+
+def test_unknown_campaign_digest_counts_error(app):
+    before = _serve_errors()
+    status, payload = app.handle("GET", "/campaigns/deadbeef", {})
+    assert status == 404
+    assert payload["error"]["code"] == "not_found"
+    assert "deadbeef" in payload["error"]["message"]
+    assert _serve_errors() == before + 1
+
+
+def test_malformed_query_body_counts_error(app, served_store):
+    _, digest = served_store
+    before = _serve_errors()
+    status, payload = app.handle(
+        "POST", f"/campaigns/{digest}/query", {}, b"{not json"
+    )
+    assert status == 400
+    assert payload["error"]["code"] == "bad_request"
+    assert _serve_errors() == before + 1
+    # structurally valid JSON that is not a query object also 400s
+    status, payload = app.handle(
+        "POST", f"/campaigns/{digest}/query", {}, b"[1,2,3]"
+    )
+    assert status == 400
+    assert payload["error"]["code"] == "bad_request"
+    assert _serve_errors() == before + 2
+
+
+def test_unknown_table_counts_error(app, served_store, small_campaign):
+    _, digest = served_store
+    vantage = sorted(small_campaign.repository.vantage_names)[0]
+    before = _serve_errors()
+    status, payload = app.handle(
+        "GET", f"/campaigns/{digest}/tables/bogus", {"vantage": vantage}
+    )
+    assert status == 400
+    assert payload["error"]["code"] == "bad_request"
+    assert "bogus" in payload["error"]["message"]
+    assert _serve_errors() == before + 1
+    # the query endpoint rejects an unknown table the same way
+    body = json.dumps({"vantage": vantage, "table": "bogus"}).encode()
+    status, payload = app.handle("POST", f"/campaigns/{digest}/query", {}, body)
+    assert status == 400
+    assert _serve_errors() == before + 2
+
+
+def test_observer_registry_listing(app):
+    status, payload = app.handle("GET", "/observers", {})
+    assert status == 200
+    names = [o["name"] for o in payload["observers"]]
+    assert names == sorted(names)
+    assert payload["n_observers"] == len(names) >= 6
+    for entry in payload["observers"]:
+        assert entry["version"] >= 1
+        assert entry["required_tables"]
+        assert entry["headline"]
+
+
+def test_campaign_observer_reports_byte_identical(app, served_store, small_campaign):
+    from repro.data.columnar import ColumnarRepository
+    from repro.observers import run_panel
+
+    store, digest = served_store
+    columnar = ColumnarRepository.from_repository(small_campaign.repository)
+    direct = run_panel(columnar, campaign_digest=digest)
+    # recomputed-on-demand serving matches a direct panel run
+    for name, report in direct.items():
+        status, payload = app.handle(
+            "GET", f"/campaigns/{digest}/observers/{name}", {}
+        )
+        assert status == 200
+        assert canonical_json(payload) == report.canonical_bytes()
+    # persisting the artifacts and serving again returns the same bytes
+    store.save_observer_reports(digest, direct)
+    assert store.list_observer_reports(digest) == sorted(direct)
+    for name, report in direct.items():
+        status, payload = app.handle(
+            "GET", f"/campaigns/{digest}/observers/{name}", {}
+        )
+        assert status == 200
+        assert canonical_json(payload) == report.canonical_bytes()
+        assert store.load_observer_report(digest, name) == report.canonical_bytes()
+
+
+def test_campaign_observers_listing(app, served_store):
+    _, digest = served_store
+    status, payload = app.handle("GET", f"/campaigns/{digest}/observers", {})
+    assert status == 200
+    assert payload["digest"] == digest
+    names = [o["name"] for o in payload["observers"]]
+    assert len(names) >= 6
+
+
+def test_unknown_observer_404(app, served_store):
+    _, digest = served_store
+    before = _serve_errors()
+    status, payload = app.handle(
+        "GET", f"/campaigns/{digest}/observers/nonsense", {}
+    )
+    assert status == 404
+    assert payload["error"]["code"] == "not_found"
+    assert _serve_errors() == before + 1
+
+
 def test_oversized_limit_rejected(served_store, small_campaign):
     store, digest = served_store
     app = ServeApp(store, ServeConfig(cache_root=str(store.root), max_rows=10))
@@ -169,8 +301,26 @@ def test_oversized_limit_rejected(served_store, small_campaign):
 def test_serve_config_validation():
     with pytest.raises(DataError):
         ServeConfig(max_rows=0)
-    with pytest.raises(DataError):
+    with pytest.raises(ConfigError):
         ServeConfig(lru_campaigns=0)
+    with pytest.raises(ConfigError):
+        ServeConfig(lru_campaigns=-3)
+
+
+def test_serve_lru_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_LRU", "9")
+    assert ServeConfig().lru_campaigns == 9
+    monkeypatch.setenv("REPRO_SERVE_LRU", "not-a-number")
+    with pytest.raises(ConfigError):
+        ServeConfig()
+    monkeypatch.setenv("REPRO_SERVE_LRU", "0")
+    with pytest.raises(ConfigError):
+        ServeConfig()
+    monkeypatch.delenv("REPRO_SERVE_LRU")
+    assert ServeConfig().lru_campaigns == 4
+    # an explicit value always wins over the environment
+    monkeypatch.setenv("REPRO_SERVE_LRU", "9")
+    assert ServeConfig(lru_campaigns=2).lru_campaigns == 2
 
 
 def test_lru_eviction(served_store):
@@ -196,7 +346,17 @@ def test_over_http(served_store, small_campaign):
         base = f"http://127.0.0.1:{port}"
         with urllib.request.urlopen(f"{base}/healthz") as response:
             assert response.status == 200
-            assert json.loads(response.read()) == {"status": "ok"}
+            health = json.loads(response.read())
+            assert health["status"] == "ok"
+            assert set(health["lru"]) == {"occupancy", "capacity"}
+        with urllib.request.urlopen(f"{base}/metrics") as response:
+            assert response.status == 200
+            exported = json.loads(response.read())["metrics"]
+            assert exported["data.serve.requests"]["value"] >= 1
+        with urllib.request.urlopen(f"{base}/observers") as response:
+            assert response.status == 200
+            listing = json.loads(response.read())
+            assert listing["n_observers"] >= 6
         vantage = sorted(small_campaign.repository.vantage_names)[0]
         url = f"{base}/campaigns/{digest}/analysis/classify?vantage={vantage}"
         with urllib.request.urlopen(url) as response:

@@ -251,3 +251,33 @@ class TestColumnarArtifact:
         entry = store.save(cfg, repository, reports)
         (entry / "columnar.json").write_text("{not json", encoding="utf-8")
         assert store.load_columnar_entry(config_digest(cfg)) is None
+
+
+class TestObserverReports:
+    def test_round_trip(self, tmp_path):
+        from repro.observers import ObserverReport
+
+        store = CampaignStore(tmp_path)
+        cfg = small_config(seed=3)
+        repository, reports = tiny_campaign()
+        store.save(cfg, repository, reports)
+        digest = config_digest(cfg)
+        assert store.list_observer_reports(digest) == []
+        assert store.load_observer_report(digest, "speed_parity") is None
+        observer_reports = {
+            name: ObserverReport(
+                name=name,
+                version=1,
+                campaign_digest=digest,
+                body={"summary": {"x": 1.0}, "series": {}},
+            )
+            for name in ("speed_parity", "hop_inflation")
+        }
+        store.save_observer_reports(digest, observer_reports)
+        assert store.list_observer_reports(digest) == [
+            "hop_inflation", "speed_parity"
+        ]
+        raw = store.load_observer_report(digest, "speed_parity")
+        assert raw == observer_reports["speed_parity"].canonical_bytes()
+        restored = ObserverReport.from_payload(json.loads(raw))
+        assert restored == observer_reports["speed_parity"]

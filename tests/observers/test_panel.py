@@ -1,0 +1,132 @@
+"""The observer panel over a real campaign: semantics and bit-identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.data.columnar import ColumnarRepository
+from repro.observers import observer_names, run_observer, run_panel
+from repro.observers.registry import get_observer
+
+
+@pytest.fixture(scope="module")
+def columnar(small_campaign) -> ColumnarRepository:
+    return ColumnarRepository.from_repository(small_campaign.repository)
+
+
+@pytest.fixture(scope="module")
+def panel(columnar):
+    return run_panel(columnar, campaign_digest="test-digest")
+
+
+def test_panel_emits_every_observer(panel):
+    assert sorted(panel) == observer_names()
+    assert len(panel) >= 6
+
+
+def test_reports_follow_the_body_convention(panel):
+    for name, report in panel.items():
+        assert report.name == name
+        assert report.campaign_digest == "test-digest"
+        body = report.body
+        assert "summary" in body
+        assert "series" in body
+        assert "trends" in body
+        headline = get_observer(name).headline
+        assert headline in body["summary"]
+        for series in body["series"].values():
+            assert len(series["rounds"]) == len(series["values"])
+            assert series["rounds"] == sorted(series["rounds"])
+
+
+def test_panel_is_deterministic(columnar, panel):
+    again = run_panel(columnar, campaign_digest="test-digest")
+    for name, report in panel.items():
+        assert again[name].digest == report.digest
+        assert again[name].canonical_bytes() == report.canonical_bytes()
+
+
+def test_reports_identical_with_obs_on_and_off(columnar, panel):
+    obs.reset()
+    obs.enable()
+    try:
+        with_obs = run_panel(columnar, campaign_digest="test-digest")
+    finally:
+        obs.disable()
+        obs.reset()
+    for name, report in panel.items():
+        assert with_obs[name].digest == report.digest
+
+
+def test_observer_metrics_count_runs(columnar):
+    obs.reset()
+    runs = obs.get_registry().counter("observers.runs")
+    reports = obs.get_registry().counter("observers.reports")
+    before_runs, before_reports = runs.value, reports.value
+    run_panel(columnar, names=["speed_parity", "hop_inflation"])
+    assert runs.value == before_runs + 2
+    assert reports.value == before_reports + 2
+
+
+def test_region_adoption_semantics(panel, small_campaign):
+    body = panel["region_adoption"].body
+    assert 0.0 <= body["summary"]["adoption_score"] <= 1.0
+    assert body["summary"]["n_vantages"] == len(
+        small_campaign.repository.vantage_names
+    )
+    for value in body["per_region"].values():
+        assert 0.0 <= value <= 1.0
+    adoption = body["series"]["adoption"]["values"]
+    # the scenario grows AAAA coverage over rounds
+    assert adoption[-1] > adoption[0]
+
+
+def test_speed_parity_semantics(panel):
+    body = panel["speed_parity"].body
+    assert body["summary"]["n_sites"] > 0
+    assert 0.0 < body["summary"]["parity_index"] < 2.0
+    assert 0.0 <= body["summary"]["comparable_fraction"] <= 1.0
+
+
+def test_path_stability_semantics(panel):
+    body = panel["path_stability"].body
+    assert 0.0 <= body["summary"]["change_rate"] <= 1.0
+    assert body["summary"]["stability_index"] == pytest.approx(
+        1.0 - body["summary"]["change_rate"]
+    )
+
+
+def test_tunnel_prevalence_semantics(panel):
+    body = panel["tunnel_prevalence"].body
+    assert body["summary"]["n_sites"] > 0
+    assert 0.0 <= body["summary"]["prevalence"] <= 1.0
+    assert body["summary"]["n_suspected"] <= body["summary"]["n_sites"]
+
+
+def test_failure_watch_zero_without_faults(panel):
+    body = panel["failure_watch"].body
+    assert body["summary"]["n_faults"] == 0
+    assert body["summary"]["failure_rate"] == 0.0
+    assert body["summary"]["n_downloads"] > 0
+    assert all(v == 0 for v in body["series"]["faults"]["values"])
+
+
+def test_hop_inflation_semantics(panel):
+    body = panel["hop_inflation"].body
+    assert body["summary"]["mean_hops_v4"] >= 1.0
+    assert body["summary"]["mean_hops_v6"] >= 1.0
+    histogram = body["histogram"]
+    for family in ("IPv4", "IPv6"):
+        assert sum(histogram[family].values()) > 0
+
+
+def test_single_observer_run(columnar):
+    report = run_observer(get_observer("speed_parity"), columnar)
+    assert report.campaign_digest is None
+    assert report.name == "speed_parity"
+
+
+def test_subset_selection(columnar):
+    subset = run_panel(columnar, names=["hop_inflation", "speed_parity"])
+    assert sorted(subset) == ["hop_inflation", "speed_parity"]

@@ -1,0 +1,105 @@
+"""The observer registry: declarations, lookups, table validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.columnar import ColumnarDatabase, ColumnarRepository
+from repro.errors import DataError
+from repro.observers import all_observers, get_observer, observer_names, register
+from repro.observers.registry import _REGISTRY, Observer
+
+
+def test_panel_self_registers():
+    names = observer_names()
+    assert len(names) >= 6
+    assert names == sorted(names)
+    for expected in (
+        "region_adoption",
+        "speed_parity",
+        "path_stability",
+        "tunnel_prevalence",
+        "failure_watch",
+        "hop_inflation",
+    ):
+        assert expected in names
+
+
+def test_observer_declarations_are_complete():
+    for observer in all_observers():
+        assert observer.version >= 1
+        assert observer.required_tables
+        assert observer.headline
+        description = observer.describe()
+        assert description["name"] == observer.name
+        assert description["required_tables"] == list(observer.required_tables)
+
+
+def test_unknown_observer_raises():
+    with pytest.raises(DataError, match="unknown observer"):
+        get_observer("nonsense")
+
+
+def test_duplicate_registration_rejected():
+    decorator = register(
+        name="test_dupe",
+        version=1,
+        description="x",
+        required_tables=("downloads",),
+        headline="h",
+    )
+    try:
+        decorator(lambda repository: {})
+        with pytest.raises(DataError, match="already registered"):
+            register(
+                name="test_dupe",
+                version=1,
+                description="x",
+                required_tables=("downloads",),
+                headline="h",
+            )(lambda repository: {})
+    finally:
+        _REGISTRY.pop("test_dupe", None)
+
+
+def test_unknown_required_table_rejected():
+    with pytest.raises(DataError, match="unknown tables"):
+        Observer(
+            name="bad",
+            version=1,
+            description="x",
+            required_tables=("no_such_table",),
+            headline="h",
+            fn=lambda repository: {},
+        )
+    with pytest.raises(DataError):
+        Observer(
+            name="bad",
+            version=0,
+            description="x",
+            required_tables=("downloads",),
+            headline="h",
+            fn=lambda repository: {},
+        )
+
+
+def test_check_tables_fails_on_truncated_entry(small_campaign):
+    observer = get_observer("speed_parity")
+    columnar = ColumnarRepository.from_repository(small_campaign.repository)
+    observer.check_tables(columnar)  # full data passes
+    vantage = sorted(columnar.databases)[0]
+    full = columnar.databases[vantage]
+    truncated = dict(columnar.databases)
+    truncated[vantage] = ColumnarDatabase(
+        vantage_name=full.vantage_name,
+        tables={
+            name: table
+            for name, table in full.tables.items()
+            if name != "downloads"
+        },
+    )
+    broken = ColumnarRepository(
+        vantages=dict(columnar.vantages), databases=truncated
+    )
+    with pytest.raises(DataError, match="no table 'downloads'"):
+        observer.check_tables(broken)

@@ -1,0 +1,80 @@
+"""ObserverReport: content digests, canonical bytes, round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import DataError
+from repro.observers import REPORT_SCHEMA, ObserverReport, canonical_json
+
+
+def _report(**overrides):
+    kwargs = dict(
+        name="speed_parity",
+        version=1,
+        campaign_digest="abc123",
+        body={"summary": {"parity_index": 0.91}, "series": {}},
+    )
+    kwargs.update(overrides)
+    return ObserverReport(**kwargs)
+
+
+def test_digest_is_deterministic():
+    assert _report().digest == _report().digest
+    assert len(_report().digest) == 64
+
+
+def test_digest_covers_every_content_field():
+    base = _report()
+    assert _report(version=2).digest != base.digest
+    assert _report(name="hop_inflation").digest != base.digest
+    assert _report(campaign_digest="other").digest != base.digest
+    assert _report(body={"summary": {}}).digest != base.digest
+
+
+def test_supplied_digest_is_verified():
+    good = _report()
+    # the correct digest is accepted verbatim
+    assert _report(digest=good.digest).digest == good.digest
+    with pytest.raises(DataError, match="does not match"):
+        _report(digest="0" * 64)
+
+
+def test_payload_round_trip_reverifies():
+    report = _report()
+    payload = json.loads(canonical_json(report.to_payload()))
+    restored = ObserverReport.from_payload(payload)
+    assert restored == report
+    assert restored.canonical_bytes() == report.canonical_bytes()
+    # a tampered body no longer matches the carried digest
+    payload["body"]["summary"]["parity_index"] = 0.5
+    with pytest.raises(DataError, match="does not match"):
+        ObserverReport.from_payload(payload)
+
+
+def test_payload_schema_checked():
+    payload = _report().to_payload()
+    assert payload["schema"] == REPORT_SCHEMA
+    payload["schema"] = "repro.observers/99"
+    with pytest.raises(DataError, match="schema"):
+        ObserverReport.from_payload(payload)
+    with pytest.raises(DataError):
+        ObserverReport.from_payload("not a dict")
+
+
+def test_construction_validation():
+    with pytest.raises(DataError):
+        _report(name="")
+    with pytest.raises(DataError):
+        _report(version=0)
+    with pytest.raises(DataError):
+        _report(body=[1, 2])
+
+
+def test_canonical_bytes_are_sorted_and_compact():
+    data = _report().canonical_bytes()
+    assert b" " not in data and b"\n" not in data
+    decoded = json.loads(data)
+    assert list(decoded) == sorted(decoded)

@@ -1,0 +1,76 @@
+"""The trend significance model: steady trends and level breaks."""
+
+from __future__ import annotations
+
+from repro.observers.trends import (
+    MIN_WINDOW,
+    analyze_series,
+    flag_series,
+    level_break,
+    steady_trend,
+)
+
+
+def test_steady_trend_flags_clean_growth():
+    values = [1.0 + 0.05 * i for i in range(12)]
+    flag = steady_trend("adoption", values)
+    assert flag is not None
+    assert flag.kind == "steady_trend"
+    assert flag.direction == 1
+    assert flag.magnitude > 0
+    assert flag.p_value is not None and flag.p_value <= 0.01
+
+
+def test_steady_trend_ignores_flat_series():
+    assert steady_trend("flat", [2.0] * 12) is None
+
+
+def test_level_break_flags_step_change():
+    values = [1.0, 1.01, 0.99, 1.0, 1.02, 2.0, 2.01, 1.99, 2.0, 2.02]
+    flag = level_break("step", values)
+    assert flag is not None
+    assert flag.kind == "level_break"
+    assert flag.direction == 1
+    assert flag.magnitude > 0.10
+
+
+def test_level_break_needs_enough_points():
+    short = [1.0] * (2 * MIN_WINDOW - 1)
+    assert level_break("short", short) is None
+
+
+def test_level_break_ignores_small_shifts():
+    # disjoint-ish but inside the 10% band: tight series shifted by 5%
+    values = [1.0, 1.0, 1.0, 1.0, 1.05, 1.05, 1.05, 1.05]
+    flag = level_break("small", values)
+    assert flag is None
+
+
+def test_falling_series_flags_negative_direction():
+    values = [2.0 - 0.1 * i for i in range(12)]
+    flags = flag_series("decline", values)
+    assert flags
+    assert all(f.direction == -1 for f in flags)
+
+
+def test_analyze_series_is_sorted_and_json_ready():
+    series = {
+        "b_rise": {"rounds": list(range(12)),
+                   "values": [1.0 + 0.05 * i for i in range(12)]},
+        "a_rise": {"rounds": list(range(12)),
+                   "values": [1.0 + 0.05 * i for i in range(12)]},
+        "flat": {"rounds": list(range(12)), "values": [1.0] * 12},
+    }
+    flags = analyze_series(series)
+    assert flags
+    names = [f["series"] for f in flags]
+    assert names == sorted(names)
+    assert all(f["series"] != "flat" for f in flags)
+    for flag in flags:
+        assert set(flag) == {
+            "series", "kind", "direction", "magnitude", "p_value"
+        }
+
+
+def test_analyze_series_empty():
+    assert analyze_series({}) == []

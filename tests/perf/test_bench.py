@@ -38,6 +38,7 @@ class TestRunBench:
             "fault_plan",
             "end_to_end",
             "query",
+            "observers",
         }
 
     def test_unknown_workload_rejected(self):
@@ -106,6 +107,31 @@ class TestGates:
         failed = {g.gate for g in evaluate_gates(tampered) if not g.passed}
         assert "rng_constructions_per_decision" in failed
 
+    def test_gate_catches_observer_scan_regression(self, report):
+        tampered = copy.deepcopy(report)
+        data = tampered["workloads"]["observers"]
+        loops = (
+            data["counters"]["download.loops_converged"]
+            + data["counters"]["download.loops_exhausted"]
+            + data["counters"]["download.loops_gave_up"]
+        )
+        # Simulate an observer re-scanning the campaign per site-round.
+        data["derived"]["rows_scanned_per_observer"] = 100.0 * loops
+        data["derived"]["index_hit_fraction"] = 0.2
+        failed = {
+            (g.workload, g.gate)
+            for g in evaluate_gates(tampered)
+            if not g.passed
+        }
+        assert ("observers", "rows_scanned_per_observer") in failed
+        assert ("observers", "index_hit_fraction") in failed
+
+    def test_gate_catches_observer_errors(self, report):
+        tampered = copy.deepcopy(report)
+        tampered["workloads"]["observers"]["counters"]["observers.errors"] = 2.0
+        failed = {g.gate for g in evaluate_gates(tampered) if not g.passed}
+        assert "observer_errors" in failed
+
 
 class TestCompareReports:
     def test_rerun_is_counter_identical(self, report):
@@ -126,6 +152,15 @@ class TestCompareReports:
         drifted["workloads"]["end_to_end"]["meta"]["repository_digest"] = "0" * 64
         mismatched = [c for c in compare_reports(drifted, report) if not c.passed]
         assert [c.gate for c in mismatched] == ["repository_digest"]
+
+    def test_observer_report_digest_drift_is_flagged(self, report):
+        drifted = copy.deepcopy(report)
+        digests = drifted["workloads"]["observers"]["meta"]["report_digests"]
+        assert digests, "observers workload must pin its report digests"
+        name = sorted(digests)[0]
+        digests[name] = "0" * 64
+        mismatched = [c for c in compare_reports(drifted, report) if not c.passed]
+        assert [c.gate for c in mismatched] == [f"report_digest:{name}"]
 
     def test_config_mismatch_refuses_to_compare(self, report):
         other = copy.deepcopy(report)
