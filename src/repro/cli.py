@@ -19,6 +19,7 @@ Subcommands::
     repro profile   [--scale S] [--seed N] [--out P]      # phase-time breakdown + JSON report
     repro bench     [--scale S] [--seed N] [--out P]      # perf workloads + BENCH_rounds.json
                     [--smoke] [--check] [--baseline P]    #   (deterministic regression gates)
+                    [--compare P]                         #   (speedup summary vs old report)
     repro show-config                                     # the default scenario, as text
 
 Every campaign subcommand also takes ``--backend serial|process`` and
@@ -60,6 +61,7 @@ from .perf import (
     compare_reports,
     evaluate_gates,
     read_report as read_bench_report,
+    render_comparison as render_bench_comparison,
     render_report,
     run_bench,
     wall_clock_deltas,
@@ -433,6 +435,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             for line in wall_clock_deltas(report, baseline):
                 print(f"  {line}")
             failures += len(mismatched)
+    if args.compare:
+        compare_path = pathlib.Path(args.compare)
+        if not compare_path.exists():
+            print(f"\ncomparison report {compare_path} not found")
+            failures += 1
+        else:
+            print()
+            print(render_bench_comparison(read_bench_report(compare_path), report))
     if args.out:
         path = write_bench_report(report, args.out)
         print(f"\nbench report written to {path}")
@@ -640,6 +650,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline",
         default=BENCH_DEFAULT_OUT,
         help=f"baseline report for --check (default: {BENCH_DEFAULT_OUT})",
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="PATH",
+        default=None,
+        help="print a speedup summary (median old/new, counter deltas) "
+        "against an older bench report",
     )
     bench.add_argument(
         "--out",

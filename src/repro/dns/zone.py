@@ -138,6 +138,18 @@ class ZoneView:
         self._store = store
         self._entries: dict[str, NameEntry] = {}
 
+    def cached(self, name: str) -> NameEntry | None:
+        """The memoised entry for ``name``, or None — never walks.
+
+        Entry objects are immutable and replaced (never mutated) when a
+        name is re-walked after invalidation, so *object identity* of a
+        cached entry proves the underlying zone data is unchanged.
+        Derived caches (the batch plane's per-name DNS answers) pin the
+        entry objects they were computed from and revalidate with one
+        ``is`` check per chain element.
+        """
+        return self._entries.get(name)
+
     def entry(self, name: str) -> NameEntry:
         cached = self._entries.get(name)
         if cached is not None:

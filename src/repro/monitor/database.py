@@ -183,6 +183,88 @@ class MeasurementDatabase:
         self.faults.append(obs)
         self._columnar_cache = None
 
+    # -- batched writes --------------------------------------------------------
+    #
+    # The batched execution plane materializes a whole round's rows in
+    # dispatch order and lands them here in one call per table.  Each
+    # method applies the exact per-row logic of its scalar counterpart
+    # (same dict-insertion order, same monotonicity checks), so the wire
+    # form — and every digest over it — is byte-identical; only the
+    # per-row call overhead and repeated cache invalidations go away.
+
+    def add_dns_round(
+        self,
+        round_idx: int,
+        listed_counts: tuple[int, int, int],
+        rows: "list[DnsObservation]",
+    ) -> None:
+        """One round's DNS phase in bulk.
+
+        ``listed_counts`` is the pre-aggregated (queried, has_v4, has_v6)
+        contribution of the round's *top-list* queries — single-stack
+        sites only ever touch those tallies, so the batched plan skips
+        materializing their rows entirely.  ``rows`` are the dual-stack
+        observations, in dispatch order.
+        """
+        n_listed, n_v4, n_v6 = listed_counts
+        if n_listed:
+            queried, v4, v6 = self.dns_counts.get(round_idx, (0, 0, 0))
+            self.dns_counts[round_idx] = (
+                queried + n_listed,
+                v4 + n_v4,
+                v6 + n_v6,
+            )
+        dns = self.dns
+        for obs in rows:
+            site_rows = dns.get(obs.site_id)
+            if site_rows is None:
+                site_rows = dns[obs.site_id] = []
+            self._append_in_order(site_rows, obs)
+        self._columnar_cache = None
+
+    def add_page_checks(self, rows: "list[PageCheck]") -> None:
+        page_checks = self.page_checks
+        for check in rows:
+            site_rows = page_checks.get(check.site_id)
+            if site_rows is None:
+                site_rows = page_checks[check.site_id] = []
+            self._append_in_order(site_rows, check)
+        self._columnar_cache = None
+
+    def add_downloads(self, rows: "list[DownloadObservation]") -> None:
+        downloads = self.downloads
+        for obs in rows:
+            key = (obs.site_id, obs.family)
+            site_rows = downloads.get(key)
+            if site_rows is None:
+                site_rows = downloads[key] = []
+            self._append_in_order(site_rows, obs)
+        self._dual_stack_cache = None
+        self._columnar_cache = None
+
+    def add_paths(self, rows: "list[PathObservation]") -> None:
+        paths = self.paths
+        for obs in rows:
+            key = (obs.site_id, obs.family)
+            site_rows = paths.get(key)
+            if site_rows is None:
+                site_rows = paths[key] = []
+            self._append_in_order(site_rows, obs)
+        self._columnar_cache = None
+
+    def add_faults(self, rows: "list[FaultObservation]") -> None:
+        faults = self.faults
+        for obs in rows:
+            if obs.kind not in FAULT_KINDS:
+                raise MonitorError(f"unknown fault kind {obs.kind!r}")
+            if faults and faults[-1].round_idx > obs.round_idx:
+                raise MonitorError(
+                    f"out-of-order fault insert: round {obs.round_idx} "
+                    f"after {faults[-1].round_idx}"
+                )
+            faults.append(obs)
+        self._columnar_cache = None
+
     @staticmethod
     def _append_in_order(rows: list, obs) -> None:
         if rows and rows[-1].round_idx >= obs.round_idx:

@@ -9,14 +9,16 @@ each GET is an independent sample by construction.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..config import MonitorConfig
 from ..net.addresses import Address, AddressFamily
 from ..obs import metrics
 from ..stats.descriptive import RunningStats
-from ..stats.intervals import interval_from_stats
+from ..stats.intervals import interval_from_stats, t_critical
 from ..web.http import DownloadResult, DownloadSession, HttpClient
 
 #: download-loop metrics (module-cached: ``obs`` resets them in place).
@@ -49,6 +51,91 @@ class RepeatedDownloadOutcome:
     n_timeouts: int = 0
     n_resets: int = 0
     gave_up: bool = False
+
+
+#: loop-attempt fault decisions are prefetched in spans of this many keys.
+_FAULT_BLOCK = 8
+
+
+@lru_cache(maxsize=64)
+def _tcrit_table(confidence: float, max_n: int) -> tuple[float, ...]:
+    """Student-t critical values indexed by sample count ``n`` (<= max_n).
+
+    Entry ``n`` equals ``t_critical(confidence, n - 1)`` — the same
+    (cached) float the scalar loop multiplies into its standard error —
+    hoisted into a tuple so the batched loop's per-sample convergence
+    check is an index, not a call.
+    """
+    return (0.0, 0.0) + tuple(
+        t_critical(confidence, n - 1) for n in range(2, max_n + 1)
+    )
+
+
+@lru_cache(maxsize=64)
+def _sqrt_table(max_n: int) -> tuple[float, ...]:
+    """``math.sqrt(n)`` for n <= max_n (``RunningStats.stderr``'s divisor)."""
+    return (0.0, 1.0) + tuple(math.sqrt(n) for n in range(2, max_n + 1))
+
+
+def run_converging_loop(
+    session: DownloadSession, rng: random.Random, config: MonitorConfig
+) -> tuple[int, float, float, float, bool]:
+    """The fault-free Fig 2 loop on batched draws.
+
+    Returns ``(n_samples, mean_speed, ci_half_width, total_seconds,
+    converged)``.  With no fault hook every GET succeeds, so the first
+    ``min_downloads`` Gaussians can be drawn as one block
+    (:meth:`ThroughputModel.sample_download_speed_batch`) and the Welford
+    update, convergence check, and per-sample seconds run inline — no
+    ``DownloadResult`` or ``ConfidenceInterval`` objects on the hot
+    path.  Every float expression mirrors :meth:`RepeatedDownloader.run`
+    (same accumulation order, same ``t * (sqrt(var) / sqrt(n))``
+    association, same ``half / |mean| <= target`` division), so the
+    statistics — and the shared RNG stream — are bit-identical.
+    """
+    cfg = config
+    round_mean = session.round_mean
+    page_kbytes = session._page_kbytes
+    sigma = session._noise_sigma
+    min_n = cfg.min_downloads
+    max_n = cfg.max_downloads
+    rel = cfg.ci_relative_width
+    tcrit = _tcrit_table(cfg.confidence, max_n)
+    sqrt_n = _sqrt_table(max_n)
+    gauss = rng.gauss
+    exp = math.exp
+    sqrt = math.sqrt
+    total_seconds = 0.0
+    n = 0
+    mean = 0.0
+    m2 = 0.0
+    half = 0.0
+    converged = False
+    speeds = session._client._model.sample_download_speed_batch(
+        round_mean, rng, min_n if min_n <= max_n else max_n
+    )
+    while True:
+        for speed in speeds:
+            total_seconds += page_kbytes / speed
+            n += 1
+            delta = speed - mean
+            mean += delta / n
+            m2 += delta * (speed - mean)
+        if n >= min_n:
+            half = tcrit[n] * (sqrt(m2 / (n - 1)) / sqrt_n[n])
+            if mean != 0 and half / abs(mean) <= rel:
+                converged = True
+                break
+        if n >= max_n:
+            break
+        speeds = (
+            (round_mean * exp(gauss(0.0, sigma)),)
+            if sigma > 0
+            else (round_mean,)
+        )
+    if not converged and n >= 2:
+        half = tcrit[n] * (sqrt(m2 / (n - 1)) / sqrt_n[n])
+    return n, mean, (half if n >= 2 else 0.0), total_seconds, converged
 
 
 class RepeatedDownloader:
@@ -141,6 +228,117 @@ class RepeatedDownloader:
         return RepeatedDownloadOutcome(
             n_samples=acc.n,
             # A loop abandoned before its first success has no mean.
+            mean_speed=acc.mean if acc.n else 0.0,
+            ci_half_width=half_width,
+            converged=converged,
+            page_bytes=first.page_bytes if first is not None else 0,
+            total_seconds=total_seconds,
+            first_result=first,
+            n_failed=n_failed,
+            n_timeouts=n_timeouts,
+            n_resets=n_resets,
+            gave_up=gave_up,
+        )
+
+    def run_batched(
+        self, session: DownloadSession, rng: random.Random
+    ) -> RepeatedDownloadOutcome:
+        """:meth:`run` with fault decisions prefetched in blocks.
+
+        Used by the batched monitor on faulty worlds: instead of one
+        fault-hook call per GET, spans of ``loop:<i>`` attempt keys are
+        resolved through :meth:`HttpClient.fault_batch` (the decisions
+        are pure per-coordinate digests, so prefetching past the last
+        attempt actually taken changes nothing).  Control flow, float
+        accumulation order, shared-RNG draws, and the returned outcome
+        mirror :meth:`run` exactly.
+        """
+        cfg = self._config
+        client = self._client
+        endpoint = session.endpoint
+        site_id = endpoint.site_id
+        family = session.family
+        round_idx = session.round_idx
+        round_mean = session.round_mean
+        page_kbytes = session._page_kbytes
+        sigma = session._noise_sigma
+        acc = RunningStats()
+        total_seconds = 0.0
+        first: DownloadResult | None = None
+        converged = False
+        gave_up = False
+        n_failed = n_timeouts = n_resets = 0
+        consecutive_failed = 0
+        attempt_idx = 0
+        decisions: list = []
+        while acc.n < cfg.max_downloads:
+            if attempt_idx >= len(decisions):
+                start = len(decisions)
+                decisions.extend(
+                    client.fault_batch(
+                        site_id,
+                        family,
+                        round_idx,
+                        [
+                            f"loop:{idx}"
+                            for idx in range(start, start + _FAULT_BLOCK)
+                        ],
+                    )
+                )
+            fault = decisions[attempt_idx]
+            attempt_idx += 1
+            if fault is not None:
+                total_seconds += fault.seconds
+                n_failed += 1
+                if fault.kind == "timeout":
+                    n_timeouts += 1
+                elif fault.kind == "reset":
+                    n_resets += 1
+                if consecutive_failed >= cfg.max_retries:
+                    gave_up = True
+                    break
+                total_seconds += (
+                    cfg.retry_initial_seconds
+                    * cfg.retry_backoff ** consecutive_failed
+                )
+                consecutive_failed += 1
+                continue
+            if sigma > 0:
+                speed = round_mean * math.exp(rng.gauss(0.0, sigma))
+            else:
+                speed = round_mean
+            seconds = page_kbytes / speed
+            total_seconds += seconds
+            consecutive_failed = 0
+            if first is None:
+                first = DownloadResult(
+                    final_name=session.final_name,
+                    family=family,
+                    address=session.address,
+                    server_asn=endpoint.server_asn,
+                    as_path=session.path.as_path,
+                    page_bytes=endpoint.page_bytes,
+                    speed_kbytes_per_sec=speed,
+                    seconds=seconds,
+                )
+            acc.add(speed)
+            if acc.n < cfg.min_downloads:
+                continue
+            interval = interval_from_stats(acc, cfg.confidence)
+            if interval.meets_target(cfg.ci_relative_width):
+                converged = True
+                break
+        _DOWNLOADS.inc(acc.n)
+        _FAILED.inc(n_failed)
+        _LOOP_SAMPLES.observe(acc.n)
+        (_CONVERGED if converged else _EXHAUSTED).inc()
+        if gave_up:
+            _GAVE_UP.inc()
+        if not converged and acc.n >= 2:
+            interval = interval_from_stats(acc, cfg.confidence)
+        half_width = interval.half_width if acc.n >= 2 else 0.0
+        return RepeatedDownloadOutcome(
+            n_samples=acc.n,
             mean_speed=acc.mean if acc.n else 0.0,
             ci_half_width=half_width,
             converged=converged,

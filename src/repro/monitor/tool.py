@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable
 
+from ..batch import batching_enabled
 from ..config import MonitorConfig
 from ..dataplane.clock import SimulationClock
 from ..dns.resolver import ResolutionResult, Resolver
@@ -142,6 +143,11 @@ class MonitoringTool:
         self._round_faults = 0
         #: name → site id memo (stable for the life of the world).
         self._site_ids: dict[str, int] = {}
+        #: batched execution plane (REPRO_BATCH=0 forces the scalar
+        #: reference path; both produce bit-identical databases).
+        self._batched = batching_enabled()
+        #: lazy per-tool A+AAAA pair resolver (see repro.batch.dnsplan).
+        self._pair_resolver = None
 
     # -- public API -----------------------------------------------------------
 
@@ -165,6 +171,15 @@ class MonitoringTool:
             order = order[: self.max_sites_per_round]
 
         round_start = self.env.clock.time_of_round(round_idx)
+        if self._batched:
+            # The batched execution plane: plan the site batch, then
+            # execute it with bulk draws.  Import is deferred — the
+            # batch package's plan/execute modules import this one.
+            from ..batch.execute import run_batched_round
+
+            return run_batched_round(
+                self, round_idx, order, listed_now, n_new, round_start
+            )
         # The worker pool: heap of (free_at, slot), dispatch in order.
         slots = [(round_start, slot) for slot in range(self.config.max_concurrent)]
         heapq.heapify(slots)

@@ -13,6 +13,7 @@ from .bench import (
     DEFAULT_SEED,
     SCHEMA,
     read_report,
+    render_comparison,
     render_report,
     run_bench,
     write_report,
@@ -36,6 +37,7 @@ __all__ = [
     "compare_reports",
     "evaluate_gates",
     "read_report",
+    "render_comparison",
     "render_report",
     "run_bench",
     "wall_clock_deltas",

@@ -61,6 +61,84 @@ def read_report(path: str | pathlib.Path) -> dict:
     return json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
 
 
+def _median_span_seconds(data: dict) -> tuple[str, float] | None:
+    """Best per-iteration latency estimate a workload dict offers.
+
+    Prefers the recorded ``median_s`` of the workload's most-repeated
+    span (``campaign.round`` for the round workloads — the hot path the
+    refactors target — rather than the once-per-run wrapper spans);
+    older reports written before medians were recorded fall back to
+    ``total_s / count``, so ``--compare`` still works against them.
+    """
+    spans = data.get("spans") or {}
+    best = None
+    for name, span in spans.items():
+        count = span.get("count") or 1
+        total = span.get("total_s", 0.0)
+        if best is None or (count, total) > (best[2], best[3]):
+            median = span.get("median_s", total / count)
+            best = (name, median, count, total)
+    if best is None:
+        return None
+    return best[0], best[1]
+
+
+def render_comparison(old: dict, new: dict) -> str:
+    """One-line-per-workload speedup summary of ``new`` against ``old``.
+
+    Leads with the median per-iteration latency of the dominant span
+    (``old/new`` — >1 is a speedup), then wall-clock, then whichever
+    work counters moved.  Counter deltas are the part reviewers should
+    read first: wall-clock is machine noise, counters are the contract.
+    """
+    lines = [
+        "comparison vs baseline "
+        f"(seed {old['meta']['seed']}, scale {old['meta']['scale']})"
+    ]
+    old_meta, new_meta = old["meta"], new["meta"]
+    if (old_meta["seed"], old_meta["scale"]) != (
+        new_meta["seed"],
+        new_meta["scale"],
+    ):
+        lines.append(
+            f"  WARNING: configs differ (baseline seed {old_meta['seed']} "
+            f"scale {old_meta['scale']} vs seed {new_meta['seed']} "
+            f"scale {new_meta['scale']}); ratios are not like-for-like"
+        )
+    for name, new_data in new["workloads"].items():
+        old_data = old["workloads"].get(name)
+        if old_data is None:
+            lines.append(f"{name:<12} (no baseline entry)")
+            continue
+        parts = []
+        old_span = _median_span_seconds(old_data)
+        new_span = _median_span_seconds(new_data)
+        if old_span and new_span and new_span[1] > 0:
+            span_name = new_span[0]
+            parts.append(
+                f"{span_name} median {old_span[1] * 1e3:.1f}ms -> "
+                f"{new_span[1] * 1e3:.1f}ms "
+                f"({old_span[1] / new_span[1]:.2f}x)"
+            )
+        old_wall, new_wall = old_data["wall_seconds"], new_data["wall_seconds"]
+        if new_wall > 0:
+            parts.append(
+                f"wall {old_wall:.2f}s -> {new_wall:.2f}s "
+                f"({old_wall / new_wall:.2f}x)"
+            )
+        lines.append(f"{name:<12} " + ", ".join(parts))
+        deltas = [
+            f"{key} {old_value:g} -> {new_value:g}"
+            for key, old_value in sorted(old_data["counters"].items())
+            if (new_value := new_data["counters"].get(key, 0.0)) != old_value
+        ]
+        if deltas:
+            lines.append("    counters: " + "; ".join(deltas))
+        else:
+            lines.append("    counters: unchanged")
+    return "\n".join(lines)
+
+
 def render_report(report: dict) -> str:
     """Fixed-width workload summary for terminal display."""
     lines = [

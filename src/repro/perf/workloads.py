@@ -12,6 +12,7 @@ versions.
 
 from __future__ import annotations
 
+import statistics
 import time
 from dataclasses import dataclass, field
 
@@ -94,9 +95,11 @@ def _span_totals(*names: str) -> dict[str, dict]:
     for name in names:
         spans = tracer.completed(name)
         if spans:
+            durations = [s.duration for s in spans]
             out[name] = {
                 "count": len(spans),
-                "total_s": sum(s.duration for s in spans),
+                "total_s": sum(durations),
+                "median_s": statistics.median(durations),
             }
     return out
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import hashlib
 import random
 from functools import lru_cache
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from .obs import metrics
 
@@ -51,6 +51,31 @@ def derive_uniform(master_seed: int, name: str) -> float:
     return (derive_seed(master_seed, name) >> 11) * (2.0**-53)
 
 
+def derive_uniform_block(master_seed: int, names: Iterable[str]) -> list[float]:
+    """Bulk :func:`derive_uniform`: one uniform per coordinate name.
+
+    Element-for-element identical to calling :func:`derive_uniform` on
+    each name in turn.  The block form hashes directly instead of going
+    through the memoised :func:`derive_seed`, because batched callers
+    (fault plans sweeping per-attempt coordinates) ask each key exactly
+    once — caching one-shot keys would only churn the LRU that the hot
+    per-round stream names rely on.
+    """
+    sha256 = hashlib.sha256
+    prefix = f"{master_seed}:"
+    scale = 2.0**-53
+    return [
+        (
+            int.from_bytes(
+                sha256((prefix + name).encode("utf-8")).digest()[:8], "big"
+            )
+            >> 11
+        )
+        * scale
+        for name in names
+    ]
+
+
 class RngStreams:
     """A factory of independent, named :class:`random.Random` streams.
 
@@ -80,6 +105,20 @@ class RngStreams:
         """
         _CONSTRUCTIONS.inc()
         return random.Random(derive_seed(self.master_seed, name))
+
+    def uniforms(self, name: str, n: int) -> list[float]:
+        """Draw ``n`` uniforms from the named stream in one call.
+
+        Consumes the *same* cached stream :meth:`stream` returns, so the
+        result is element-for-element identical to ``n`` sequential
+        ``stream(name).random()`` calls — the batched execution plane
+        leans on this to hoist per-draw call overhead out of the round
+        loop without perturbing any sequence.
+        """
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        rand = self.stream(name).random
+        return [rand() for _ in range(n)]
 
     def spawn(self, name: str) -> "RngStreams":
         """Derive a child factory whose streams are independent of ours."""

@@ -53,6 +53,10 @@ PathProvider = Callable[[int, int, AddressFamily, int], Optional[ForwardingPath]
 OwnerLookup = Callable[[Address], int]
 #: (site_id, family, round, fault_key) -> injected fault or None.
 FaultHook = Callable[[int, AddressFamily, int, str], Optional[ServerFault]]
+#: batched form: (site_id, family, round, fault_keys) -> one decision per key.
+FaultHookBatch = Callable[
+    [int, AddressFamily, int, "list[str]"], "list[Optional[ServerFault]]"
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -182,12 +186,45 @@ class HttpClient:
         path_provider: PathProvider,
         owner_lookup: OwnerLookup,
         fault_hook: FaultHook | None = None,
+        fault_hook_batch: FaultHookBatch | None = None,
     ) -> None:
         self._model = model
         self._content_lookup = content_lookup
         self._path_provider = path_provider
         self._owner_lookup = owner_lookup
         self._fault_hook = fault_hook
+        self._fault_hook_batch = fault_hook_batch
+
+    @property
+    def model(self) -> ThroughputModel:
+        """The throughput model downloads sample from (read-only)."""
+        return self._model
+
+    @property
+    def has_fault_hook(self) -> bool:
+        """Whether GETs consult a fault hook (mirrors the session flag)."""
+        return self._fault_hook is not None
+
+    def fault_batch(
+        self,
+        site_id: int,
+        family: AddressFamily,
+        round_idx: int,
+        fault_keys: list[str],
+    ) -> list[ServerFault | None]:
+        """One fault decision per attempt key, for the batched monitor.
+
+        Uses the batched hook when the world wired one in (one digest
+        block per span of attempts); falls back to per-key scalar hook
+        calls so hand-built test environments keep working unchanged.
+        Element-for-element identical to per-GET scalar decisions.
+        """
+        if self._fault_hook_batch is not None:
+            return self._fault_hook_batch(site_id, family, round_idx, fault_keys)
+        hook = self._fault_hook
+        if hook is None:
+            return [None] * len(fault_keys)
+        return [hook(site_id, family, round_idx, key) for key in fault_keys]
 
     def open(
         self,
@@ -231,6 +268,61 @@ class HttpClient:
             path=path,
             round_mean=round_mean,
         )
+
+    def open_many(
+        self,
+        requests: "list[tuple[str, Address, AddressFamily, int]]",
+    ) -> "list[DownloadSession | None]":
+        """Open a batch of sessions; ``None`` marks unreachable coordinates.
+
+        The batched round plan opens every dual-stack site's sessions in
+        one sweep: lookups run per request (hitting the same world-side
+        caches the scalar open does), the latent means are evaluated
+        through :meth:`ThroughputModel.round_mean_speed_batch`, and the
+        work counters advance by the same totals the equivalent scalar
+        opens would — an unreachable request still costs one endpoint
+        and one path lookup but never a session, exactly like
+        :meth:`open` raising :class:`UnreachableError`.
+        """
+        content_lookup = self._content_lookup
+        path_provider = self._path_provider
+        owner_lookup = self._owner_lookup
+        endpoints: list[ContentEndpoint | None] = []
+        paths: list[ForwardingPath | None] = []
+        for final_name, address, family, round_idx in requests:
+            if address.family is not family:
+                raise DownloadError(
+                    f"address {address} is not an {family} address"
+                )
+            endpoint = content_lookup(final_name, family, round_idx)
+            owner_asn = owner_lookup(address)
+            path = path_provider(owner_asn, endpoint.site_id, family, round_idx)
+            endpoints.append(endpoint)
+            paths.append(path)
+        _ENDPOINT_LOOKUPS.inc(len(requests))
+        _PATH_LOOKUPS.inc(len(requests))
+        reachable = [idx for idx, path in enumerate(paths) if path is not None]
+        means = self._model.round_mean_speed_batch(
+            [endpoints[idx].server_speed for idx in reachable],
+            [paths[idx] for idx in reachable],
+            [endpoints[idx].site_id for idx in reachable],
+            requests[0][3] if requests else 0,
+        )
+        sessions: list[DownloadSession | None] = [None] * len(requests)
+        for mean, idx in zip(means, reachable):
+            final_name, address, family, round_idx = requests[idx]
+            sessions[idx] = DownloadSession(
+                client=self,
+                final_name=final_name,
+                address=address,
+                family=family,
+                round_idx=round_idx,
+                endpoint=endpoints[idx],
+                path=paths[idx],
+                round_mean=mean,
+            )
+        _SESSIONS.inc(len(reachable))
+        return sessions
 
     def get(
         self,

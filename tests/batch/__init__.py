@@ -1,0 +1,1 @@
+"""Tests for the batched round execution plane (repro.batch)."""

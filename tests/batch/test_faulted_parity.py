@@ -1,0 +1,166 @@
+"""Batched faulted rounds reproduce the scalar path byte-for-byte.
+
+The fault-free fast path is covered by the pinned repository digests; the
+faulted walk is the subtler half of the refactor — fault *rows* are
+order-sensitive (DNS failures interleave with download retries within a
+site) and the batched path prefetches server-fault decisions in blocks.
+This module pins it two ways:
+
+* a 10-seed golden fixture, generated from the pre-refactor scalar path
+  (``REPRO_REGEN_GOLDEN=1`` regenerates with batching forced off), that
+  the batched path must keep matching byte-for-byte, and
+* a live scalar-vs-batched comparison plus unit parity checks for the
+  batched fault-plan lookups.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.batch import batching_enabled
+from repro.config import small_config
+from repro.core.campaign import run_campaign
+from repro.core.world import build_world
+from repro.faults import FaultPlan, fault_preset
+from repro.net.addresses import AddressFamily
+
+FIXTURE_DIR = pathlib.Path(__file__).parent.parent / "fixtures" / "golden_faults_batch"
+FIXTURE = FIXTURE_DIR / "faulted_sweep.json"
+
+SWEEP_SEEDS = tuple(range(100, 110))
+SWEEP_ROUNDS = 3
+
+
+def _faulted_config(seed: int):
+    return dataclasses.replace(
+        small_config(seed=seed, scale=0.4), faults=fault_preset("mild")
+    )
+
+
+def _canonical_summary(result) -> dict:
+    """Everything satellite 4 pins, in a stable JSON-ready shape.
+
+    The faults tables are serialized row-for-row in observation order, so
+    any reordering — not just a changed decision — breaks the digest.
+    """
+    repo = result.repository
+    faults = {
+        name: [
+            [obs.site_id, obs.round_idx, obs.family.value, obs.kind]
+            for obs in repo.database(name).faults
+        ]
+        for name in repo.vantage_names
+    }
+    n_failures = {
+        name: [report.n_failures for report in reports]
+        for name, reports in sorted(result.reports.items())
+    }
+    return {"faults": faults, "n_failures": n_failures}
+
+
+def _digest(summary: dict) -> str:
+    blob = json.dumps(summary, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _run_sweep() -> dict[str, str]:
+    return {
+        str(seed): _digest(
+            _canonical_summary(
+                run_campaign(
+                    build_world(_faulted_config(seed)), n_rounds=SWEEP_ROUNDS
+                )
+            )
+        )
+        for seed in SWEEP_SEEDS
+    }
+
+
+class TestGoldenFaultedSweep:
+    def test_batched_sweep_matches_scalar_golden(self, monkeypatch):
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            # Regenerate from the scalar reference path so the fixture
+            # always encodes pre-refactor behaviour.
+            os.environ["REPRO_BATCH"] = "0"
+            try:
+                FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+                FIXTURE.write_text(
+                    json.dumps(_run_sweep(), indent=2, sort_keys=True) + "\n"
+                )
+            finally:
+                os.environ.pop("REPRO_BATCH", None)
+            pytest.skip("golden fixture regenerated")
+        assert FIXTURE.exists(), (
+            "missing golden fixture; regenerate with REPRO_REGEN_GOLDEN=1"
+        )
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        assert batching_enabled(), "sweep must exercise the batched path"
+        assert _run_sweep() == json.loads(FIXTURE.read_text())
+
+
+class TestLiveScalarParity:
+    """Direct batched-vs-scalar comparison, fixture-free, for a subset."""
+
+    @pytest.mark.parametrize("seed", [100, 104, 109])
+    def test_faulted_tables_identical(self, seed, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        batched = run_campaign(
+            build_world(_faulted_config(seed)), n_rounds=SWEEP_ROUNDS
+        )
+        monkeypatch.setenv("REPRO_BATCH", "0")
+        scalar = run_campaign(
+            build_world(_faulted_config(seed)), n_rounds=SWEEP_ROUNDS
+        )
+        assert _canonical_summary(batched) == _canonical_summary(scalar)
+        assert (
+            batched.repository.content_digest()
+            == scalar.repository.content_digest()
+        )
+
+    def test_sweep_actually_faults(self):
+        result = run_campaign(
+            build_world(_faulted_config(100)), n_rounds=SWEEP_ROUNDS
+        )
+        repo = result.repository
+        assert (
+            sum(len(repo.database(n).faults) for n in repo.vantage_names) > 0
+        )
+
+
+class TestFaultPlanBatches:
+    """The batched per-coordinate lookups match scalar loops exactly."""
+
+    def test_dns_failure_batch_matches_scalar(self):
+        plan = FaultPlan(fault_preset("mild"), master_seed=5)
+        attempts = range(6)
+        for family in AddressFamily:
+            for round_idx in range(3):
+                assert plan.dns_failure_batch(
+                    "site-3.example", family, round_idx, attempts
+                ) == [
+                    plan.dns_failure("site-3.example", family, round_idx, a)
+                    for a in attempts
+                ]
+
+    def test_server_fault_batch_matches_scalar(self):
+        plan = FaultPlan(fault_preset("mild"), master_seed=5)
+        keys = [f"probe:{i}" for i in range(4)] + [
+            f"loop:{i}" for i in range(12)
+        ]
+        for family in AddressFamily:
+            for multiplier in (1.0, 2.5):
+                batch = plan.server_fault_batch(
+                    17, family, 1, keys, rate_multiplier=multiplier
+                )
+                assert batch == [
+                    plan.server_fault(
+                        17, family, 1, key, rate_multiplier=multiplier
+                    )
+                    for key in keys
+                ]

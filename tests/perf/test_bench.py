@@ -245,3 +245,64 @@ class TestCli:
         out = capsys.readouterr().out
         assert code == 0
         assert "counters match" in out
+
+
+class TestComparison:
+    def test_render_comparison_reports_speedups_and_deltas(self, report):
+        from repro.perf import render_comparison
+
+        old = copy.deepcopy(report)
+        old_round = old["workloads"]["round_loop"]
+        old_round["wall_seconds"] *= 2.0
+        old_round["spans"]["campaign.round"]["median_s"] *= 2.0
+        old_round["counters"]["dns.zone_walks"] += 5
+        rendered = render_comparison(old, report)
+        assert "campaign.round median" in rendered
+        assert "(2.00x)" in rendered
+        assert "dns.zone_walks" in rendered
+        # Untouched workloads report unchanged counters, not noise.
+        assert "counters: unchanged" in rendered
+
+    def test_render_comparison_tolerates_pre_median_baselines(self, report):
+        from repro.perf import render_comparison
+
+        old = copy.deepcopy(report)
+        for data in old["workloads"].values():
+            for span in data["spans"].values():
+                span.pop("median_s", None)
+        rendered = render_comparison(old, report)
+        assert "campaign.round median" in rendered
+
+    def test_render_comparison_warns_on_config_mismatch(self, report):
+        from repro.perf import render_comparison
+
+        old = copy.deepcopy(report)
+        old["meta"]["scale"] = 9.9
+        assert "WARNING: configs differ" in render_comparison(old, report)
+
+    def test_cli_compare_prints_summary(self, capsys, tmp_path):
+        from repro.cli import main
+
+        baseline = tmp_path / "old.json"
+        assert main(
+            ["bench", "--scale", str(SCALE), "--workloads", "fault_plan",
+             "--out", str(baseline)]
+        ) == 0
+        code = main(
+            ["bench", "--compare", str(baseline),
+             "--scale", str(SCALE), "--workloads", "fault_plan"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "comparison vs baseline" in out
+
+    def test_cli_compare_missing_report_fails(self, capsys, tmp_path):
+        from repro.cli import main
+
+        code = main(
+            ["bench", "--compare", str(tmp_path / "gone.json"),
+             "--scale", str(SCALE), "--workloads", "fault_plan"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "not found" in out
