@@ -10,6 +10,12 @@ Subcommands::
     repro serve     [--host H] [--port N]                 # campaign store HTTP JSON API
                     [--cache-dir DIR] [--max-rows N]
                     [--lru N]                             #   (or $REPRO_SERVE_LRU)
+                    [--workers N] [--response-cache N]    #   (worker pool + byte-verified
+                    [--reuse-port] [--verify-cache-hits]  #    response cache)
+    repro loadtest  [--url URL] [--seed N] [--scale S]    # seeded Zipf replay vs a live
+                    [--requests N] [--clients N]          #   server; BENCH_serve.json
+                    [--qps Q] [--zipf-s S] [--workers N]
+                    [--smoke] [--check] [--baseline P] [--out P]
     repro observe   [--scale S] [--seed N] [--json]       # derived-metric observer panel
                     [--rounds N] [--seeds N...]           #   (long-horizon / sweep modes)
                     [--observers NAME...]                 #   (subset of the panel)
@@ -59,7 +65,10 @@ from .perf import (
     DEFAULT_SEED as BENCH_DEFAULT_SEED,
     WORKLOADS,
     compare_reports,
+    compare_serve_reports,
     evaluate_gates,
+    evaluate_serve_gates,
+    serve_wall_clock_deltas,
     read_report as read_bench_report,
     render_comparison as render_bench_comparison,
     render_report,
@@ -200,15 +209,156 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("repro serve: the campaign store is disabled (--no-cache?)")
         return 1
     # --lru wins; otherwise ServeConfig falls back to $REPRO_SERVE_LRU.
-    lru_kwargs = {} if args.lru is None else {"lru_campaigns": args.lru}
+    extra = {}
+    if args.lru is not None:
+        extra["lru_campaigns"] = args.lru
+    if args.workers is not None:
+        extra["workers"] = args.workers
+    if args.response_cache is not None:
+        extra["response_cache_entries"] = args.response_cache
     config = ServeConfig(
         host=args.host,
         port=args.port,
         cache_root=str(store.root),
         max_rows=args.max_rows,
-        **lru_kwargs,
+        verify_cache_hits=args.verify_cache_hits,
+        reuse_port=args.reuse_port,
+        **extra,
     )
     return run_server(config, store)
+
+
+#: ``repro loadtest`` smoke preset (matches the checked-in BENCH_serve.json).
+LOADTEST_SMOKE_REQUESTS = 240
+LOADTEST_DEFAULT_REQUESTS = 2000
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    """Replay a seeded Zipf query mix against a live ``repro serve``.
+
+    Store-first like ``export``: a campaign for (seed, scale) is looked
+    up in the store and built+saved on a miss, so the mix always has a
+    real content-addressed campaign to target.  Without ``--url`` an
+    in-process server is spawned on an ephemeral port; with it, an
+    externally started server (the CI loadtest-smoke job's) is driven
+    instead.  ``--smoke`` uses the small request preset and evaluates
+    the structural gates; ``--check`` additionally compares the mix
+    digest and error block against the checked-in baseline.
+    """
+    import threading
+
+    from .data.loadtest import (
+        LoadtestOptions,
+        generate_mix,
+        read_serve_report,
+        render_serve_report,
+        run_loadtest,
+        write_serve_report,
+    )
+    from .data.serve import ServeConfig, make_server
+    from .engine import WEEKLY
+    from .engine.store import config_digest
+
+    _apply_cache_args(args)
+    store = scenario.get_store()
+    if store is None:
+        print("repro loadtest: the campaign store is disabled (--no-cache?)")
+        return 1
+    config = small_config(seed=args.seed, scale=args.scale)
+    digest = config_digest(config, WEEKLY)
+    loaded = store.load_columnar_entry(digest)
+    if loaded is None:
+        print(f"campaign {digest[:16]} not stored; building it first")
+        world = build_world(config)
+        result = run_campaign(world, execution=_execution_from(args))
+        store.save(
+            config, result.repository, result.reports, kind=WEEKLY, world=world
+        )
+        loaded = store.load_columnar_entry(digest)
+        if loaded is None:
+            print("repro loadtest: failed to store the campaign")
+            return 1
+    _, columnar = loaded
+    vantages = sorted(columnar.vantages)
+    downloads = columnar.databases[vantages[0]].table("downloads")
+    site_column = downloads.columns["site_id"]
+    site_ids = sorted({site_column.get(i) for i in range(downloads.n_rows)})
+
+    if args.requests is not None:
+        n_requests = args.requests
+    else:
+        n_requests = (
+            LOADTEST_SMOKE_REQUESTS if args.smoke else LOADTEST_DEFAULT_REQUESTS
+        )
+    mix = generate_mix(
+        digest, vantages, site_ids, n_requests, seed=args.seed,
+        zipf_s=args.zipf_s,
+    )
+
+    server = None
+    meta = {"scale": args.scale}
+    if args.url:
+        base_url = args.url
+        meta["workers"] = None
+    else:
+        serve_config = ServeConfig(
+            host="127.0.0.1",
+            port=0,
+            cache_root=str(store.root),
+            workers=args.workers,
+        )
+        server = make_server(serve_config, store)
+        base_url = f"http://127.0.0.1:{server.server_address[1]}"
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        meta["workers"] = args.workers
+        print(f"spawned in-process server at {base_url} "
+              f"({args.workers} worker(s))")
+    try:
+        options = LoadtestOptions(
+            clients=args.clients,
+            target_qps=args.qps,
+            parity_every=args.parity_every,
+        )
+        report = run_loadtest(base_url, mix, options, store=store, meta=meta)
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+
+    print(render_serve_report(report))
+    failures = 0
+    if args.smoke or args.check:
+        gates = evaluate_serve_gates(report)
+        print("\nstructural gates:")
+        for gate in gates:
+            print(f"  {gate.render()}")
+        failures += sum(1 for g in gates if not g.passed)
+    if args.check:
+        baseline_path = pathlib.Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"\nbaseline {baseline_path} not found; cannot --check")
+            failures += 1
+        else:
+            baseline = read_serve_report(baseline_path)
+            comparisons = compare_serve_reports(report, baseline)
+            mismatched = [c for c in comparisons if not c.passed]
+            print(
+                f"\nbaseline comparison vs {baseline_path}: "
+                f"{len(comparisons) - len(mismatched)}/{len(comparisons)} "
+                "checks match"
+            )
+            for comparison in mismatched:
+                print(f"  {comparison.render()}")
+            for line in serve_wall_clock_deltas(report, baseline):
+                print(f"  {line}")
+            failures += len(mismatched)
+    if args.out:
+        write_serve_report(report, args.out)
+        print(f"\nserve report written to {args.out}")
+    if failures:
+        print(f"\n{failures} loadtest gate(s) failed")
+        return 1
+    return 0
 
 
 def _cmd_observe(args: argparse.Namespace) -> int:
@@ -554,7 +704,115 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="loaded campaigns kept in memory (default: $REPRO_SERVE_LRU or 4)",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker threads requests are dispatched across "
+        "(0 = one thread per request; default: 4)",
+    )
+    serve.add_argument(
+        "--response-cache",
+        type=int,
+        default=None,
+        metavar="N",
+        help="response-cache capacity in entries (0 disables; default: 256)",
+    )
+    serve.add_argument(
+        "--verify-cache-hits",
+        action="store_true",
+        help="byte-verify every response-cache hit against a fresh "
+        "computation (slow; for soak testing)",
+    )
+    serve.add_argument(
+        "--reuse-port",
+        action="store_true",
+        help="set SO_REUSEPORT so several serve processes share one port",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="replay a seeded Zipf-skewed query mix against repro serve",
+    )
+    loadtest.add_argument(
+        "--url",
+        default=None,
+        help="base URL of a running server (default: spawn one in-process)",
+    )
+    loadtest.add_argument("--seed", type=int, default=11)
+    loadtest.add_argument("--scale", type=float, default=0.4)
+    loadtest.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="requests to replay (default: 2000, or 240 with --smoke)",
+    )
+    loadtest.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="concurrent client threads (default: 8)",
+    )
+    loadtest.add_argument(
+        "--qps",
+        type=float,
+        default=None,
+        help="target total request rate (default: unpaced)",
+    )
+    loadtest.add_argument(
+        "--zipf-s",
+        type=float,
+        default=1.1,
+        help="Zipf skew exponent of the query mix (default: 1.1)",
+    )
+    loadtest.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker threads for the in-process server (default: 2)",
+    )
+    loadtest.add_argument(
+        "--parity-every",
+        type=int,
+        default=10,
+        metavar="K",
+        help="byte-verify every K-th response against direct computation "
+        "(0 disables; default: 10)",
+    )
+    loadtest.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small request preset + structural gates (exit 1 on failure)",
+    )
+    loadtest.add_argument(
+        "--check",
+        action="store_true",
+        help="also compare the mix digest and error block vs --baseline",
+    )
+    loadtest.add_argument(
+        "--baseline",
+        default="BENCH_serve.json",
+        help="baseline serve report for --check (default: BENCH_serve.json)",
+    )
+    loadtest.add_argument(
+        "--out",
+        default=None,
+        help="write the JSON serve report to this path",
+    )
+    loadtest.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="campaign store root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    loadtest.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk campaign store (loadtest then fails)",
+    )
+    _add_execution_args(loadtest)
+    loadtest.set_defaults(func=_cmd_loadtest)
 
     observe = sub.add_parser(
         "observe", help="run the derived-metric observer panel"

@@ -1,0 +1,637 @@
+"""``repro loadtest`` — seeded, Zipf-skewed replay against a live server.
+
+The ROADMAP's north star claims the serving layer can face "heavy
+traffic"; this module is the measurement that backs (or falsifies) the
+claim, the same way the source paper grounds every adoption statement
+in a measured distribution.  It has two halves:
+
+* **Query-mix generation** (:func:`generate_mix`): a deterministic
+  universe of request templates is derived from one stored campaign
+  (per-vantage classifications, table pages, group-aggregates, and
+  per-site point queries), and a request sequence is drawn over it with
+  a Zipf-skewed rank distribution.  Rank counts are *quota-based* —
+  ``count(rank r) ∝ 1/(r+1)^s`` rounded down, remainders to the lowest
+  ranks — and the sequence order is a named-RNG-stream shuffle, so the
+  mix is bit-reproducible for a (seed, campaign) pair **and**
+  rank-frequency monotonicity is a structural guarantee, not a
+  statistical hope.  ``Mix.digest`` seals the whole sequence; the
+  ``BENCH_serve.json`` baseline comparison checks it exactly.
+
+* **The replay harness** (:func:`run_loadtest`): N client threads
+  replay the mix against a live server (optionally paced to a target
+  QPS), measure per-request latency client-side, scrape ``/metrics``
+  before and after to compute the response-cache hit fraction, and
+  byte-verify a deterministic sample of responses against the same
+  payloads computed directly from the store with no server in the loop.
+  The result is a ``repro.perf``-style report whose structural gates
+  (zero 5xx, zero transport errors, byte parity, cache-hit floor) are
+  deterministic; latency and throughput ride along for the humans.
+
+Every client uses one connection per request (``Connection: close``),
+so a fixed worker pool is shared fairly across more clients than
+workers — no client can pin a worker between requests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError, DataError
+from ..obs import get_logger
+from ..rng import RngStreams
+from .columnar import TABLE_SCHEMAS
+from .query import Query
+from .serve import ServeApp, ServeConfig, canonical_json
+
+_LOG = get_logger("data.loadtest")
+
+#: report schema identifier for ``BENCH_serve.json``.
+SERVE_SCHEMA = "repro.perf/serve-1"
+
+#: default on-disk location of the checked-in serving baseline.
+DEFAULT_SERVE_REPORT = "BENCH_serve.json"
+
+#: the named RNG stream every mix draw comes from.
+MIX_STREAM = "loadtest.mix"
+
+#: default Zipf skew exponent (s=1.1: a heavy head, a long tail).
+DEFAULT_ZIPF_S = 1.1
+
+#: per-site point-query templates drawn into the universe.
+MAX_SITE_TEMPLATES = 24
+
+#: default parity sampling stride (every k-th request is byte-verified).
+DEFAULT_PARITY_EVERY = 10
+
+
+# ---------------------------------------------------------------------------
+# query-mix generation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """One concrete request of the mix (wire-ready, order matters)."""
+
+    kind: str
+    method: str
+    path: str
+    params: tuple[tuple[str, str], ...] = ()
+    body: bytes | None = None
+    #: the Zipf rank of the template this request instantiates.
+    rank: int = 0
+
+    def url(self, base: str) -> str:
+        query = "&".join(f"{k}={v}" for k, v in self.params)
+        return f"{base}{self.path}" + (f"?{query}" if query else "")
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": self.kind,
+            "method": self.method,
+            "path": self.path,
+            "params": [list(pair) for pair in self.params],
+            "body": (self.body or b"").decode("utf-8") if self.body else None,
+            "rank": self.rank,
+        }
+
+
+@dataclass
+class Mix:
+    """A complete, sealed request sequence."""
+
+    requests: list[PlannedRequest]
+    seed: int
+    zipf_s: float
+    campaign_digest: str
+    n_templates: int
+    digest: str = ""
+    kinds: dict[str, int] = field(default_factory=dict)
+    rank_counts: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.digest:
+            body = canonical_json(
+                {
+                    "campaign": self.campaign_digest,
+                    "seed": self.seed,
+                    "zipf_s": self.zipf_s,
+                    "requests": [r.to_payload() for r in self.requests],
+                }
+            )
+            self.digest = hashlib.sha256(body).hexdigest()
+        if not self.kinds:
+            for request in self.requests:
+                self.kinds[request.kind] = self.kinds.get(request.kind, 0) + 1
+
+
+def zipf_weights(n: int, s: float) -> list[float]:
+    """Normalised Zipf weights for ranks ``0..n-1`` (strictly decreasing)."""
+    if n <= 0:
+        raise DataError(f"need at least one rank, got {n}")
+    if s <= 0:
+        raise DataError(f"zipf exponent must be positive, got {s}")
+    raw = [(rank + 1) ** -s for rank in range(n)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def zipf_rank_counts(n_requests: int, n_ranks: int, s: float) -> list[int]:
+    """Requests per rank: quota-rounded Zipf, remainder to the head.
+
+    ``counts[r] = floor(n_requests * w_r)`` with the leftover requests
+    granted one each to ranks ``0, 1, 2, ...`` — both steps preserve
+    ``counts[r] >= counts[r+1]``, so the rank-frequency curve of every
+    generated mix is monotonically non-increasing *by construction*.
+    """
+    weights = zipf_weights(n_ranks, s)
+    counts = [int(n_requests * w) for w in weights]
+    remainder = n_requests - sum(counts)
+    for rank in range(remainder):
+        counts[rank % n_ranks] += 1
+    return counts
+
+
+def _query_body(payload: dict) -> bytes:
+    """Canonical bytes for a POST /query body (validated up front)."""
+    Query.from_dict(payload)  # raises DataError on an invalid template
+    return canonical_json(payload)
+
+
+def build_templates(
+    campaign_digest: str,
+    vantages: list[str],
+    site_ids: list[int],
+) -> list[PlannedRequest]:
+    """The deterministic template universe for one campaign.
+
+    Ordering is the Zipf ranking: group-aggregates and classifications
+    first (the analytical hot set), then table pages, then the long tail
+    of per-site point queries.  Every query template is validated
+    against ``TABLE_SCHEMAS`` via :class:`~repro.data.query.Query`
+    before it enters the universe.
+    """
+    if not vantages:
+        raise DataError("cannot build a query mix without vantages")
+    base = f"/campaigns/{campaign_digest}"
+    templates: list[PlannedRequest] = []
+    for vantage in sorted(vantages):
+        templates.append(
+            PlannedRequest(
+                kind="query",
+                method="POST",
+                path=f"{base}/query",
+                body=_query_body(
+                    {
+                        "vantage": vantage,
+                        "table": "downloads",
+                        "where": [
+                            {"column": "converged", "op": "eq", "value": True}
+                        ],
+                        "group_by": ["family"],
+                        "aggregates": [
+                            {"op": "count", "alias": "n"},
+                            {
+                                "op": "mean",
+                                "column": "mean_speed",
+                                "alias": "speed",
+                            },
+                        ],
+                    }
+                ),
+            )
+        )
+        templates.append(
+            PlannedRequest(
+                kind="classify",
+                method="GET",
+                path=f"{base}/analysis/classify",
+                params=(("vantage", vantage),),
+            )
+        )
+        templates.append(
+            PlannedRequest(
+                kind="query",
+                method="POST",
+                path=f"{base}/query",
+                body=_query_body(
+                    {
+                        "vantage": vantage,
+                        "table": "paths",
+                        "group_by": ["family", "dest_asn"],
+                        "aggregates": [{"op": "count", "alias": "routes"}],
+                    }
+                ),
+            )
+        )
+    templates.append(
+        PlannedRequest(kind="detail", method="GET", path=base)
+    )
+    for vantage in sorted(vantages):
+        for table in TABLE_SCHEMAS:
+            templates.append(
+                PlannedRequest(
+                    kind="table_page",
+                    method="GET",
+                    path=f"{base}/tables/{table}",
+                    params=(
+                        ("vantage", vantage),
+                        ("offset", "0"),
+                        ("limit", "200"),
+                    ),
+                )
+            )
+    # the long tail: per-site point queries over the first vantage.
+    vantage = sorted(vantages)[0]
+    for site_id in site_ids[:MAX_SITE_TEMPLATES]:
+        templates.append(
+            PlannedRequest(
+                kind="query",
+                method="POST",
+                path=f"{base}/query",
+                body=_query_body(
+                    {
+                        "vantage": vantage,
+                        "table": "downloads",
+                        "where": [
+                            {"column": "site_id", "op": "eq", "value": site_id}
+                        ],
+                        "select": [
+                            "family",
+                            "round",
+                            "mean_speed",
+                            "converged",
+                        ],
+                    }
+                ),
+            )
+        )
+    return templates
+
+
+def generate_mix(
+    campaign_digest: str,
+    vantages: list[str],
+    site_ids: list[int],
+    n_requests: int,
+    seed: int,
+    zipf_s: float = DEFAULT_ZIPF_S,
+) -> Mix:
+    """The sealed request sequence for one (campaign, seed) pair.
+
+    Same inputs ⇒ byte-identical sequence (and therefore the same
+    ``Mix.digest``): template construction is pure, rank quotas are
+    arithmetic, and the only randomness is one ``random.shuffle`` from
+    the ``loadtest.mix`` named stream.
+    """
+    if n_requests <= 0:
+        raise DataError(f"n_requests must be positive, got {n_requests}")
+    templates = build_templates(campaign_digest, vantages, site_ids)
+    counts = zipf_rank_counts(n_requests, len(templates), zipf_s)
+    sequence: list[PlannedRequest] = []
+    for rank, (template, count) in enumerate(zip(templates, counts)):
+        ranked = PlannedRequest(
+            kind=template.kind,
+            method=template.method,
+            path=template.path,
+            params=template.params,
+            body=template.body,
+            rank=rank,
+        )
+        sequence.extend([ranked] * count)
+    RngStreams(seed).stream(MIX_STREAM).shuffle(sequence)
+    return Mix(
+        requests=sequence,
+        seed=seed,
+        zipf_s=zipf_s,
+        campaign_digest=campaign_digest,
+        n_templates=len(templates),
+        rank_counts=counts,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the replay harness
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LoadtestOptions:
+    """Client-side knobs for one replay."""
+
+    clients: int = 8
+    #: total request rate to pace to; None replays as fast as possible.
+    target_qps: float | None = None
+    #: byte-verify every k-th request of the sequence (0 disables).
+    parity_every: int = DEFAULT_PARITY_EVERY
+    #: per-request socket timeout, seconds.
+    timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.clients <= 0:
+            raise ConfigError(f"clients must be positive, got {self.clients}")
+        if self.target_qps is not None and self.target_qps <= 0:
+            raise ConfigError(
+                f"target_qps must be positive, got {self.target_qps}"
+            )
+        if self.parity_every < 0:
+            raise ConfigError(
+                f"parity_every must be >= 0, got {self.parity_every}"
+            )
+
+
+@dataclass
+class _Outcome:
+    """One request's observed result."""
+
+    index: int
+    status: int
+    latency_ms: float
+    body: bytes | None = None
+    transport_error: str | None = None
+
+
+def _percentile(ordered: list[float], p: float) -> float:
+    """Linear-interpolation percentile over pre-sorted values."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def _fetch(base_url: str, request: PlannedRequest, timeout: float):
+    """One request over a fresh connection; returns (status, bytes)."""
+    req = urllib.request.Request(
+        request.url(base_url),
+        data=request.body,
+        method=request.method,
+        headers={"Content-Type": "application/json"}
+        if request.body
+        else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def scrape_metrics(base_url: str, timeout: float = 10.0) -> dict:
+    """The live server's ``/metrics`` registry snapshot."""
+    with urllib.request.urlopen(
+        f"{base_url}/metrics", timeout=timeout
+    ) as response:
+        return json.loads(response.read())["metrics"]
+
+
+def _counter_value(snapshot: dict, name: str) -> float:
+    entry = snapshot.get(name)
+    return float(entry.get("value", 0.0)) if entry else 0.0
+
+
+def _drive(
+    base_url: str, mix: Mix, options: LoadtestOptions
+) -> tuple[list[_Outcome], float]:
+    """Replay the mix across client threads; returns outcomes + wall."""
+    keep_body = {
+        index
+        for index in range(len(mix.requests))
+        if options.parity_every and index % options.parity_every == 0
+    }
+    outcomes: list[_Outcome | None] = [None] * len(mix.requests)
+    interval = (
+        1.0 / options.target_qps if options.target_qps is not None else 0.0
+    )
+    start = time.perf_counter()
+
+    def client(worker: int) -> None:
+        for index in range(worker, len(mix.requests), options.clients):
+            request = mix.requests[index]
+            if interval:
+                due = start + index * interval
+                delay = due - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+            t0 = time.perf_counter()
+            try:
+                status, data = _fetch(base_url, request, options.timeout)
+            except Exception as exc:  # connection-level failure
+                outcomes[index] = _Outcome(
+                    index=index,
+                    status=0,
+                    latency_ms=(time.perf_counter() - t0) * 1000.0,
+                    transport_error=f"{type(exc).__name__}: {exc}",
+                )
+                continue
+            outcomes[index] = _Outcome(
+                index=index,
+                status=status,
+                latency_ms=(time.perf_counter() - t0) * 1000.0,
+                body=data if index in keep_body else None,
+            )
+
+    threads = [
+        threading.Thread(target=client, args=(worker,), daemon=True)
+        for worker in range(options.clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    assert all(outcome is not None for outcome in outcomes)
+    return outcomes, wall  # type: ignore[return-value]
+
+
+def direct_response(store, request: PlannedRequest) -> bytes:
+    """The canonical bytes the server *should* serve — no server, no
+    caches: a fresh single-use :class:`ServeApp` over the same store."""
+    app = ServeApp(
+        store,
+        ServeConfig(
+            cache_root=str(store.root),
+            response_cache_entries=0,
+            workers=0,
+        ),
+    )
+    status, payload = app.handle(
+        request.method, request.path, dict(request.params), request.body
+    )
+    if status != 200:
+        raise DataError(
+            f"direct computation of {request.path} failed with {status}: "
+            f"{payload}"
+        )
+    return canonical_json(payload)
+
+
+def run_loadtest(
+    base_url: str,
+    mix: Mix,
+    options: LoadtestOptions,
+    store=None,
+    meta: dict | None = None,
+) -> dict:
+    """Replay ``mix`` against a live server and build the serve report.
+
+    ``store`` enables the byte-parity pass: every sampled response is
+    compared against :func:`direct_response` over the same campaign
+    store.  ``/metrics`` is scraped before and after the drive, so the
+    cache block reflects exactly the requests this replay issued.
+    """
+    base_url = base_url.rstrip("/")
+    before = scrape_metrics(base_url, timeout=options.timeout)
+    outcomes, wall = _drive(base_url, mix, options)
+    after = scrape_metrics(base_url, timeout=options.timeout)
+
+    latencies = sorted(
+        outcome.latency_ms
+        for outcome in outcomes
+        if outcome.transport_error is None
+    )
+    n_5xx = sum(1 for o in outcomes if o.status >= 500)
+    n_4xx = sum(1 for o in outcomes if 400 <= o.status < 500)
+    n_transport = sum(1 for o in outcomes if o.transport_error is not None)
+    n_ok = sum(1 for o in outcomes if o.status == 200)
+
+    sampled = verified = mismatched = 0
+    if store is not None and options.parity_every:
+        direct_cache: dict[tuple, bytes] = {}
+        for outcome in outcomes:
+            if outcome.body is None or outcome.status != 200:
+                continue
+            sampled += 1
+            request = mix.requests[outcome.index]
+            key = (request.method, request.path, request.params, request.body)
+            expected = direct_cache.get(key)
+            if expected is None:
+                expected = direct_response(store, request)
+                direct_cache[key] = expected
+            if outcome.body == expected:
+                verified += 1
+            else:
+                mismatched += 1
+                _LOG.warning(
+                    "served bytes diverge from direct computation",
+                    extra={"path": request.path, "index": outcome.index},
+                )
+
+    hits = _counter_value(after, "data.serve.cache.hits") - _counter_value(
+        before, "data.serve.cache.hits"
+    )
+    misses = _counter_value(after, "data.serve.cache.misses") - _counter_value(
+        before, "data.serve.cache.misses"
+    )
+    evictions = _counter_value(
+        after, "data.serve.cache.evictions"
+    ) - _counter_value(before, "data.serve.cache.evictions")
+    lookups = hits + misses
+
+    report = {
+        "bench": "serve",
+        "schema": SERVE_SCHEMA,
+        "meta": {
+            "seed": mix.seed,
+            "zipf_s": mix.zipf_s,
+            "n_requests": len(mix.requests),
+            "clients": options.clients,
+            "target_qps": options.target_qps,
+            "parity_every": options.parity_every,
+            **(meta or {}),
+        },
+        "mix": {
+            "digest": mix.digest,
+            "campaign_digest": mix.campaign_digest,
+            "n_templates": mix.n_templates,
+            "kinds": {kind: mix.kinds[kind] for kind in sorted(mix.kinds)},
+        },
+        "latency_ms": {
+            "p50": _percentile(latencies, 50.0),
+            "p95": _percentile(latencies, 95.0),
+            "p99": _percentile(latencies, 99.0),
+            "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+            "max": latencies[-1] if latencies else 0.0,
+        },
+        "throughput_rps": n_ok / wall if wall > 0 else 0.0,
+        "wall_seconds": wall,
+        "errors": {
+            "n_5xx": n_5xx,
+            "n_4xx": n_4xx,
+            "n_transport": n_transport,
+        },
+        "parity": {
+            "sampled": sampled,
+            "verified": verified,
+            "mismatched": mismatched,
+        },
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "hit_fraction": hits / lookups if lookups else 0.0,
+        },
+    }
+    return report
+
+
+# ---------------------------------------------------------------------------
+# report I/O + rendering (BENCH_serve.json)
+# ---------------------------------------------------------------------------
+
+
+def write_serve_report(report: dict, path) -> None:
+    import pathlib
+
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(report, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+
+
+def read_serve_report(path) -> dict:
+    import pathlib
+
+    return json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+
+
+def render_serve_report(report: dict) -> str:
+    """Terminal summary: the latency table the humans read first."""
+    meta = report["meta"]
+    latency = report["latency_ms"]
+    errors = report["errors"]
+    parity = report["parity"]
+    cache = report["cache"]
+    qps = meta.get("target_qps")
+    lines = [
+        f"loadtest: {meta['n_requests']} requests, {meta['clients']} "
+        f"client(s), "
+        + (f"paced to {qps:g} rps" if qps else "unpaced")
+        + f", zipf s={meta['zipf_s']:g}, seed {meta['seed']}",
+        f"mix: {report['mix']['n_templates']} templates, "
+        f"digest {report['mix']['digest'][:16]}…",
+        f"latency ms: p50 {latency['p50']:.2f}  p95 {latency['p95']:.2f}  "
+        f"p99 {latency['p99']:.2f}  mean {latency['mean']:.2f}  "
+        f"max {latency['max']:.2f}",
+        f"throughput: {report['throughput_rps']:.1f} rps over "
+        f"{report['wall_seconds']:.2f}s",
+        f"errors: 5xx={errors['n_5xx']} 4xx={errors['n_4xx']} "
+        f"transport={errors['n_transport']}",
+        f"parity: {parity['verified']}/{parity['sampled']} sampled "
+        f"responses byte-identical, {parity['mismatched']} mismatched",
+        f"cache: {cache['hits']:g} hits / {cache['misses']:g} misses "
+        f"(hit fraction {cache['hit_fraction']:.3f}, "
+        f"evictions {cache['evictions']:g})",
+    ]
+    return "\n".join(lines)

@@ -25,18 +25,37 @@ Endpoints::
 
 Every response body is canonical JSON (sorted keys, no whitespace), so
 a served result can be byte-diffed against the same payload computed
-directly from the row objects — the CI serve-smoke job does exactly
-that.  Errors are structured (``{"error": {"code", "message"}}``) with
-the appropriate 4xx status; a traceback never crosses the socket.
+directly from the row objects — the CI serve-smoke and loadtest-smoke
+jobs do exactly that.  Errors are structured (``{"error": {"code",
+"message"}}``) with the appropriate 4xx status; a traceback never
+crosses the socket.
+
+Concurrency model (``repro serve --workers N``):
+
+* requests are dispatched to a fixed pool of ``N`` worker threads
+  (``--workers 0`` restores the unbounded thread-per-request mode);
+* the campaign LRU (:class:`CampaignCache`) is lock-protected, and a
+  cold digest is loaded **once** no matter how many requests arrive for
+  it concurrently (per-digest single-flight);
+* campaign-scoped 200 responses are memoised in a lock-protected
+  :class:`ResponseCache` keyed on ``(campaign digest, canonical query
+  digest)``.  Responses are canonical JSON, so a hit can be — and in
+  ``verify_cache_hits`` mode *is* — byte-verified against a fresh
+  computation.  Entries are invalidated when their campaign leaves the
+  LRU, so the cache never outlives the data that produced it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
+import socket
+import threading
 import time
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qsl, urlparse
@@ -55,15 +74,38 @@ _LOG = get_logger("data.serve")
 #: request accounting (the serve-smoke job and tests read these).
 _REQUESTS = metrics.counter("data.serve.requests")
 _ERRORS = metrics.counter("data.serve.errors")
-_CACHE_HITS = metrics.counter("data.serve.cache_hits")
-_CACHE_MISSES = metrics.counter("data.serve.cache_misses")
 _LATENCY = metrics.histogram("data.serve.latency_ms")
+
+#: campaign-LRU accounting (one load per cold digest, single-flight).
+_CAMPAIGN_HITS = metrics.counter("data.serve.cache_hits")
+_CAMPAIGN_MISSES = metrics.counter("data.serve.cache_misses")
+_CAMPAIGN_LOADS = metrics.counter("data.serve.campaign_loads")
+_CAMPAIGN_EVICTIONS = metrics.counter("data.serve.campaign_evictions")
+
+#: response-cache accounting (``/metrics`` exports these; the loadtest
+#: harness reads the deltas to compute the cache-hit fraction).
+_RESPONSE_HITS = metrics.counter("data.serve.cache.hits")
+_RESPONSE_MISSES = metrics.counter("data.serve.cache.misses")
+_RESPONSE_EVICTIONS = metrics.counter("data.serve.cache.evictions")
+_RESPONSE_INVALIDATIONS = metrics.counter("data.serve.cache.invalidations")
+_RESPONSE_VERIFY_FAILURES = metrics.counter("data.serve.cache.verify_failures")
+
+#: worker-pool occupancy (informational; high-water rides on the gauge).
+_WORKERS = metrics.gauge("data.serve.workers")
+_INFLIGHT = metrics.gauge("data.serve.inflight")
 
 
 #: environment override for the serving LRU capacity (``repro serve --lru``
 #: wins over it; the dataclass default below is the last resort).
 LRU_ENV_VAR = "REPRO_SERVE_LRU"
 DEFAULT_LRU_CAMPAIGNS = 4
+
+#: default worker-pool width (``--workers``; 0 = thread per request).
+DEFAULT_WORKERS = 4
+
+#: default response-cache capacity in entries (``--response-cache``;
+#: 0 disables the cache entirely).
+DEFAULT_RESPONSE_CACHE_ENTRIES = 256
 
 
 def default_lru_campaigns() -> int:
@@ -95,6 +137,17 @@ class ServeConfig:
     max_body_bytes: int = 1_000_000
     #: socket timeout per request, seconds.
     request_timeout: float = 30.0
+    #: worker threads requests are dispatched across (0 = one thread per
+    #: request, the pre-pool behaviour).
+    workers: int = DEFAULT_WORKERS
+    #: response-cache capacity in entries (0 disables it).
+    response_cache_entries: int = DEFAULT_RESPONSE_CACHE_ENTRIES
+    #: byte-verify every response-cache hit against a fresh computation
+    #: (the soak tests and the loadtest parity gate turn this on).
+    verify_cache_hits: bool = False
+    #: set SO_REUSEPORT on the listening socket so several ``repro
+    #: serve`` processes can share one port (kernel load balancing).
+    reuse_port: bool = False
 
     def __post_init__(self) -> None:
         if self.max_rows <= 0 or self.max_rows > MAX_QUERY_ROWS:
@@ -105,6 +158,18 @@ class ServeConfig:
             raise ConfigError(
                 f"lru_campaigns must be a positive integer, "
                 f"got {self.lru_campaigns!r}"
+            )
+        if not isinstance(self.workers, int) or self.workers < 0:
+            raise ConfigError(
+                f"workers must be a non-negative integer, got {self.workers!r}"
+            )
+        if (
+            not isinstance(self.response_cache_entries, int)
+            or self.response_cache_entries < 0
+        ):
+            raise ConfigError(
+                f"response_cache_entries must be a non-negative integer, "
+                f"got {self.response_cache_entries!r}"
             )
 
 
@@ -135,6 +200,8 @@ class LoadedCampaign:
     columnar: dict[str, ColumnarDatabase]
     #: row-object databases, materialised per vantage on first use.
     _databases: dict[str, MeasurementDatabase] = field(default_factory=dict)
+    #: guards the lazy materialisation under concurrent requests.
+    _db_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def columnar_for(self, vantage: str | None) -> ColumnarDatabase:
         if vantage is None:
@@ -148,45 +215,197 @@ class LoadedCampaign:
 
     def database_for(self, vantage: str | None) -> MeasurementDatabase:
         cdb = self.columnar_for(vantage)
-        if vantage not in self._databases:
-            self._databases[vantage] = cdb.to_database()
-        return self._databases[vantage]
+        with self._db_lock:
+            if vantage not in self._databases:
+                self._databases[vantage] = cdb.to_database()
+            return self._databases[vantage]
+
+
+class _Flight:
+    """The single-flight slot one cold digest's loaders share."""
+
+    __slots__ = ("done", "campaign", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.campaign: LoadedCampaign | None = None
+        self.error: BaseException | None = None
 
 
 class CampaignCache:
-    """A small LRU of loaded columnar campaigns keyed by digest."""
+    """A lock-protected LRU of loaded columnar campaigns keyed by digest.
 
-    def __init__(self, store: CampaignStore, capacity: int) -> None:
+    ``ThreadingHTTPServer`` (and the worker pool) serve concurrently, so
+    every mutation of the underlying ``OrderedDict`` happens under one
+    lock.  A cold digest is loaded from the store exactly once no matter
+    how many requests ask for it at the same moment: the first request
+    becomes the *leader* and loads outside the lock; the rest park on a
+    per-digest :class:`_Flight` and reuse the leader's result (or error).
+    ``data.serve.campaign_loads`` counts actual store loads — the
+    single-flight regression test hammers one cold digest from many
+    threads and asserts the counter moved by exactly one.
+    """
+
+    def __init__(
+        self,
+        store: CampaignStore,
+        capacity: int,
+        on_evict=None,
+    ) -> None:
         self.store = store
         self.capacity = capacity
+        self.on_evict = on_evict
+        self._lock = threading.Lock()
         self._entries: OrderedDict[str, LoadedCampaign] = OrderedDict()
+        self._loading: dict[str, _Flight] = {}
 
     def get(self, digest: str) -> LoadedCampaign:
-        if digest in self._entries:
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is not None:
+                self._entries.move_to_end(digest)
+                _CAMPAIGN_HITS.inc()
+                return entry
+            _CAMPAIGN_MISSES.inc()
+            flight = self._loading.get(digest)
+            if flight is None:
+                flight = _Flight()
+                self._loading[digest] = flight
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            assert flight.campaign is not None
+            return flight.campaign
+        try:
+            campaign = self._load(digest)
+        except BaseException as exc:
+            with self._lock:
+                self._loading.pop(digest, None)
+            flight.error = exc
+            flight.done.set()
+            raise
+        evicted: list[str] = []
+        with self._lock:
+            self._entries[digest] = campaign
             self._entries.move_to_end(digest)
-            _CACHE_HITS.inc()
-            return self._entries[digest]
-        _CACHE_MISSES.inc()
+            while len(self._entries) > self.capacity:
+                victim, _ = self._entries.popitem(last=False)
+                evicted.append(victim)
+            self._loading.pop(digest, None)
+        flight.campaign = campaign
+        flight.done.set()
+        for victim in evicted:
+            _CAMPAIGN_EVICTIONS.inc()
+            _LOG.debug("evicted campaign from LRU", extra={"digest": victim[:12]})
+            if self.on_evict is not None:
+                self.on_evict(victim)
+        return campaign
+
+    def _load(self, digest: str) -> LoadedCampaign:
+        """One actual store load (the single-flight leader's job)."""
+        _CAMPAIGN_LOADS.inc()
         with span("serve.load_campaign", digest=digest[:12]):
             loaded = self.store.load_columnar_entry(digest)
         if loaded is None:
             raise _not_found(f"unknown campaign digest {digest!r}")
         meta, columnar = loaded
-        campaign = LoadedCampaign(
+        return LoadedCampaign(
             digest=digest,
             meta=meta,
             vantages=dict(columnar.vantages),
             columnar=dict(columnar.databases),
         )
-        self._entries[digest] = campaign
-        while len(self._entries) > self.capacity:
-            evicted, _ = self._entries.popitem(last=False)
-            _LOG.debug("evicted campaign from LRU", extra={"digest": evicted[:12]})
-        return campaign
+
+    def evict_all(self) -> None:
+        """Drop every resident campaign (tests and shutdown paths)."""
+        with self._lock:
+            evicted = list(self._entries)
+            self._entries.clear()
+        for victim in evicted:
+            _CAMPAIGN_EVICTIONS.inc()
+            if self.on_evict is not None:
+                self.on_evict(victim)
 
     @property
     def occupancy(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+
+class ResponseCache:
+    """A lock-protected LRU of canonical response bytes.
+
+    Keyed on ``(campaign digest, canonical query digest)``.  Only
+    campaign-scoped 200 responses enter; they are pure functions of the
+    (content-addressed, immutable) store entry, so a resident value can
+    only ever be the exact bytes a fresh computation would produce —
+    which ``verify_cache_hits`` checks literally.  When a campaign is
+    evicted from the :class:`CampaignCache` every response cached under
+    its digest is invalidated, so the response cache never serves data
+    whose backing campaign the server no longer holds.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple[str, str], bytes] = OrderedDict()
+        self._by_campaign: dict[str, set[str]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def get(self, digest: str, query_digest: str) -> bytes | None:
+        with self._lock:
+            data = self._entries.get((digest, query_digest))
+            if data is not None:
+                self._entries.move_to_end((digest, query_digest))
+            return data
+
+    def put(self, digest: str, query_digest: str, data: bytes) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            key = (digest, query_digest)
+            self._entries[key] = data
+            self._entries.move_to_end(key)
+            self._by_campaign.setdefault(digest, set()).add(query_digest)
+            while len(self._entries) > self.capacity:
+                (victim_digest, victim_query), _ = self._entries.popitem(
+                    last=False
+                )
+                _RESPONSE_EVICTIONS.inc()
+                queries = self._by_campaign.get(victim_digest)
+                if queries is not None:
+                    queries.discard(victim_query)
+                    if not queries:
+                        del self._by_campaign[victim_digest]
+
+    def invalidate(self, digest: str) -> int:
+        """Drop every entry cached under one campaign digest."""
+        with self._lock:
+            queries = self._by_campaign.pop(digest, None)
+            if not queries:
+                return 0
+            for query_digest in queries:
+                del self._entries[(digest, query_digest)]
+            n = len(queries)
+        _RESPONSE_EVICTIONS.inc(n)
+        _RESPONSE_INVALIDATIONS.inc(n)
+        _LOG.debug(
+            "invalidated response-cache entries",
+            extra={"digest": digest[:12], "n": n},
+        )
+        return n
+
+    @property
+    def occupancy(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 def canonical_json(payload: dict) -> bytes:
@@ -194,6 +413,26 @@ def canonical_json(payload: dict) -> bytes:
     return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
         "utf-8"
     )
+
+
+def query_digest(
+    method: str, path: str, params: dict[str, str], body: bytes | None
+) -> str:
+    """The canonical digest of one request's cache-relevant identity.
+
+    Sorted parameters and a canonical-JSON envelope make the digest
+    independent of query-string ordering; the raw body bytes ride along
+    hex-encoded, so two byte-identical POSTs share an entry while any
+    body difference (even whitespace) keys separately — the cache never
+    has to guess whether two bodies mean the same query.
+    """
+    envelope = {
+        "method": method,
+        "path": path,
+        "params": sorted(params.items()),
+        "body": (body or b"").hex(),
+    }
+    return hashlib.sha256(canonical_json(envelope)).hexdigest()
 
 
 def classification_payload(db: MeasurementDatabase) -> dict:
@@ -227,7 +466,10 @@ class ServeApp:
 
     def __init__(self, store: CampaignStore, config: ServeConfig) -> None:
         self.config = config
-        self.cache = CampaignCache(store, config.lru_campaigns)
+        self.response_cache = ResponseCache(config.response_cache_entries)
+        self.cache = CampaignCache(
+            store, config.lru_campaigns, on_evict=self.response_cache.invalidate
+        )
         self.store = store
 
     # -- routing -------------------------------------------------------------
@@ -260,6 +502,69 @@ class ServeApp:
                 "error": {"code": "internal", "message": "internal server error"}
             }
 
+    def handle_bytes(
+        self,
+        method: str,
+        path: str,
+        params: dict[str, str],
+        body: bytes | None = None,
+    ) -> tuple[int, bytes, str]:
+        """:meth:`handle` through the response cache.
+
+        Returns ``(status, canonical bytes, cache state)`` where the
+        state is ``hit``/``miss`` for cacheable requests and ``bypass``
+        for everything else (non-campaign paths, cache disabled).  Only
+        200 responses are stored.  In ``verify_cache_hits`` mode every
+        hit is recomputed and byte-compared before being served; a
+        mismatch is counted, logged, and answered with the fresh bytes.
+        """
+        key = self._cache_key(method, path, params, body)
+        if key is None:
+            status, payload = self.handle(method, path, params, body)
+            return status, canonical_json(payload), "bypass"
+        cached = self.response_cache.get(*key)
+        if cached is not None:
+            _RESPONSE_HITS.inc()
+            if self.config.verify_cache_hits:
+                status, payload = self.handle(method, path, params, body)
+                fresh = canonical_json(payload)
+                if status != 200 or fresh != cached:
+                    _RESPONSE_VERIFY_FAILURES.inc()
+                    _LOG.warning(
+                        "response-cache hit failed byte verification",
+                        extra={"path": path},
+                    )
+                    self.response_cache.invalidate(key[0])
+                    return status, fresh, "miss"
+            return 200, cached, "hit"
+        _RESPONSE_MISSES.inc()
+        status, payload = self.handle(method, path, params, body)
+        data = canonical_json(payload)
+        if status == 200:
+            self.response_cache.put(key[0], key[1], data)
+        return status, data, "miss"
+
+    def _cache_key(
+        self,
+        method: str,
+        path: str,
+        params: dict[str, str],
+        body: bytes | None,
+    ) -> tuple[str, str] | None:
+        """The response-cache key, or None when the request bypasses it.
+
+        Only campaign-scoped resources are cacheable: their payloads are
+        pure functions of an immutable, content-addressed store entry.
+        ``/healthz``, ``/metrics``, and the store listing change between
+        requests and never enter the cache.
+        """
+        if not self.response_cache.enabled:
+            return None
+        parts = [part for part in path.split("/") if part]
+        if len(parts) < 2 or parts[0] != "campaigns":
+            return None
+        return parts[1], query_digest(method, path, params, body)
+
     def _route(
         self, method: str, path: str, params: dict[str, str], body: bytes | None
     ) -> dict:
@@ -272,6 +577,11 @@ class ServeApp:
                     "occupancy": self.cache.occupancy,
                     "capacity": self.cache.capacity,
                 },
+                "response_cache": {
+                    "occupancy": self.response_cache.occupancy,
+                    "capacity": self.response_cache.capacity,
+                },
+                "workers": self.config.workers,
             }
         if parts == ["metrics"]:
             self._require(method, "GET")
@@ -319,7 +629,9 @@ class ServeApp:
 
         Counters, gauges, and histograms (with p50/p90/p99) — the live
         equivalent of the ``BENCH_*.json`` metrics block, for scraping a
-        running server (``data.serve.requests`` et al. included).
+        running server (``data.serve.requests``, the campaign-LRU
+        counters, and the ``data.serve.cache.*`` response-cache
+        hit/miss/eviction counters included).
         """
         return {"metrics": metrics.get_registry().as_dict()}
 
@@ -495,9 +807,9 @@ class ServeApp:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Thin socket adapter around :class:`ServeApp.handle`."""
+    """Thin socket adapter around :class:`ServeApp.handle_bytes`."""
 
-    server_version = "repro-serve/1"
+    server_version = "repro-serve/2"
     protocol_version = "HTTP/1.1"
     app: ServeApp  # set by make_server
 
@@ -517,29 +829,35 @@ class _Handler(BaseHTTPRequestHandler):
             if length > self.app.config.max_body_bytes:
                 self._respond(
                     413,
-                    {
-                        "error": {
-                            "code": "too_large",
-                            "message": (
-                                f"request body of {length} bytes exceeds the "
-                                f"{self.app.config.max_body_bytes}-byte cap"
-                            ),
+                    canonical_json(
+                        {
+                            "error": {
+                                "code": "too_large",
+                                "message": (
+                                    f"request body of {length} bytes exceeds "
+                                    f"the {self.app.config.max_body_bytes}-"
+                                    "byte cap"
+                                ),
+                            }
                         }
-                    },
+                    ),
+                    "bypass",
                 )
                 return
             body = self.rfile.read(length) if length else b""
         started = time.perf_counter()
         with span("serve.request", method=method, path=parsed.path):
-            status, payload = self.app.handle(method, parsed.path, params, body)
+            status, data, cache_state = self.app.handle_bytes(
+                method, parsed.path, params, body
+            )
         _LATENCY.observe((time.perf_counter() - started) * 1000.0)
-        self._respond(status, payload)
+        self._respond(status, data, cache_state)
 
-    def _respond(self, status: int, payload: dict) -> None:
-        data = canonical_json(payload)
+    def _respond(self, status: int, data: bytes, cache_state: str) -> None:
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        self.send_header("X-Repro-Response-Cache", cache_state)
         self.end_headers()
         self.wfile.write(data)
 
@@ -547,15 +865,86 @@ class _Handler(BaseHTTPRequestHandler):
         _LOG.debug("http " + fmt % args)
 
 
+class PooledHTTPServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` with a fixed worker pool.
+
+    Instead of spawning an unbounded thread per connection, accepted
+    requests are submitted to a ``ThreadPoolExecutor`` of ``workers``
+    threads — concurrency is bounded, excess connections queue in the
+    executor, and the listen backlog absorbs bursts.  ``workers=0``
+    falls back to the stock thread-per-request behaviour.  With
+    ``reuse_port`` the listening socket sets ``SO_REUSEPORT`` (where the
+    platform offers it), so several server *processes* can share one
+    port and let the kernel balance accepts across them.
+    """
+
+    def __init__(
+        self,
+        server_address,
+        handler_class,
+        workers: int = DEFAULT_WORKERS,
+        reuse_port: bool = False,
+    ) -> None:
+        self._reuse_port = reuse_port
+        self._pool: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-serve"
+            )
+            if workers > 0
+            else None
+        )
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        _WORKERS.set(workers)
+        super().__init__(server_address, handler_class)
+
+    def server_bind(self) -> None:
+        if self._reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise ConfigError(
+                    "this platform does not support SO_REUSEPORT"
+                )
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
+    def process_request(self, request, client_address) -> None:
+        if self._pool is None:
+            super().process_request(request, client_address)
+            return
+        self._pool.submit(self._process_in_worker, request, client_address)
+
+    def _process_in_worker(self, request, client_address) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+            _INFLIGHT.update_max(self._inflight)
+        try:
+            # ThreadingMixIn's per-thread body: finish_request + cleanup.
+            self.process_request_thread(request, client_address)
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+                _INFLIGHT.set(self._inflight)
+
+    def server_close(self) -> None:
+        super().server_close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+
+
 def make_server(
     config: ServeConfig, store: CampaignStore | None = None
-) -> ThreadingHTTPServer:
-    """Build a ready-to-run threading HTTP server over the store."""
+) -> PooledHTTPServer:
+    """Build a ready-to-run pooled HTTP server over the store."""
     store = store or CampaignStore(pathlib.Path(config.cache_root))
     app = ServeApp(store, config)
     handler = type("BoundHandler", (_Handler,), {"app": app})
     handler.timeout = config.request_timeout
-    server = ThreadingHTTPServer((config.host, config.port), handler)
+    server = PooledHTTPServer(
+        (config.host, config.port),
+        handler,
+        workers=config.workers,
+        reuse_port=config.reuse_port,
+    )
     server.daemon_threads = True
     return server
 
@@ -564,8 +953,10 @@ def run_server(config: ServeConfig, store: CampaignStore | None = None) -> int:
     """Serve until interrupted (the ``repro serve`` entry point)."""
     server = make_server(config, store)
     host, port = server.server_address[:2]
+    workers = f"{config.workers} worker(s)" if config.workers else "unpooled"
     print(f"repro serve: listening on http://{host}:{port} "
-          f"(store: {config.cache_root})")
+          f"(store: {config.cache_root}, {workers}, "
+          f"response cache: {config.response_cache_entries} entries)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -20,8 +20,12 @@ from .bench import (
 )
 from .regress import (
     GateResult,
+    MIN_SERVE_CACHE_HIT_FRACTION,
     compare_reports,
+    compare_serve_reports,
     evaluate_gates,
+    evaluate_serve_gates,
+    serve_wall_clock_deltas,
     wall_clock_deltas,
 )
 from .workloads import WORKLOADS, WorkloadResult
@@ -31,11 +35,15 @@ __all__ = [
     "DEFAULT_SCALE",
     "DEFAULT_SEED",
     "GateResult",
+    "MIN_SERVE_CACHE_HIT_FRACTION",
     "SCHEMA",
     "WORKLOADS",
     "WorkloadResult",
     "compare_reports",
+    "compare_serve_reports",
     "evaluate_gates",
+    "evaluate_serve_gates",
+    "serve_wall_clock_deltas",
     "read_report",
     "render_comparison",
     "render_report",

@@ -35,6 +35,11 @@ MIN_OBSERVER_INDEX_HIT_FRACTION = 0.90
 #: times; the unit is download loops (~downloads-table rows), which makes
 #: the bound scale-free.  Measured shape: ~2.0 rows per loop per observer.
 MAX_OBSERVER_ROWS_PER_LOOP = 4.0
+#: a Zipf-skewed mix repeats its head templates constantly, so the
+#: response cache must answer at least this fraction of lookups; the
+#: quota-based mix guarantees hits = n_requests - templates_touched, so
+#: the floor holds deterministically at the smoke configuration and up.
+MIN_SERVE_CACHE_HIT_FRACTION = 0.5
 
 
 @dataclass(frozen=True)
@@ -326,6 +331,160 @@ def compare_reports(report: dict, baseline: dict) -> list[GateResult]:
                 )
             )
     return results
+
+
+def evaluate_serve_gates(report: dict) -> list[GateResult]:
+    """Structural gates over a ``BENCH_serve.json`` loadtest report.
+
+    Everything here is deterministic for a healthy server: the error
+    counts and parity verdicts are exact, and the cache-hit floor holds
+    by construction of the quota-based Zipf mix.  Latency and throughput
+    are *never* gated — they are the informational payload.
+    """
+    errors = report.get("errors", {})
+    parity = report.get("parity", {})
+    cache = report.get("cache", {})
+    mix = report.get("mix", {})
+    results = [
+        GateResult(
+            workload="loadtest",
+            gate="zero_5xx",
+            passed=errors.get("n_5xx", 1) == 0,
+            observed=errors.get("n_5xx", 1),
+            bound="== 0 (no internal errors under load)",
+        ),
+        GateResult(
+            workload="loadtest",
+            gate="zero_4xx",
+            passed=errors.get("n_4xx", 1) == 0,
+            observed=errors.get("n_4xx", 1),
+            bound="== 0 (every mix template is a valid request)",
+        ),
+        GateResult(
+            workload="loadtest",
+            gate="zero_transport_errors",
+            passed=errors.get("n_transport", 1) == 0,
+            observed=errors.get("n_transport", 1),
+            bound="== 0 (no dropped/failed connections)",
+        ),
+        GateResult(
+            workload="loadtest",
+            gate="byte_parity",
+            passed=(
+                parity.get("mismatched", 1) == 0
+                and parity.get("sampled", 0) > 0
+            ),
+            observed=parity.get("mismatched", 1),
+            bound="== 0 mismatches over > 0 sampled responses",
+        ),
+        GateResult(
+            workload="loadtest",
+            gate="cache_hit_fraction",
+            passed=cache.get("hit_fraction", 0.0)
+            >= MIN_SERVE_CACHE_HIT_FRACTION,
+            observed=cache.get("hit_fraction", 0.0),
+            bound=f">= {MIN_SERVE_CACHE_HIT_FRACTION} "
+            "(the Zipf head is served from the response cache)",
+        ),
+        GateResult(
+            workload="loadtest",
+            gate="mix_digest_sealed",
+            passed=len(mix.get("digest", "")) == 64,
+            observed=float(len(mix.get("digest", ""))),
+            bound="== 64 hex chars (the mix is content-addressed)",
+        ),
+    ]
+    return results
+
+
+#: serve-report meta fields that must match for a baseline comparison
+#: to be meaningful (they pin the mix generator's inputs).
+_SERVE_META_KEYS = ("seed", "zipf_s", "n_requests", "clients")
+
+
+def compare_serve_reports(report: dict, baseline: dict) -> list[GateResult]:
+    """Deterministic comparison against a checked-in ``BENCH_serve.json``.
+
+    Latency and throughput are machine-dependent and deliberately not
+    compared; what must match is everything the seeded generator and a
+    correct server fully determine — the mix digest and per-kind request
+    counts, and the all-zero error block.
+    """
+    results: list[GateResult] = []
+    rm, bm = report.get("meta", {}), baseline.get("meta", {})
+    meta_ok = all(rm.get(k) == bm.get(k) for k in _SERVE_META_KEYS)
+    results.append(
+        GateResult(
+            workload="loadtest",
+            gate="baseline_config_matches",
+            passed=meta_ok,
+            observed=float(meta_ok),
+            bound=f"meta keys {_SERVE_META_KEYS} equal "
+            f"({ {k: rm.get(k) for k in _SERVE_META_KEYS} } vs "
+            f"{ {k: bm.get(k) for k in _SERVE_META_KEYS} })",
+        )
+    )
+    if not meta_ok:
+        return results
+    results.append(
+        GateResult(
+            workload="loadtest",
+            gate="mix_digest",
+            passed=report.get("mix", {}).get("digest")
+            == baseline.get("mix", {}).get("digest"),
+            observed=float(
+                report.get("mix", {}).get("digest")
+                == baseline.get("mix", {}).get("digest")
+            ),
+            bound=f"== {str(baseline.get('mix', {}).get('digest'))[:12]}… "
+            "(same seed ⇒ same request sequence)",
+        )
+    )
+    base_kinds = baseline.get("mix", {}).get("kinds", {})
+    kinds = report.get("mix", {}).get("kinds", {})
+    results.append(
+        GateResult(
+            workload="loadtest",
+            gate="mix_kinds",
+            passed=kinds == base_kinds,
+            observed=float(kinds == base_kinds),
+            bound=f"== {base_kinds}",
+        )
+    )
+    for key in ("n_5xx", "n_4xx", "n_transport"):
+        base_value = baseline.get("errors", {}).get(key, 0)
+        value = report.get("errors", {}).get(key, -1)
+        results.append(
+            GateResult(
+                workload="loadtest",
+                gate=f"errors:{key}",
+                passed=value == base_value == 0,
+                observed=value,
+                bound="== 0 (baseline and current)",
+            )
+        )
+    return results
+
+
+def serve_wall_clock_deltas(report: dict, baseline: dict) -> list[str]:
+    """Informational latency/throughput lines vs the checked-in report."""
+    lines = []
+    base_latency = baseline.get("latency_ms", {})
+    latency = report.get("latency_ms", {})
+    for key in ("p50", "p95", "p99"):
+        if key in latency and key in base_latency:
+            lines.append(
+                f"latency {key}: {latency[key]:.2f}ms vs baseline "
+                f"{base_latency[key]:.2f}ms (informational)"
+            )
+    base_rps = baseline.get("throughput_rps", 0.0)
+    rps = report.get("throughput_rps", 0.0)
+    if base_rps:
+        lines.append(
+            f"throughput: {rps:.1f} rps vs baseline {base_rps:.1f} rps "
+            f"({rps / base_rps:.2f}x, informational)"
+        )
+    return lines
 
 
 def wall_clock_deltas(report: dict, baseline: dict) -> list[str]:

@@ -1,0 +1,339 @@
+"""The loadtest harness: mix determinism, Zipf shape, gates, replay.
+
+Hypothesis drives the reproducibility and monotonicity properties over
+many (seed, size, skew) combinations — both are *structural* guarantees
+of the quota-based generator, so the properties are exact, not
+statistical.  The replay half runs a real in-process server and checks
+the report against the ``repro.perf`` serve gates.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.columnar import TABLE_SCHEMAS
+from repro.data.loadtest import (
+    LoadtestOptions,
+    Mix,
+    PlannedRequest,
+    build_templates,
+    generate_mix,
+    run_loadtest,
+    write_serve_report,
+    read_serve_report,
+    zipf_rank_counts,
+    zipf_weights,
+)
+from repro.data.query import Query
+from repro.data.serve import ServeConfig, make_server
+from repro.engine import WEEKLY
+from repro.engine.store import CampaignStore, config_digest
+from repro.errors import ConfigError, DataError
+from repro.perf import (
+    MIN_SERVE_CACHE_HIT_FRACTION,
+    compare_serve_reports,
+    evaluate_serve_gates,
+    serve_wall_clock_deltas,
+)
+
+DIGEST = "d" * 64
+VANTAGES = ["Penn", "Zurich"]
+SITE_IDS = list(range(12))
+
+
+# ---------------------------------------------------------------------------
+# generator properties (hypothesis)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_requests=st.integers(min_value=1, max_value=400),
+    zipf_s=st.floats(min_value=0.5, max_value=2.5),
+)
+def test_same_seed_same_mix(seed, n_requests, zipf_s):
+    """Same (campaign, seed, size, skew) ⇒ identical sequence + digest."""
+    a = generate_mix(DIGEST, VANTAGES, SITE_IDS, n_requests, seed, zipf_s)
+    b = generate_mix(DIGEST, VANTAGES, SITE_IDS, n_requests, seed, zipf_s)
+    assert a.digest == b.digest
+    assert a.requests == b.requests
+    assert [r.to_payload() for r in a.requests] == [
+        r.to_payload() for r in b.requests
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_requests=st.integers(min_value=1, max_value=400),
+)
+def test_different_seed_different_order(seed, n_requests):
+    """Seeds only shuffle: the multiset of requests is seed-invariant."""
+    a = generate_mix(DIGEST, VANTAGES, SITE_IDS, n_requests, seed)
+    b = generate_mix(DIGEST, VANTAGES, SITE_IDS, n_requests, seed + 1)
+    key = lambda r: (r.rank, r.method, r.path, r.params, r.body)  # noqa: E731
+    assert sorted(map(key, a.requests)) == sorted(map(key, b.requests))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=200),
+    s=st.floats(min_value=0.1, max_value=4.0),
+)
+def test_zipf_weights_strictly_decreasing_and_normalised(n, s):
+    weights = zipf_weights(n, s)
+    assert len(weights) == n
+    assert all(a > b for a, b in zip(weights, weights[1:]))
+    assert abs(sum(weights) - 1.0) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_requests=st.integers(min_value=1, max_value=5000),
+    n_ranks=st.integers(min_value=1, max_value=150),
+    s=st.floats(min_value=0.1, max_value=4.0),
+)
+def test_zipf_rank_counts_monotone_and_exhaustive(n_requests, n_ranks, s):
+    """Counts are non-increasing by rank and sum exactly to n_requests."""
+    counts = zipf_rank_counts(n_requests, n_ranks, s)
+    assert len(counts) == n_ranks
+    assert sum(counts) == n_requests
+    assert all(c >= 0 for c in counts)
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_requests=st.integers(min_value=1, max_value=400),
+    zipf_s=st.floats(min_value=0.5, max_value=2.5),
+)
+def test_mix_rank_frequencies_match_quota(seed, n_requests, zipf_s):
+    """The generated sequence realises the quota counts *exactly*."""
+    mix = generate_mix(DIGEST, VANTAGES, SITE_IDS, n_requests, seed, zipf_s)
+    observed = [0] * mix.n_templates
+    for request in mix.requests:
+        observed[request.rank] += 1
+    assert observed == mix.rank_counts
+    assert observed == zipf_rank_counts(n_requests, mix.n_templates, zipf_s)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_generated_queries_valid_against_table_schemas(seed):
+    """Every POST body in a mix parses as a valid repro.data Query."""
+    mix = generate_mix(DIGEST, VANTAGES, SITE_IDS, 120, seed)
+    n_queries = 0
+    for request in mix.requests:
+        if request.body is None:
+            continue
+        payload = json.loads(request.body.decode("utf-8"))
+        query = Query.from_dict(payload)
+        assert query.table in TABLE_SCHEMAS
+        assert payload["vantage"] in VANTAGES
+        n_queries += 1
+    assert n_queries > 0
+
+
+# ---------------------------------------------------------------------------
+# template universe
+# ---------------------------------------------------------------------------
+
+
+def test_template_universe_is_deterministic_and_ranked():
+    a = build_templates(DIGEST, VANTAGES, SITE_IDS)
+    b = build_templates(DIGEST, list(reversed(VANTAGES)), SITE_IDS)
+    assert a == b  # vantage order is canonicalised
+    kinds = [t.kind for t in a]
+    # analytical hot set first, table pages after, point queries last
+    assert kinds[0] == "query"
+    assert "classify" in kinds[: 3 * len(VANTAGES)]
+    assert kinds[-1] == "query"
+    # every table appears for every vantage
+    n_pages = sum(1 for t in a if t.kind == "table_page")
+    assert n_pages == len(VANTAGES) * len(TABLE_SCHEMAS)
+
+
+def test_template_universe_requires_vantages():
+    with pytest.raises(DataError):
+        build_templates(DIGEST, [], SITE_IDS)
+
+
+def test_generate_mix_rejects_nonpositive_inputs():
+    with pytest.raises(DataError):
+        generate_mix(DIGEST, VANTAGES, SITE_IDS, 0, seed=1)
+    with pytest.raises(DataError):
+        zipf_weights(0, 1.0)
+    with pytest.raises(DataError):
+        zipf_weights(5, 0.0)
+
+
+def test_loadtest_options_validation():
+    with pytest.raises(ConfigError):
+        LoadtestOptions(clients=0)
+    with pytest.raises(ConfigError):
+        LoadtestOptions(target_qps=0.0)
+    with pytest.raises(ConfigError):
+        LoadtestOptions(parity_every=-1)
+    options = LoadtestOptions(clients=4, target_qps=100.0, parity_every=5)
+    assert options.clients == 4
+
+
+def test_planned_request_url_rendering():
+    request = PlannedRequest(
+        kind="table_page",
+        method="GET",
+        path="/campaigns/abc/tables/dns",
+        params=(("vantage", "Penn"), ("offset", "0")),
+    )
+    url = request.url("http://h:1")
+    assert url == "http://h:1/campaigns/abc/tables/dns?vantage=Penn&offset=0"
+    assert PlannedRequest(kind="d", method="GET", path="/x").url("b") == "b/x"
+
+
+# ---------------------------------------------------------------------------
+# replay + gates against a real in-process server
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def loadtest_env(tmp_path_factory, small_cfg, small_campaign):
+    store = CampaignStore(tmp_path_factory.mktemp("loadtest-store"))
+    store.save(
+        small_cfg, small_campaign.repository, small_campaign.reports, kind=WEEKLY
+    )
+    digest = config_digest(small_cfg, WEEKLY)
+    _, columnar = store.load_columnar_entry(digest)
+    vantages = sorted(columnar.vantages)
+    downloads = columnar.databases[vantages[0]].table("downloads")
+    column = downloads.columns["site_id"]
+    site_ids = sorted({column.get(i) for i in range(downloads.n_rows)})
+    server = make_server(
+        ServeConfig(port=0, cache_root=str(store.root), workers=2), store
+    )
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    yield store, digest, vantages, site_ids, base
+    server.shutdown()
+    server.server_close()
+
+
+@pytest.fixture(scope="module")
+def serve_report(loadtest_env):
+    store, digest, vantages, site_ids, base = loadtest_env
+    mix = generate_mix(digest, vantages, site_ids, n_requests=150, seed=11)
+    report = run_loadtest(
+        base,
+        mix,
+        LoadtestOptions(clients=6, parity_every=10),
+        store=store,
+        meta={"scale": 0.4},
+    )
+    return mix, report
+
+
+def test_run_loadtest_report_shape_and_gates(serve_report):
+    mix, report = serve_report
+    assert report["schema"] == "repro.perf/serve-1"
+    assert report["meta"]["n_requests"] == 150
+    assert report["mix"]["digest"] == mix.digest
+    assert report["errors"] == {"n_5xx": 0, "n_4xx": 0, "n_transport": 0}
+    assert report["parity"]["sampled"] > 0
+    assert report["parity"]["mismatched"] == 0
+    assert report["parity"]["verified"] == report["parity"]["sampled"]
+    assert report["cache"]["hit_fraction"] >= MIN_SERVE_CACHE_HIT_FRACTION
+    assert report["latency_ms"]["p50"] <= report["latency_ms"]["p95"]
+    assert report["latency_ms"]["p95"] <= report["latency_ms"]["p99"]
+    gates = evaluate_serve_gates(report)
+    failed = [g for g in gates if not g.passed]
+    assert failed == [], failed
+
+
+def test_serve_gates_fail_on_bad_reports(serve_report):
+    _, report = serve_report
+    broken = json.loads(json.dumps(report))
+    broken["errors"]["n_5xx"] = 3
+    broken["parity"]["mismatched"] = 1
+    broken["cache"]["hit_fraction"] = 0.1
+    gates = {g.gate: g.passed for g in evaluate_serve_gates(broken)}
+    assert gates["zero_5xx"] is False
+    assert gates["byte_parity"] is False
+    assert gates["cache_hit_fraction"] is False
+
+
+def test_compare_serve_reports_baseline_roundtrip(serve_report, tmp_path):
+    _, report = serve_report
+    baseline_path = tmp_path / "BENCH_serve.json"
+    write_serve_report(report, baseline_path)
+    baseline = read_serve_report(baseline_path)
+    gates = evaluate_serve_gates(baseline)
+    assert all(g.passed for g in gates)
+    comparisons = compare_serve_reports(report, baseline)
+    assert {c.gate for c in comparisons} >= {
+        "baseline_config_matches",
+        "mix_digest",
+        "mix_kinds",
+    }
+    failed = [c for c in comparisons if not c.passed]
+    assert failed == [], failed
+    # informational wall-clock lines always render, never gate
+    lines = serve_wall_clock_deltas(report, baseline)
+    assert any("latency" in line or "p50" in line for line in lines)
+
+
+def test_compare_serve_reports_detects_drift(serve_report):
+    _, report = serve_report
+    # a different mix digest fails the sequence comparison
+    tampered = json.loads(json.dumps(report))
+    tampered["mix"]["digest"] = "0" * 64
+    results = {c.gate: c.passed for c in compare_serve_reports(report, tampered)}
+    assert results["mix_digest"] is False
+    # a different seed makes the comparison meaningless: the config gate
+    # fails and is the only result (nothing downstream is comparable)
+    reseeded = json.loads(json.dumps(report))
+    reseeded["meta"]["seed"] = 999
+    comparisons = compare_serve_reports(report, reseeded)
+    assert [c.gate for c in comparisons] == ["baseline_config_matches"]
+    assert comparisons[0].passed is False
+
+
+def test_paced_replay_respects_target_qps(loadtest_env):
+    """Pacing to a low QPS stretches the replay's wall clock."""
+    store, digest, vantages, site_ids, base = loadtest_env
+    mix = generate_mix(digest, vantages, site_ids, n_requests=20, seed=3)
+    report = run_loadtest(
+        base,
+        mix,
+        LoadtestOptions(clients=4, target_qps=40.0, parity_every=0),
+        store=None,
+    )
+    # 20 requests at 40 rps ⇒ ≥ ~0.475s of schedule alone
+    assert report["wall_seconds"] >= 0.4
+    assert report["errors"]["n_transport"] == 0
+    assert report["parity"]["sampled"] == 0
+
+
+def test_mix_digest_matches_known_vector():
+    """The sealed digest is stable across processes (regression pin).
+
+    If this moves, every checked-in BENCH_serve.json baseline silently
+    stops comparing — bump them together, deliberately.
+    """
+    mix = generate_mix(DIGEST, VANTAGES, SITE_IDS, 40, seed=11)
+    again = generate_mix(DIGEST, VANTAGES, SITE_IDS, 40, seed=11)
+    assert mix.digest == again.digest
+    assert len(mix.digest) == 64
+    payload = Mix(
+        requests=mix.requests,
+        seed=mix.seed,
+        zipf_s=mix.zipf_s,
+        campaign_digest=mix.campaign_digest,
+        n_templates=mix.n_templates,
+    )
+    assert payload.digest == mix.digest  # digest is derived, not stored

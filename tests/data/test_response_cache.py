@@ -1,0 +1,205 @@
+"""Response-cache correctness: exact bytes, counters, invalidation.
+
+The contract under test: a hit returns the *exact bytes* the populating
+miss produced, the ``data.serve.cache.*`` counters exported by
+``/metrics`` agree with what actually happened, and evicting a campaign
+from the LRU drops every response cached under its digest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.serve import (
+    ResponseCache,
+    ServeApp,
+    ServeConfig,
+    query_digest,
+)
+from repro.engine import WEEKLY
+from repro.engine.store import CampaignStore, config_digest
+from repro.obs import metrics
+
+
+@pytest.fixture(scope="module")
+def cached_store(tmp_path_factory, small_cfg, small_campaign):
+    store = CampaignStore(tmp_path_factory.mktemp("respcache-store"))
+    store.save(
+        small_cfg, small_campaign.repository, small_campaign.reports, kind=WEEKLY
+    )
+    return store, config_digest(small_cfg, WEEKLY)
+
+
+@pytest.fixture()
+def app(cached_store):
+    store, _ = cached_store
+    return ServeApp(
+        store,
+        ServeConfig(cache_root=str(store.root), response_cache_entries=64),
+    )
+
+
+def _hits() -> float:
+    return metrics.counter("data.serve.cache.hits").value
+
+
+def _misses() -> float:
+    return metrics.counter("data.serve.cache.misses").value
+
+
+def _vantage(app, digest) -> str:
+    _, payload = app.handle("GET", f"/campaigns/{digest}", {})
+    return sorted(payload["vantages"])[0]
+
+
+def test_hit_returns_exact_bytes_of_populating_miss(app, cached_store):
+    _, digest = cached_store
+    vantage = _vantage(app, digest)
+    path = f"/campaigns/{digest}/analysis/classify"
+    params = {"vantage": vantage}
+    status1, data1, state1 = app.handle_bytes("GET", path, params)
+    status2, data2, state2 = app.handle_bytes("GET", path, params)
+    assert (status1, state1) == (200, "miss")
+    assert (status2, state2) == (200, "hit")
+    assert data2 == data1
+
+
+def test_metrics_counters_agree_with_cache_traffic(app, cached_store):
+    _, digest = cached_store
+    path = f"/campaigns/{digest}"
+    hits0, misses0 = _hits(), _misses()
+    app.handle_bytes("GET", path, {})
+    app.handle_bytes("GET", path, {})
+    app.handle_bytes("GET", path, {})
+    assert _misses() == misses0 + 1
+    assert _hits() == hits0 + 2
+    # ... and /metrics itself exports the same counters
+    _, payload = app.handle("GET", "/metrics", {})
+    exported = payload["metrics"]
+    assert exported["data.serve.cache.hits"]["value"] == _hits()
+    assert exported["data.serve.cache.misses"]["value"] == _misses()
+
+
+def test_campaign_eviction_drops_cached_responses(app, cached_store):
+    _, digest = cached_store
+    path = f"/campaigns/{digest}"
+    app.handle_bytes("GET", path, {})
+    assert app.handle_bytes("GET", path, {})[2] == "hit"
+    invalidations0 = metrics.counter(
+        "data.serve.cache.invalidations"
+    ).value
+    app.cache.evict_all()
+    assert app.response_cache.occupancy == 0
+    assert metrics.counter(
+        "data.serve.cache.invalidations"
+    ).value > invalidations0
+    # the next request is a miss again (and repopulates)
+    assert app.handle_bytes("GET", path, {})[2] == "miss"
+    assert app.handle_bytes("GET", path, {})[2] == "hit"
+
+
+def test_error_responses_are_never_cached(app, cached_store):
+    _, digest = cached_store
+    path = f"/campaigns/{digest}/tables/no_such_table"
+    status1, _, state1 = app.handle_bytes(
+        "GET", path, {"vantage": _vantage(app, digest)}
+    )
+    status2, _, state2 = app.handle_bytes(
+        "GET", path, {"vantage": _vantage(app, digest)}
+    )
+    assert status1 == status2
+    assert status1 != 200
+    assert state1 == "miss" and state2 == "miss"
+
+
+def test_health_and_metrics_bypass_the_cache(app):
+    for path in ("/healthz", "/metrics", "/campaigns", "/observers"):
+        _, _, state = app.handle_bytes("GET", path, {})
+        assert state == "bypass", path
+
+
+def test_disabled_cache_bypasses_campaign_paths(cached_store):
+    store, digest = cached_store
+    app = ServeApp(
+        store,
+        ServeConfig(cache_root=str(store.root), response_cache_entries=0),
+    )
+    status, _, state = app.handle_bytes("GET", f"/campaigns/{digest}", {})
+    assert status == 200
+    assert state == "bypass"
+
+
+def test_verify_cache_hits_detects_and_repairs_poisoned_entry(cached_store):
+    store, digest = cached_store
+    app = ServeApp(
+        store,
+        ServeConfig(
+            cache_root=str(store.root),
+            response_cache_entries=64,
+            verify_cache_hits=True,
+        ),
+    )
+    path = f"/campaigns/{digest}"
+    _, good, state = app.handle_bytes("GET", path, {})
+    assert state == "miss"
+    # poison the resident entry behind the app's back
+    key = digest, query_digest("GET", path, {}, None)
+    with app.response_cache._lock:
+        app.response_cache._entries[key] = b'{"poisoned":true}'
+    failures0 = metrics.counter("data.serve.cache.verify_failures").value
+    status, data, state = app.handle_bytes("GET", path, {})
+    assert status == 200
+    assert data == good  # the fresh bytes, not the poison
+    assert state == "miss"
+    assert (
+        metrics.counter("data.serve.cache.verify_failures").value
+        == failures0 + 1
+    )
+    # the poisoned campaign's entries were invalidated wholesale
+    assert app.response_cache.get(*key) is None
+
+
+def test_query_digest_is_param_order_independent():
+    a = query_digest("GET", "/x", {"b": "2", "a": "1"}, None)
+    b = query_digest("GET", "/x", {"a": "1", "b": "2"}, None)
+    assert a == b
+    assert len(a) == 64 and int(a, 16) >= 0
+
+
+def test_query_digest_separates_distinct_requests():
+    base = query_digest("GET", "/x", {"a": "1"}, None)
+    assert query_digest("POST", "/x", {"a": "1"}, None) != base
+    assert query_digest("GET", "/y", {"a": "1"}, None) != base
+    assert query_digest("GET", "/x", {"a": "2"}, None) != base
+    assert query_digest("GET", "/x", {"a": "1"}, b"{}") != base
+    # body bytes matter literally: whitespace variants key separately
+    assert query_digest("GET", "/x", {}, b'{"a":1}') != query_digest(
+        "GET", "/x", {}, b'{"a": 1}'
+    )
+
+
+def test_response_cache_lru_eviction_at_capacity():
+    evictions0 = metrics.counter("data.serve.cache.evictions").value
+    cache = ResponseCache(capacity=2)
+    cache.put("c", "q1", b"one")
+    cache.put("c", "q2", b"two")
+    assert cache.get("c", "q1") == b"one"  # refresh q1's recency
+    cache.put("c", "q3", b"three")  # evicts q2, the LRU entry
+    assert cache.get("c", "q2") is None
+    assert cache.get("c", "q1") == b"one"
+    assert cache.get("c", "q3") == b"three"
+    assert cache.occupancy == 2
+    assert metrics.counter("data.serve.cache.evictions").value == evictions0 + 1
+
+
+def test_response_cache_invalidate_only_touches_one_campaign():
+    cache = ResponseCache(capacity=8)
+    cache.put("c1", "q1", b"a")
+    cache.put("c1", "q2", b"b")
+    cache.put("c2", "q1", b"c")
+    assert cache.invalidate("c1") == 2
+    assert cache.get("c1", "q1") is None
+    assert cache.get("c1", "q2") is None
+    assert cache.get("c2", "q1") == b"c"
+    assert cache.invalidate("c1") == 0  # idempotent
+    assert cache.occupancy == 1

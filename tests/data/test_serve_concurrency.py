@@ -1,0 +1,297 @@
+"""Serving under concurrency: single-flight loads, LRU safety, socket soak.
+
+The first half unit-tests :class:`CampaignCache` against a fake store
+(deterministic, no campaign needed): the latent race this PR fixes was
+``ThreadingHTTPServer`` mutating an unlocked ``OrderedDict``, and the
+regression tests hammer exactly that shape.  The second half is the real
+thing — a live ``repro serve --workers`` socket soaked by concurrent
+clients, every response byte-diffed against the direct single-threaded
+computation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import types
+import urllib.request
+
+import pytest
+
+from repro.data.loadtest import generate_mix
+from repro.data.serve import (
+    CampaignCache,
+    ResponseCache,
+    ServeApp,
+    ServeConfig,
+    canonical_json,
+    make_server,
+)
+from repro.engine import WEEKLY
+from repro.engine.store import CampaignStore, config_digest
+from repro.obs import metrics
+
+
+def _campaign_loads() -> float:
+    return metrics.counter("data.serve.campaign_loads").value
+
+
+class _FakeStore:
+    """A store whose loads are slow, counted, and deterministic."""
+
+    def __init__(self, digests, delay: float = 0.0) -> None:
+        self.digests = set(digests)
+        self.delay = delay
+        self.calls: list[str] = []
+        self._lock = threading.Lock()
+
+    def load_columnar_entry(self, digest: str):
+        with self._lock:
+            self.calls.append(digest)
+        if self.delay:
+            time.sleep(self.delay)
+        if digest not in self.digests:
+            return None
+        meta = {"kind": "weekly", "seed": 1, "repository_digest": digest}
+        columnar = types.SimpleNamespace(vantages={}, databases={})
+        return meta, columnar
+
+
+def test_cold_digest_loads_exactly_once_under_hammer():
+    """16 threads race one cold digest: one store load, one shared object."""
+    store = _FakeStore({"d0"}, delay=0.05)
+    cache = CampaignCache(store, capacity=4)
+    before = _campaign_loads()
+    results = [None] * 16
+    barrier = threading.Barrier(16)
+
+    def hammer(i: int) -> None:
+        barrier.wait()
+        results[i] = cache.get("d0")
+
+    threads = [
+        threading.Thread(target=hammer, args=(i,)) for i in range(16)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert store.calls == ["d0"]
+    assert _campaign_loads() == before + 1
+    assert all(r is results[0] for r in results)
+    assert cache.occupancy == 1
+
+
+def test_failed_load_propagates_to_all_waiters_and_allows_retry():
+    store = _FakeStore(set(), delay=0.02)  # every digest unknown
+    cache = CampaignCache(store, capacity=4)
+    errors = []
+    barrier = threading.Barrier(8)
+
+    def hammer() -> None:
+        barrier.wait()
+        try:
+            cache.get("missing")
+        except Exception as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(errors) == 8
+    # the flight is cleaned up: a later request tries the store again
+    n_before = len(store.calls)
+    with pytest.raises(Exception):
+        cache.get("missing")
+    assert len(store.calls) == n_before + 1
+
+
+def test_lru_thrash_from_many_threads_stays_consistent():
+    """Eviction churn from 8 threads: no corruption, bounded occupancy."""
+    digests = [f"d{i}" for i in range(6)]
+    store = _FakeStore(digests)
+    evicted: list[str] = []
+    evict_lock = threading.Lock()
+
+    def on_evict(digest: str) -> None:
+        with evict_lock:
+            evicted.append(digest)
+
+    cache = CampaignCache(store, capacity=2, on_evict=on_evict)
+
+    def worker(offset: int) -> None:
+        for i in range(200):
+            digest = digests[(i + offset) % len(digests)]
+            campaign = cache.get(digest)
+            assert campaign.digest == digest
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert cache.occupancy <= 2
+    # every load was for a known digest, every eviction was a real entry
+    assert set(store.calls) <= set(digests)
+    assert set(evicted) <= set(digests)
+    # conservation: entries loaded == entries evicted + entries resident
+    assert len(store.calls) == len(evicted) + cache.occupancy
+
+
+def test_campaign_eviction_invalidates_response_cache():
+    store = _FakeStore({"a", "b", "c"})
+    responses = ResponseCache(capacity=16)
+    cache = CampaignCache(store, capacity=1, on_evict=responses.invalidate)
+    cache.get("a")
+    responses.put("a", "q1", b"payload-a")
+    assert responses.get("a", "q1") == b"payload-a"
+    cache.get("b")  # evicts campaign "a"
+    assert responses.get("a", "q1") is None
+    assert responses.occupancy == 0
+
+
+# ---------------------------------------------------------------------------
+# the real socket soak
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def soak_store(tmp_path_factory, small_cfg, small_campaign):
+    store = CampaignStore(tmp_path_factory.mktemp("soak-store"))
+    store.save(
+        small_cfg, small_campaign.repository, small_campaign.reports, kind=WEEKLY
+    )
+    return store, config_digest(small_cfg, WEEKLY)
+
+
+def _site_ids(store, digest) -> list[int]:
+    _, columnar = store.load_columnar_entry(digest)
+    vantage = sorted(columnar.vantages)[0]
+    downloads = columnar.databases[vantage].table("downloads")
+    column = downloads.columns["site_id"]
+    return sorted({column.get(i) for i in range(downloads.n_rows)})
+
+
+def test_soak_workers_byte_parity(soak_store, small_campaign):
+    """8 concurrent clients against ``--workers 4``: every single response
+    byte-identical to the direct single-threaded computation, with
+    cache-hit verification enabled on the server the whole time."""
+    store, digest = soak_store
+    vantages = sorted(small_campaign.repository.vantage_names)
+    mix = generate_mix(
+        digest,
+        vantages,
+        _site_ids(store, digest),
+        n_requests=160,
+        seed=7,
+    )
+
+    # the expected bytes, computed with no server and no caches at all
+    direct_app = ServeApp(
+        store,
+        ServeConfig(
+            cache_root=str(store.root), workers=0, response_cache_entries=0
+        ),
+    )
+    expected = {}
+    for request in mix.requests:
+        key = (request.method, request.path, request.params, request.body)
+        if key not in expected:
+            status, payload = direct_app.handle(
+                request.method,
+                request.path,
+                dict(request.params),
+                request.body,
+            )
+            assert status == 200, payload
+            expected[key] = canonical_json(payload)
+
+    verify_failures = metrics.counter("data.serve.cache.verify_failures")
+    failures_before = verify_failures.value
+    hits_before = metrics.counter("data.serve.cache.hits").value
+
+    server = make_server(
+        ServeConfig(
+            port=0,
+            cache_root=str(store.root),
+            workers=4,
+            verify_cache_hits=True,
+        ),
+        store,
+    )
+    port = server.server_address[1]
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    base = f"http://127.0.0.1:{port}"
+    n_clients = 8
+    mismatches: list[tuple[int, str]] = []
+    lock = threading.Lock()
+
+    def client(worker: int) -> None:
+        for index in range(worker, len(mix.requests), n_clients):
+            request = mix.requests[index]
+            req = urllib.request.Request(
+                request.url(base), data=request.body, method=request.method
+            )
+            with urllib.request.urlopen(req, timeout=30) as response:
+                data = response.read()
+                state = response.headers.get("X-Repro-Response-Cache")
+            key = (
+                request.method,
+                request.path,
+                request.params,
+                request.body,
+            )
+            if data != expected[key]:
+                with lock:
+                    mismatches.append((index, request.path))
+            assert state in {"hit", "miss", "bypass"}
+
+    try:
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(n_clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    assert mismatches == []
+    # hit verification ran on a live cache and never tripped
+    assert verify_failures.value == failures_before
+    assert metrics.counter("data.serve.cache.hits").value > hits_before
+
+
+def test_pooled_server_bounded_workers_still_serves_more_clients(soak_store):
+    """More clients than workers: the pool queues instead of deadlocking."""
+    store, digest = soak_store
+    server = make_server(
+        ServeConfig(port=0, cache_root=str(store.root), workers=2),
+        store,
+    )
+    port = server.server_address[1]
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    base = f"http://127.0.0.1:{port}"
+    statuses: list[int] = []
+    lock = threading.Lock()
+
+    def client() -> None:
+        for _ in range(5):
+            with urllib.request.urlopen(f"{base}/healthz", timeout=30) as r:
+                with lock:
+                    statuses.append(r.status)
+
+    try:
+        threads = [threading.Thread(target=client) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        server.shutdown()
+        server.server_close()
+    assert statuses == [200] * 30
