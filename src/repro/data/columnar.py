@@ -9,20 +9,47 @@ counters — as typed columns, with dictionary encoding for the low-
 cardinality values (address family, fault kind, AS path) and lazily
 built per-``(site_id, family, round)`` sorted indices for point lookups.
 
+Columns are backed by compact typed storage rather than Python lists:
+``array('q')`` for i64, ``array('d')`` for f64, one byte per row for
+bool, ``array('I')`` codes for dictionary columns.  Only str columns
+keep a Python list.  Decoded binary columns are zero-copy
+``memoryview`` casts over the mapped file bytes.
+
 Bit-identity contract: the columnar form is defined as a *transposition*
 of :meth:`MeasurementDatabase.to_dict`'s wire rows, and decoding rebuilds
 the database through :meth:`MeasurementDatabase.from_dict`, so a
 round trip (rows → columns → rows) reproduces the original database —
 and therefore :meth:`CentralRepository.content_digest` — bit for bit.
 
-``columnar.json`` (written by the campaign store next to
-``repository.json``) carries one :class:`ColumnarRepository` payload and
-is loadable without unpickling the world or importing the monitor.
+Two artifact forms exist side by side:
+
+``columnar.json``
+    The canonical interchange form (one :class:`ColumnarRepository`
+    payload), loadable without unpickling the world or importing the
+    monitor.  :func:`write_columnar_json` streams it column-at-a-time
+    so encode never duplicates the whole campaign in memory.
+
+``columnar.bin``
+    The fast-load binary form: a struct-packed header
+    (``magic, version, meta length, sha256``), a canonical-JSON
+    metadata blob naming every column's byte range (dictionaries
+    inline), then 8-byte-aligned little-endian raw column buffers.
+    The sha256 covers metadata plus body and is computed incrementally
+    at write time — the content digest never needs the full JSON
+    materialised — and verified on every load.  Decoding is lazy at
+    table granularity: :class:`LazyColumnarDatabase` materialises a
+    table only when it is first touched.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import struct
+import sys
+from array import array
 from bisect import bisect_left, bisect_right
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from ..errors import DataError
@@ -35,64 +62,160 @@ from ..obs import metrics
 #: columnar file-format version; bumped on incompatible layout changes.
 COLUMNAR_FORMAT = 1
 
+#: binary (``columnar.bin``) format version; independent of the JSON form.
+BINARY_FORMAT = 1
+
+#: magic prefix of every ``columnar.bin`` file.
+BINARY_MAGIC = b"RPRCOL"
+
+#: header: magic, u16 version, u64 metadata length, sha256(meta || body).
+_BINARY_HEADER = struct.Struct("<6sHQ32s")
+
 #: fixed dictionary for family columns (codes are list positions).
 FAMILY_DICTIONARY = (AddressFamily.IPV4.value, AddressFamily.IPV6.value)
 
 #: plain column dtypes a payload may declare.
 DTYPES = ("i64", "f64", "bool", "str")
 
+#: array typecodes backing the fixed-width plain dtypes.
+_TYPECODES = {"i64": "q", "f64": "d"}
+
+_BOOLS = (False, True)
+
 #: conversion effectiveness counters (serve's LRU and the store read these).
 _ENCODES = metrics.counter("data.columnar.encodes")
 _DECODES = metrics.counter("data.columnar.decodes")
+_BIN_ENCODES = metrics.counter("data.columnar.bin_encodes")
+_BIN_DECODES = metrics.counter("data.columnar.bin_decodes")
+_BIN_DIGEST_VERIFIED = metrics.counter("data.columnar.bin_digest_verified")
+_BIN_TABLE_DECODES = metrics.counter("data.columnar.bin_table_decodes")
 
 
-@dataclass
+def _plain_storage(name: str, dtype: str, values):
+    """Coerce ``values`` into the compact backing store for ``dtype``.
+
+    Typed buffers (arrays, memoryview casts, bool byte strings) pass
+    through untouched, so binary decode stays zero-copy.
+    """
+    if dtype in _TYPECODES:
+        if isinstance(values, (array, memoryview)):
+            return values
+        try:
+            return array(_TYPECODES[dtype], values)
+        except (TypeError, ValueError, OverflowError) as exc:
+            raise DataError(
+                f"column {name!r}: value not storable as {dtype}: {exc}"
+            ) from exc
+    if dtype == "bool":
+        if isinstance(values, (bytes, bytearray, memoryview)):
+            return values
+        out = bytearray(len(values))
+        for i, value in enumerate(values):
+            if value is True:
+                out[i] = 1
+            elif value is not False:
+                raise DataError(
+                    f"column {name!r}: value {value!r} not storable as bool"
+                )
+        return bytes(out)
+    # str columns stay a Python list (variable-width values).
+    return values if isinstance(values, list) else list(values)
+
+
 class Column:
-    """One plainly-stored typed column."""
+    """One plainly-stored typed column over compact array storage."""
 
-    name: str
-    dtype: str
-    values: list
+    __slots__ = ("name", "dtype", "values")
 
-    def __post_init__(self) -> None:
-        if self.dtype not in DTYPES:
-            raise DataError(f"unknown column dtype {self.dtype!r}")
+    def __init__(self, name: str, dtype: str, values) -> None:
+        if dtype not in DTYPES:
+            raise DataError(f"unknown column dtype {dtype!r}")
+        self.name = name
+        self.dtype = dtype
+        self.values = _plain_storage(name, dtype, values)
+
+    @classmethod
+    def _from_storage(cls, name: str, dtype: str, storage) -> "Column":
+        column = object.__new__(cls)
+        column.name = name
+        column.dtype = dtype
+        column.values = storage
+        return column
 
     def __len__(self) -> int:
         return len(self.values)
 
     def get(self, row: int):
+        if self.dtype == "bool":
+            return _BOOLS[self.values[row]]
         return self.values[row]
 
     def raw(self, row: int):
-        """The sortable storage value (identical to :meth:`get` here)."""
+        """The sortable storage value (bool columns yield 0/1 here)."""
         return self.values[row]
 
+    def take(self, rows) -> list:
+        """Bulk-decode the given row ids into wire values."""
+        values = self.values
+        if self.dtype == "bool":
+            return [_BOOLS[values[row]] for row in rows]
+        return [values[row] for row in rows]
+
+    def values_list(self) -> list:
+        """Every wire value, in row order (str columns: no copy)."""
+        if self.dtype == "bool":
+            return [_BOOLS[value] for value in self.values]
+        if self.dtype == "str":
+            return self.values
+        return list(self.values)
+
     def to_payload(self) -> dict:
-        return {"dtype": self.dtype, "values": list(self.values)}
+        return {"dtype": self.dtype, "values": self.values_list()}
 
 
-@dataclass
 class DictColumn:
     """A dictionary-encoded column: per-row codes into a value list.
 
     Used for the low-cardinality columns — address family, fault kind —
     and for AS paths, where a campaign observes few distinct paths but
-    records one per (site, family, round).
+    records one per (site, family, round).  Codes live in an
+    ``array('I')`` (or a memoryview cast over mapped binary bytes).
     """
 
-    name: str
-    codes: list[int]
-    dictionary: list
+    __slots__ = ("name", "codes", "dictionary", "_positions")
 
-    def __post_init__(self) -> None:
+    def __init__(self, name: str, codes, dictionary) -> None:
+        self.name = name
+        self.dictionary = (
+            dictionary if isinstance(dictionary, list) else list(dictionary)
+        )
         n = len(self.dictionary)
-        for code in self.codes:
-            if not isinstance(code, int) or not 0 <= code < n:
+        if isinstance(codes, (array, memoryview)):
+            store = codes
+        else:
+            try:
+                store = array("I", codes)
+            except (TypeError, ValueError, OverflowError) as exc:
                 raise DataError(
-                    f"column {self.name!r}: code {code!r} outside "
-                    f"dictionary of {n} entries"
-                )
+                    f"column {name!r}: code outside dictionary of "
+                    f"{n} entries ({exc})"
+                ) from exc
+        if len(store) and max(store) >= n:
+            raise DataError(
+                f"column {name!r}: code {max(store)!r} outside "
+                f"dictionary of {n} entries"
+            )
+        self.codes = store
+        self._positions = None
+
+    @classmethod
+    def _from_storage(cls, name: str, codes, dictionary: list) -> "DictColumn":
+        column = object.__new__(cls)
+        column.name = name
+        column.codes = codes
+        column.dictionary = dictionary
+        column._positions = None
+        return column
 
     def __len__(self) -> int:
         return len(self.codes)
@@ -103,18 +226,35 @@ class DictColumn:
     def raw(self, row: int) -> int:
         return self.codes[row]
 
+    def take(self, rows) -> list:
+        dictionary = self.dictionary
+        codes = self.codes
+        return [dictionary[codes[row]] for row in rows]
+
+    def values_list(self) -> list:
+        dictionary = self.dictionary
+        return [dictionary[code] for code in self.codes]
+
     def encode(self, value) -> int | None:
         """The code for ``value``, or None when it never occurs."""
+        positions = self._positions
+        if positions is None:
+            positions = {}
+            for i, entry in enumerate(self.dictionary):
+                key = tuple(entry) if isinstance(entry, list) else entry
+                positions.setdefault(key, i)
+            self._positions = positions
+        key = tuple(value) if isinstance(value, list) else value
         try:
-            return self.dictionary.index(value)
-        except ValueError:
+            return positions.get(key)
+        except TypeError:
             return None
 
     def to_payload(self) -> dict:
         return {
             "dtype": "dict",
             "codes": list(self.codes),
-            "dictionary": list(self.dictionary),
+            "dictionary": self.dictionary,
         }
 
 
@@ -124,10 +264,10 @@ def _column_from_payload(name: str, payload: dict) -> "Column | DictColumn":
         if dtype == "dict":
             return DictColumn(
                 name=name,
-                codes=list(payload["codes"]),
-                dictionary=list(payload["dictionary"]),
+                codes=payload["codes"],
+                dictionary=payload["dictionary"],
             )
-        return Column(name=name, dtype=dtype, values=list(payload["values"]))
+        return Column(name=name, dtype=dtype, values=payload["values"])
     except (KeyError, TypeError) as exc:
         raise DataError(f"malformed column payload for {name!r}: {exc}") from exc
 
@@ -242,11 +382,11 @@ class ColumnarTable:
 
     def rows(self) -> list[list]:
         """Wire rows (the ``to_dict`` layout) rebuilt from the columns."""
-        columns = [self.columns[name] for name, _ in TABLE_SCHEMAS[self.name]]
-        return [
-            [column.get(row) for column in columns]
-            for row in range(self.n_rows)
+        decoded = [
+            self.columns[name].values_list()
+            for name, _ in TABLE_SCHEMAS[self.name]
         ]
+        return [list(row) for row in zip(*decoded)]
 
     def to_payload(self) -> dict:
         return {
@@ -319,7 +459,7 @@ class ColumnarDatabase:
     """Every table of one vantage point's database, in columnar form."""
 
     def __init__(
-        self, vantage_name: str, tables: dict[str, ColumnarTable]
+        self, vantage_name: str, tables: "Mapping[str, ColumnarTable]"
     ) -> None:
         self.vantage_name = vantage_name
         self.tables = tables
@@ -391,6 +531,47 @@ class ColumnarDatabase:
                 raise DataError(f"columnar payload misses table {name!r}")
             tables[name] = ColumnarTable.from_payload(name, tables_payload[name])
         return cls(vantage_name=vantage_name, tables=tables)
+
+
+class _LazyTables(Mapping):
+    """A table map that materialises each table on first access."""
+
+    __slots__ = ("_loaders", "_cache")
+
+    def __init__(self, loaders: dict) -> None:
+        self._loaders = dict(loaders)
+        self._cache: dict[str, ColumnarTable] = {}
+
+    def __getitem__(self, name: str) -> ColumnarTable:
+        table = self._cache.get(name)
+        if table is None:
+            loader = self._loaders[name]
+            table = loader()
+            self._cache[name] = table
+        return table
+
+    def __iter__(self):
+        return iter(self._loaders)
+
+    def __len__(self) -> int:
+        return len(self._loaders)
+
+
+class LazyColumnarDatabase(ColumnarDatabase):
+    """A columnar database whose tables decode lazily from binary bytes.
+
+    Row counts come from the binary metadata, so :meth:`row_counts`
+    (the ``/campaigns/<digest>`` detail page) touches no column data.
+    """
+
+    def __init__(
+        self, vantage_name: str, loaders: dict, row_counts: dict[str, int]
+    ) -> None:
+        super().__init__(vantage_name, _LazyTables(loaders))
+        self._row_counts = dict(row_counts)
+
+    def row_counts(self) -> dict[str, int]:
+        return dict(self._row_counts)
 
 
 @dataclass
@@ -468,3 +649,407 @@ def columnar_view(db: MeasurementDatabase) -> ColumnarDatabase:
         view = ColumnarDatabase.from_database(db)
         db._columnar_cache = view
     return view
+
+
+# ---------------------------------------------------------------------------
+# streaming JSON encode (columnar.json without the full-payload copy)
+
+
+class _LazyPayload:
+    """A placeholder the streaming encoder resolves via ``default=``."""
+
+    __slots__ = ("resolve",)
+
+    def __init__(self, resolve) -> None:
+        self.resolve = resolve
+
+
+def _resolve_lazy(obj):
+    if isinstance(obj, _LazyPayload):
+        return obj.resolve()
+    raise TypeError(
+        f"object of type {type(obj).__name__} is not JSON serializable"
+    )
+
+
+def _lazy_table_payload(table: ColumnarTable) -> dict:
+    return {
+        "n_rows": table.n_rows,
+        "columns": {
+            name: _LazyPayload(column.to_payload)
+            for name, column in table.columns.items()
+        },
+    }
+
+
+def _lazy_database_payload(cdb: ColumnarDatabase) -> dict:
+    tables = cdb.tables
+    return {
+        "vantage_name": cdb.vantage_name,
+        "tables": {
+            name: _LazyPayload(lambda n=name: _lazy_table_payload(tables[n]))
+            for name in tables
+        },
+    }
+
+
+def iter_columnar_json(repository: ColumnarRepository):
+    """Chunks of the canonical ``columnar.json`` text, streamed.
+
+    Byte-identical to ``json.dumps(repository.to_payload(),
+    separators=(",", ":"))``, but at most one column's value list is
+    materialised at a time.
+    """
+    encoder = json.JSONEncoder(separators=(",", ":"), default=_resolve_lazy)
+    head = {
+        "format": COLUMNAR_FORMAT,
+        "vantages": list(repository.vantages.values()),
+        "databases": {
+            name: _LazyPayload(lambda c=cdb: _lazy_database_payload(c))
+            for name, cdb in repository.databases.items()
+        },
+    }
+    return encoder.iterencode(head)
+
+
+def write_columnar_json(path, repository: ColumnarRepository) -> None:
+    """Stream the canonical JSON artifact to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for chunk in iter_columnar_json(repository):
+            handle.write(chunk)
+
+
+# ---------------------------------------------------------------------------
+# binary encode/decode (columnar.bin)
+
+
+class _BodyWriter:
+    """Accumulates 8-byte-aligned body segments and their offsets."""
+
+    def __init__(self) -> None:
+        self.segments: list = []
+        self.offset = 0
+
+    def put(self, buffer) -> tuple[int, int]:
+        nbytes = memoryview(buffer).nbytes
+        start = self.offset
+        self.segments.append(buffer)
+        self.offset += nbytes
+        pad = (-self.offset) % 8
+        if pad:
+            self.segments.append(b"\x00" * pad)
+            self.offset += pad
+        return start, nbytes
+
+
+def _column_binary_desc(
+    name: str, column: "Column | DictColumn", body: _BodyWriter
+) -> dict:
+    """Append one column's raw buffers to ``body``; return its metadata."""
+    if isinstance(column, DictColumn):
+        codes = column.codes
+        if not isinstance(codes, (array, memoryview)):
+            codes = array("I", codes)
+        offset, nbytes = body.put(codes)
+        return {
+            "name": name,
+            "dtype": "dict",
+            "offset": offset,
+            "nbytes": nbytes,
+            "dictionary": column.dictionary,
+        }
+    if column.dtype in ("i64", "f64", "bool"):
+        offset, nbytes = body.put(column.values)
+        return {
+            "name": name,
+            "dtype": column.dtype,
+            "offset": offset,
+            "nbytes": nbytes,
+        }
+    # str: u64 cumulative offsets (n_rows + 1 entries) plus a utf-8 blob.
+    try:
+        encoded = [value.encode("utf-8") for value in column.values]
+    except (AttributeError, UnicodeEncodeError) as exc:
+        raise DataError(
+            f"column {name!r}: str column holds non-string value: {exc}"
+        ) from exc
+    offsets = array("Q", [0])
+    total = 0
+    for item in encoded:
+        total += len(item)
+        offsets.append(total)
+    offset, nbytes = body.put(offsets)
+    blob_offset, blob_nbytes = body.put(b"".join(encoded))
+    return {
+        "name": name,
+        "dtype": "str",
+        "offset": offset,
+        "nbytes": nbytes,
+        "blob_offset": blob_offset,
+        "blob_nbytes": blob_nbytes,
+    }
+
+
+def encode_columnar_binary(repository: ColumnarRepository) -> tuple[bytes, list, str]:
+    """The binary artifact as ``(head_bytes, body_segments, hex_digest)``.
+
+    ``head_bytes`` is header + metadata; ``body_segments`` are the raw
+    column buffers (zero-copy references into the live columns).  The
+    sha256 is computed incrementally over metadata plus body.
+    """
+    _BIN_ENCODES.inc()
+    body = _BodyWriter()
+    databases_meta = []
+    for cdb in repository.databases.values():
+        tables_meta = []
+        for table_name in TABLE_SCHEMAS:
+            table = cdb.tables[table_name]
+            columns_meta = [
+                _column_binary_desc(column_name, table.columns[column_name], body)
+                for column_name, _ in TABLE_SCHEMAS[table_name]
+            ]
+            tables_meta.append(
+                {
+                    "name": table_name,
+                    "n_rows": table.n_rows,
+                    "columns": columns_meta,
+                }
+            )
+        databases_meta.append(
+            {"vantage_name": cdb.vantage_name, "tables": tables_meta}
+        )
+    meta = {
+        "format": COLUMNAR_FORMAT,
+        "binary_format": BINARY_FORMAT,
+        "byteorder": sys.byteorder,
+        "vantages": list(repository.vantages.values()),
+        "databases": databases_meta,
+    }
+    meta_bytes = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+    digest = hashlib.sha256()
+    digest.update(meta_bytes)
+    for segment in body.segments:
+        digest.update(segment)
+    header = _BINARY_HEADER.pack(
+        BINARY_MAGIC, BINARY_FORMAT, len(meta_bytes), digest.digest()
+    )
+    return header + meta_bytes, body.segments, digest.hexdigest()
+
+
+def write_columnar_binary(path, repository: ColumnarRepository) -> str:
+    """Write ``columnar.bin`` to ``path``; returns its hex content digest."""
+    head, segments, hex_digest = encode_columnar_binary(repository)
+    with open(path, "wb") as handle:
+        handle.write(head)
+        for segment in segments:
+            handle.write(segment)
+    return hex_digest
+
+
+def _binary_column(
+    name: str, dtype: str, desc: dict, body: memoryview, n_rows: int
+) -> "Column | DictColumn":
+    def chunk(offset, nbytes) -> memoryview:
+        offset, nbytes = int(offset), int(nbytes)
+        if offset < 0 or nbytes < 0 or offset + nbytes > len(body):
+            raise DataError(
+                f"column {name!r}: buffer [{offset}:{offset + nbytes}] "
+                f"outside binary body of {len(body)} bytes"
+            )
+        return body[offset : offset + nbytes]
+
+    try:
+        declared = desc["dtype"]
+        expected = "dict" if dtype == "dict" else dtype
+        if declared != expected:
+            raise DataError(
+                f"column {name!r}: binary dtype {declared!r}, "
+                f"schema requires {expected!r}"
+            )
+        if dtype in _TYPECODES:
+            buffer = chunk(desc["offset"], desc["nbytes"])
+            if len(buffer) != n_rows * 8:
+                raise DataError(
+                    f"column {name!r}: {len(buffer)} bytes for "
+                    f"{n_rows} {dtype} rows"
+                )
+            return Column._from_storage(
+                name, dtype, buffer.cast(_TYPECODES[dtype])
+            )
+        if dtype == "bool":
+            buffer = chunk(desc["offset"], desc["nbytes"])
+            if len(buffer) != n_rows:
+                raise DataError(
+                    f"column {name!r}: {len(buffer)} bytes for "
+                    f"{n_rows} bool rows"
+                )
+            return Column._from_storage(name, "bool", buffer)
+        if dtype == "str":
+            buffer = chunk(desc["offset"], desc["nbytes"])
+            if len(buffer) != (n_rows + 1) * 8:
+                raise DataError(
+                    f"column {name!r}: {len(buffer)} offset bytes for "
+                    f"{n_rows} str rows"
+                )
+            offsets = buffer.cast("Q")
+            blob = chunk(desc["blob_offset"], desc["blob_nbytes"]).tobytes()
+            if n_rows and (offsets[0] != 0 or offsets[n_rows] != len(blob)):
+                raise DataError(f"column {name!r}: str offsets span mismatch")
+            values = []
+            for row in range(n_rows):
+                start, end = offsets[row], offsets[row + 1]
+                if end < start or end > len(blob):
+                    raise DataError(
+                        f"column {name!r}: str offsets not monotone"
+                    )
+                values.append(blob[start:end].decode("utf-8"))
+            return Column._from_storage(name, "str", values)
+        # dict
+        buffer = chunk(desc["offset"], desc["nbytes"])
+        if len(buffer) != n_rows * 4:
+            raise DataError(
+                f"column {name!r}: {len(buffer)} bytes for "
+                f"{n_rows} dict codes"
+            )
+        dictionary = desc["dictionary"]
+        if not isinstance(dictionary, list):
+            raise DataError(f"column {name!r}: malformed binary dictionary")
+        codes = buffer.cast("I")
+        if n_rows and max(codes) >= len(dictionary):
+            raise DataError(
+                f"column {name!r}: code {max(codes)!r} outside "
+                f"dictionary of {len(dictionary)} entries"
+            )
+        return DictColumn._from_storage(name, codes, dictionary)
+    except (KeyError, TypeError, ValueError, UnicodeDecodeError) as exc:
+        raise DataError(
+            f"malformed binary column {name!r}: {exc}"
+        ) from exc
+
+
+def _binary_table_loader(table_name: str, table_meta: dict, body: memoryview):
+    def load() -> ColumnarTable:
+        _BIN_TABLE_DECODES.inc()
+        try:
+            n_rows = int(table_meta["n_rows"])
+            descs = {desc["name"]: desc for desc in table_meta["columns"]}
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataError(
+                f"malformed binary table metadata for {table_name!r}: {exc}"
+            ) from exc
+        columns: dict[str, Column | DictColumn] = {}
+        for column_name, dtype in TABLE_SCHEMAS[table_name]:
+            if column_name not in descs:
+                raise DataError(
+                    f"binary table {table_name!r} misses column {column_name!r}"
+                )
+            columns[column_name] = _binary_column(
+                column_name, dtype, descs[column_name], body, n_rows
+            )
+        table = ColumnarTable(table_name, columns)
+        if table.n_rows != n_rows:
+            raise DataError(
+                f"binary table {table_name!r}: declared {n_rows} rows, "
+                f"columns hold {table.n_rows}"
+            )
+        return table
+
+    return load
+
+
+def decode_columnar_binary(
+    data: bytes, *, source: str = "columnar.bin"
+) -> ColumnarRepository:
+    """Decode a ``columnar.bin`` buffer into a lazily-backed repository.
+
+    The sha256 over metadata plus body is verified before anything else
+    is trusted; a truncated or corrupt buffer raises :class:`DataError`.
+    Tables materialise on first access (zero-copy memoryview casts over
+    ``data``, which the returned columns keep alive).
+    """
+    if len(data) < _BINARY_HEADER.size:
+        raise DataError(
+            f"{source}: truncated header ({len(data)} of "
+            f"{_BINARY_HEADER.size} bytes)"
+        )
+    magic, version, meta_length, want = _BINARY_HEADER.unpack_from(data)
+    if magic != BINARY_MAGIC:
+        raise DataError(f"{source}: bad magic {magic!r}")
+    if version != BINARY_FORMAT:
+        raise DataError(
+            f"{source}: unsupported binary format {version} "
+            f"(expected {BINARY_FORMAT})"
+        )
+    payload = memoryview(data)[_BINARY_HEADER.size :]
+    if meta_length > len(payload):
+        raise DataError(
+            f"{source}: truncated metadata ({len(payload)} of "
+            f"{meta_length} bytes)"
+        )
+    if hashlib.sha256(payload).digest() != want:
+        raise DataError(f"{source}: content digest mismatch")
+    _BIN_DIGEST_VERIFIED.inc()
+    try:
+        meta = json.loads(bytes(payload[:meta_length]).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise DataError(f"{source}: malformed metadata: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise DataError(f"{source}: malformed metadata (not an object)")
+    if meta.get("format") != COLUMNAR_FORMAT:
+        raise DataError(
+            f"{source}: unsupported columnar format {meta.get('format')!r}"
+        )
+    if meta.get("byteorder") != sys.byteorder:
+        raise DataError(
+            f"{source}: byteorder {meta.get('byteorder')!r} does not match "
+            f"this machine ({sys.byteorder})"
+        )
+    body = payload[meta_length:]
+    try:
+        vantage_rows = meta["vantages"]
+        database_metas = meta["databases"]
+        by_vantage = {
+            db_meta["vantage_name"]: db_meta for db_meta in database_metas
+        }
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"{source}: malformed metadata: {exc}") from exc
+    vantages: dict[str, dict] = {}
+    databases: dict[str, ColumnarDatabase] = {}
+    for vantage_data in vantage_rows:
+        name = vantage_data.get("name") if isinstance(vantage_data, dict) else None
+        if name not in by_vantage:
+            raise DataError(f"{source}: misses database {name!r}")
+        db_meta = by_vantage[name]
+        loaders, row_counts = {}, {}
+        try:
+            table_metas = {t["name"]: t for t in db_meta["tables"]}
+        except (KeyError, TypeError) as exc:
+            raise DataError(f"{source}: malformed metadata: {exc}") from exc
+        for table_name in TABLE_SCHEMAS:
+            if table_name not in table_metas:
+                raise DataError(
+                    f"{source}: database {name!r} misses table {table_name!r}"
+                )
+            table_meta = table_metas[table_name]
+            try:
+                row_counts[table_name] = int(table_meta["n_rows"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise DataError(
+                    f"{source}: malformed metadata: {exc}"
+                ) from exc
+            loaders[table_name] = _binary_table_loader(
+                table_name, table_meta, body
+            )
+        vantages[name] = vantage_data
+        databases[name] = LazyColumnarDatabase(name, loaders, row_counts)
+    _BIN_DECODES.inc()
+    return ColumnarRepository(vantages=vantages, databases=databases)
+
+
+def load_columnar_binary(path) -> ColumnarRepository:
+    """Read and decode ``columnar.bin`` from ``path``."""
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise DataError(f"cannot read {path}: {exc}") from exc
+    return decode_columnar_binary(data, source=str(path))

@@ -400,6 +400,25 @@ def _counter_value(snapshot: dict, name: str) -> float:
     return float(entry.get("value", 0.0)) if entry else 0.0
 
 
+def _histogram_delta(before: dict, after: dict, name: str) -> dict:
+    """Observation count/time accrued between two ``/metrics`` snapshots.
+
+    Histogram snapshots expose lifetime aggregates; ``count`` and ``sum``
+    are monotone, so their deltas isolate this replay.  ``max`` cannot be
+    windowed, so the lifetime maximum is reported as-is.
+    """
+    was = before.get(name) or {}
+    now = after.get(name) or {}
+    count = int(now.get("count", 0)) - int(was.get("count", 0))
+    total = float(now.get("sum", 0.0)) - float(was.get("sum", 0.0))
+    return {
+        "count": count,
+        "total_ms": total,
+        "mean_ms": total / count if count else 0.0,
+        "lifetime_max_ms": float(now.get("max", 0.0)),
+    }
+
+
 def _drive(
     base_url: str, mix: Mix, options: LoadtestOptions
 ) -> tuple[list[_Outcome], float]:
@@ -581,6 +600,12 @@ def run_loadtest(
             "evictions": evictions,
             "hit_fraction": hits / lookups if lookups else 0.0,
         },
+        # Informational only: cold campaign loads (store -> memory) that
+        # this replay triggered.  Never compared against baselines —
+        # wall-clock is machine-dependent.
+        "cold_load": _histogram_delta(
+            before, after, "data.serve.campaign_load_ms"
+        ),
     }
     return report
 
@@ -634,4 +659,11 @@ def render_serve_report(report: dict) -> str:
         f"(hit fraction {cache['hit_fraction']:.3f}, "
         f"evictions {cache['evictions']:g})",
     ]
+    cold = report.get("cold_load")
+    if cold is not None:
+        lines.append(
+            f"cold loads: {cold['count']} campaign load(s), "
+            f"mean {cold['mean_ms']:.2f} ms "
+            f"(informational; lifetime max {cold['lifetime_max_ms']:.2f} ms)"
+        )
     return "\n".join(lines)

@@ -14,10 +14,20 @@ Every helper in the "domain helpers" section reproduces a
 bit for bit: scans return rows in ascending row id, which is the
 monitor's insertion (round) order, so list contents, float-summation
 order, and tie-breaks are unchanged by the migration.
+
+Execution is kernelized: predicates evaluate column-at-a-time over the
+raw typed storage (dictionary predicates evaluate once per distinct
+code, not once per row), and projection/grouping bulk-decode via
+:meth:`Column.take`.  Setting ``REPRO_QUERY_KERNELS=0`` switches to the
+row-at-a-time reference path; both paths produce identical result bytes,
+identical ``data.query.*`` counters, and identical structured errors —
+the parity suite byte-diffs them across every query shape.
 """
 
 from __future__ import annotations
 
+import operator
+import os
 from dataclasses import dataclass, field
 
 from ..errors import DataError
@@ -203,6 +213,70 @@ class QueryResult:
 # -- scanning ----------------------------------------------------------------
 
 
+#: comparison callables backing the plain-column predicate kernels.
+_OPERATORS = {
+    "eq": operator.eq,
+    "ne": operator.ne,
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+}
+
+
+def kernels_enabled() -> bool:
+    """Whole-column kernels run unless ``REPRO_QUERY_KERNELS=0``."""
+    return os.environ.get("REPRO_QUERY_KERNELS", "1") != "0"
+
+
+def _filter_rows_kernel(
+    column: "Column | DictColumn", predicate: Filter, rows: list[int]
+) -> list[int]:
+    """Rows surviving one predicate, evaluated over raw storage.
+
+    Dictionary columns evaluate the predicate once per *distinct code*
+    touched (memoised truth table); plain columns compare the backing
+    array values directly.  On an incomparable value the structured
+    :class:`DataError` of the reference path is reproduced exactly —
+    same offending row, same message.
+    """
+    out: list[int] = []
+    append = out.append
+    if isinstance(column, DictColumn):
+        codes = column.codes
+        dictionary = column.dictionary
+        truth: dict[int, bool] = {}
+        for row in rows:
+            code = codes[row]
+            verdict = truth.get(code)
+            if verdict is None:
+                verdict = predicate.matches(dictionary[code])
+                truth[code] = verdict
+            if verdict:
+                append(row)
+        return out
+    values = column.values
+    try:
+        if predicate.op == "in":
+            choices = predicate.value
+            for row in rows:
+                if values[row] in choices:
+                    append(row)
+        else:
+            compare = _OPERATORS[predicate.op]
+            target = predicate.value
+            for row in rows:
+                if compare(values[row], target):
+                    append(row)
+    except TypeError:
+        # Re-walk through the reference predicate so the structured
+        # error carries the first offending row's decoded value.
+        for row in rows:
+            predicate.matches(column.get(row))
+        raise  # pragma: no cover - matches() always raises first
+    return out
+
+
 def scan(table: ColumnarTable, filters: tuple[Filter, ...] = ()) -> list[int]:
     """Matching row ids in ascending order, index-accelerated.
 
@@ -244,17 +318,26 @@ def scan(table: ColumnarTable, filters: tuple[Filter, ...] = ()) -> list[int]:
     _ROWS_SCANNED.inc(len(candidates))
     if not remaining:
         return list(candidates)
-    columns = [(table.column(p.column), p) for p in remaining]
-    return [
-        row
-        for row in candidates
-        if all(p.matches(column.get(row)) for column, p in columns)
-    ]
+    if not kernels_enabled():
+        columns = [(table.column(p.column), p) for p in remaining]
+        return [
+            row
+            for row in candidates
+            if all(p.matches(column.get(row)) for column, p in columns)
+        ]
+    rows = candidates if isinstance(candidates, list) else list(candidates)
+    for predicate in remaining:
+        rows = _filter_rows_kernel(table.column(predicate.column), predicate, rows)
+        if not rows:
+            break
+    return rows
 
 
 def gather(table: ColumnarTable, column: str, rows: list[int]) -> list:
     """Decoded values of one column for the given rows, in row order."""
     col = table.column(column)
+    if kernels_enabled():
+        return col.take(rows)
     return [col.get(row) for row in rows]
 
 
@@ -290,9 +373,14 @@ def _group_aggregate(
         if aggregate.column is not None:
             table.column(aggregate.column)
     groups: dict[tuple, list[int]] = {}
-    for row in rows:
-        key = tuple(column.get(row) for column in key_columns)
-        groups.setdefault(key, []).append(row)
+    if kernels_enabled():
+        decoded = [column.take(rows) for column in key_columns]
+        for row, key in zip(rows, zip(*decoded)):
+            groups.setdefault(key, []).append(row)
+    else:
+        for row in rows:
+            key = tuple(column.get(row) for column in key_columns)
+            groups.setdefault(key, []).append(row)
     _GROUPS_EMITTED.inc(len(groups))
 
     limit = min(query.limit or MAX_QUERY_ROWS, MAX_QUERY_ROWS)

@@ -81,6 +81,8 @@ _CAMPAIGN_HITS = metrics.counter("data.serve.cache_hits")
 _CAMPAIGN_MISSES = metrics.counter("data.serve.cache_misses")
 _CAMPAIGN_LOADS = metrics.counter("data.serve.campaign_loads")
 _CAMPAIGN_EVICTIONS = metrics.counter("data.serve.campaign_evictions")
+#: cold-load wall clock (informational; the loadtest report exports it).
+_CAMPAIGN_LOAD_MS = metrics.histogram("data.serve.campaign_load_ms")
 
 #: response-cache accounting (``/metrics`` exports these; the loadtest
 #: harness reads the deltas to compute the cache-hit fraction).
@@ -308,8 +310,10 @@ class CampaignCache:
     def _load(self, digest: str) -> LoadedCampaign:
         """One actual store load (the single-flight leader's job)."""
         _CAMPAIGN_LOADS.inc()
+        started = time.perf_counter()
         with span("serve.load_campaign", digest=digest[:12]):
             loaded = self.store.load_columnar_entry(digest)
+        _CAMPAIGN_LOAD_MS.observe((time.perf_counter() - started) * 1000.0)
         if loaded is None:
             raise _not_found(f"unknown campaign digest {digest!r}")
         meta, columnar = loaded
@@ -726,9 +730,9 @@ class ServeApp:
             params, "limit", min(self.config.max_rows, 1000), minimum=1
         )
         self._check_limit(limit)
-        rows = list(range(table.n_rows))[offset : offset + limit]
+        rows = range(table.n_rows)[offset : offset + limit]
         columns = {
-            name: [column.get(row) for row in rows]
+            name: column.take(rows)
             for name, column in table.columns.items()
         }
         return {

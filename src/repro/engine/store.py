@@ -13,6 +13,7 @@ Layout (one directory per campaign)::
         meta.json          store format, digest, kind, config snapshot
         repository.json    CentralRepository.to_dict() (every table)
         columnar.json      ColumnarRepository payload (repro.data)
+        columnar.bin       binary columnar artifact (fast cold loads)
         reports.json       per-vantage RoundReport dicts
         world.pkl          pickled World (best effort; absent ok)
         observers/<name>.json   canonical ObserverReport artifacts
@@ -22,6 +23,13 @@ shard results use to cross process boundaries, so a store entry is
 readable without this package's monitor.  The world pickle is an
 optimisation only: when it is missing or unreadable the world is rebuilt
 from the config and the stored measurement data is still used.
+
+``columnar.bin`` is the load-time fast path: the serving layer decodes
+it lazily (table granularity, zero-copy buffers) with its sha256
+verified on every load.  A corrupt or truncated binary is a *warned
+fallback*, not a miss — ``columnar.json`` remains the canonical
+interchange form and is transposed from ``repository.json`` when even
+that is absent.
 """
 
 from __future__ import annotations
@@ -53,6 +61,13 @@ DEFAULT_CACHE_ROOT = ".repro-cache"
 _STORE_HITS = metrics.counter("engine.store.hits")
 _STORE_MISSES = metrics.counter("engine.store.misses")
 _STORE_WRITES = metrics.counter("engine.store.writes")
+#: binary-artifact counters: loads served from columnar.bin, and warned
+#: fallbacks to JSON after a corrupt/unreadable binary (gated to zero).
+_BIN_LOADS = metrics.counter("engine.store.bin_loads")
+_BIN_FALLBACKS = metrics.counter("engine.store.bin_fallbacks")
+
+#: the columnar artifact files a store entry may carry, preferred first.
+COLUMNAR_ARTIFACTS = ("columnar.bin", "columnar.json")
 
 
 def config_digest(config: ScenarioConfig, kind: str = "weekly") -> str:
@@ -110,6 +125,16 @@ class StoreEntry:
         except OSError:
             pass
         return total
+
+    def artifact_sizes(self) -> dict[str, int]:
+        """Bytes per columnar artifact present (``repro cache ls``)."""
+        sizes: dict[str, int] = {}
+        for name in COLUMNAR_ARTIFACTS:
+            try:
+                sizes[name] = (self.path / name).stat().st_size
+            except OSError:
+                continue
+        return sizes
 
 
 class CampaignStore:
@@ -268,14 +293,19 @@ class CampaignStore:
         _STORE_HITS.inc()
         return repository
 
-    def load_columnar_entry(self, digest: str):
+    def load_columnar_entry(self, digest: str, prefer_binary: bool = True):
         """One entry's ``(meta, ColumnarRepository)`` — the serving path.
 
-        Prefers the stored ``columnar.json``; entries written before the
-        columnar layer existed are transposed from ``repository.json`` on
-        the fly.  Returns None on a miss or an unreadable entry.
+        Prefers the binary ``columnar.bin`` (sha256-verified, lazily
+        decoded per table); a corrupt or truncated binary is a warned
+        fallback to ``columnar.json``, and entries written before the
+        columnar layer existed are transposed from ``repository.json``
+        on the fly.  Returns None on a miss or an unreadable entry.
+        ``prefer_binary=False`` forces the JSON path (the perf harness
+        uses this to time both decoders over the same entry).
         """
-        from ..data.columnar import ColumnarRepository
+        from ..data.columnar import ColumnarRepository, load_columnar_binary
+        from ..errors import DataError
 
         entry = self.entry_dir(digest)
         meta_path = entry / "meta.json"
@@ -288,12 +318,24 @@ class CampaignStore:
                 if meta.get("store_format") != STORE_FORMAT:
                     _STORE_MISSES.inc()
                     return None
+                columnar = None
+                binary_path = entry / "columnar.bin"
+                if prefer_binary and binary_path.exists():
+                    try:
+                        columnar = load_columnar_binary(binary_path)
+                        _BIN_LOADS.inc()
+                    except DataError as exc:
+                        _BIN_FALLBACKS.inc()
+                        _LOG.warning(
+                            "corrupt columnar binary; falling back to JSON",
+                            extra={"digest": digest[:12], "error": str(exc)},
+                        )
                 columnar_path = entry / "columnar.json"
-                if columnar_path.exists():
+                if columnar is None and columnar_path.exists():
                     columnar = ColumnarRepository.from_payload(
                         json.loads(columnar_path.read_text(encoding="utf-8"))
                     )
-                else:
+                if columnar is None:
                     repository = CentralRepository.from_dict(
                         json.loads(
                             (entry / "repository.json").read_text(
@@ -387,7 +429,7 @@ class CampaignStore:
                 json.dumps(repository.to_dict(), separators=(",", ":")),
                 encoding="utf-8",
             )
-            self._save_columnar(entry / "columnar.json", repository, digest)
+            self._save_columnar(entry, repository, digest)
             (entry / "reports.json").write_text(
                 json.dumps(
                     {
@@ -426,20 +468,28 @@ class CampaignStore:
 
     @staticmethod
     def _save_columnar(
-        path: pathlib.Path, repository: CentralRepository, digest: str
+        entry: pathlib.Path, repository: CentralRepository, digest: str
     ) -> None:
-        """Write the columnar artifact (lazily imported: ``repro.data``
-        itself imports the monitor this module already depends on)."""
-        from ..data.columnar import ColumnarRepository
+        """Write both columnar artifacts (lazily imported: ``repro.data``
+        itself imports the monitor this module already depends on).
 
-        path.write_text(
-            json.dumps(
-                ColumnarRepository.from_repository(repository).to_payload(),
-                separators=(",", ":"),
-            ),
-            encoding="utf-8",
+        The JSON form streams column-at-a-time and the binary form
+        writes raw buffer references, so neither materialises a second
+        full copy of the campaign.
+        """
+        from ..data.columnar import (
+            ColumnarRepository,
+            write_columnar_binary,
+            write_columnar_json,
         )
-        _LOG.debug("columnar artifact written", extra={"digest": digest[:12]})
+
+        columnar = ColumnarRepository.from_repository(repository)
+        write_columnar_json(entry / "columnar.json", columnar)
+        bin_digest = write_columnar_binary(entry / "columnar.bin", columnar)
+        _LOG.debug(
+            "columnar artifacts written",
+            extra={"digest": digest[:12], "bin_digest": bin_digest[:12]},
+        )
 
     @staticmethod
     def _save_world(path: pathlib.Path, world, digest: str) -> None:

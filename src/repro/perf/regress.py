@@ -235,6 +235,40 @@ def evaluate_gates(report: dict) -> list[GateResult]:
             )
         )
 
+    data = _workload(report, "store_io")
+    if data is not None:
+        counters = data["counters"]
+        results.append(
+            GateResult(
+                workload="store_io",
+                gate="zero_bin_fallbacks",
+                passed=counters["engine.store.bin_fallbacks"] == 0,
+                observed=counters["engine.store.bin_fallbacks"],
+                bound="== 0 (no binary load fell back to JSON)",
+            )
+        )
+        results.append(
+            GateResult(
+                workload="store_io",
+                gate="bin_loads_nonzero",
+                passed=counters["engine.store.bin_loads"] > 0,
+                observed=counters["engine.store.bin_loads"],
+                bound="> 0 (the preferred path serves from columnar.bin)",
+            )
+        )
+        decodes = counters["data.columnar.bin_decodes"]
+        verified = counters["data.columnar.bin_digest_verified"]
+        results.append(
+            GateResult(
+                workload="store_io",
+                gate="digest_verified_every_load",
+                passed=decodes > 0 and verified == decodes,
+                observed=verified,
+                bound=f"== {decodes:g} (decodes) and > 0 "
+                      "(sha256 checked before any buffer is trusted)",
+            )
+        )
+
     data = _workload(report, "fault_plan")
     if data is not None:
         per_decision = data["derived"]["rng_constructions_per_decision"]

@@ -49,6 +49,12 @@ WORK_COUNTERS = (
     "data.query.index_hits",
     "data.query.groups_emitted",
     "data.columnar.encodes",
+    "data.columnar.bin_encodes",
+    "data.columnar.bin_decodes",
+    "data.columnar.bin_digest_verified",
+    "data.columnar.bin_table_decodes",
+    "engine.store.bin_loads",
+    "engine.store.bin_fallbacks",
     "observers.runs",
     "observers.reports",
     "observers.errors",
@@ -364,6 +370,90 @@ def observers(seed: int, scale: float) -> WorkloadResult:
     )
 
 
+#: timed loads per decoder in the ``store_io`` workload (fixed, so the
+#: store/columnar counters stay exact integers for a given campaign).
+STORE_IO_LOADS = 3
+
+
+def store_io(seed: int, scale: float) -> WorkloadResult:
+    """Columnar artifact encode/decode/first-query over a real store entry.
+
+    Saves one campaign into a throwaway :class:`CampaignStore` (both
+    ``columnar.json`` and ``columnar.bin``), then times a fixed number of
+    cold loads through each decoder and the first query battery over the
+    binary-backed (lazily decoded) repository.  The structural gates are
+    counter-exact: every binary load must verify its content digest and
+    none may fall back to JSON; ``decode_speedup`` (JSON load wall over
+    binary load wall) is the informational headline.
+    """
+    import pathlib
+    import tempfile
+
+    from ..data.query import dual_stack_sites
+    from ..engine.store import CampaignStore, config_digest
+
+    obs.reset()
+    obs.enable()
+    config = small_config(seed=seed, scale=scale)
+    world = build_world(config)
+    result = run_campaign(world, execution=_SERIAL)
+    with tempfile.TemporaryDirectory(prefix="repro-store-io-") as tmp:
+        store = CampaignStore(pathlib.Path(tmp))
+        t0 = time.perf_counter()
+        store.save(config, result.repository, result.reports)
+        save_seconds = time.perf_counter() - t0
+        digest = config_digest(config)
+        entry = store.entry_dir(digest)
+        sizes = {
+            name: (entry / name).stat().st_size
+            for name in ("columnar.bin", "columnar.json")
+        }
+
+        bin_times = []
+        columnar = None
+        for _ in range(STORE_IO_LOADS):
+            t0 = time.perf_counter()
+            loaded = store.load_columnar_entry(digest)
+            bin_times.append(time.perf_counter() - t0)
+            _, columnar = loaded
+        # first query battery over the last (still lazy) binary load
+        t0 = time.perf_counter()
+        n_sites = sum(
+            len(dual_stack_sites(cdb)) for cdb in columnar.databases.values()
+        )
+        first_query_seconds = time.perf_counter() - t0
+
+        json_times = []
+        for _ in range(STORE_IO_LOADS):
+            t0 = time.perf_counter()
+            store.load_columnar_entry(digest, prefer_binary=False)
+            json_times.append(time.perf_counter() - t0)
+
+    wall = save_seconds + sum(bin_times) + sum(json_times) + first_query_seconds
+    counters = _snapshot_counters()
+    bin_load = min(bin_times)
+    json_load = min(json_times)
+    return WorkloadResult(
+        name="store_io",
+        wall_seconds=wall,
+        counters=counters,
+        spans=_span_totals("engine.store.save", "engine.store.load_columnar"),
+        derived={
+            "save_seconds": save_seconds,
+            "bin_load_seconds": bin_load,
+            "json_load_seconds": json_load,
+            "first_query_seconds": first_query_seconds,
+            "decode_speedup": json_load / bin_load if bin_load > 0 else 0.0,
+        },
+        meta={
+            "n_loads_per_decoder": STORE_IO_LOADS,
+            "bin_bytes": sizes["columnar.bin"],
+            "json_bytes": sizes["columnar.json"],
+            "n_dual_stack_sites": n_sites,
+        },
+    )
+
+
 #: name -> callable(seed, scale); the bench CLI's workload registry.
 WORKLOADS = {
     "round_loop": round_loop,
@@ -372,4 +462,5 @@ WORKLOADS = {
     "end_to_end": end_to_end,
     "query": query,
     "observers": observers,
+    "store_io": store_io,
 }

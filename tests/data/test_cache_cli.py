@@ -75,7 +75,10 @@ def test_cache_ls_cli(seeded_store, capsys):
     out = capsys.readouterr().out
     assert rc == 0
     assert "DIGEST" in out
+    assert "FORMATS" in out
     assert len(out.strip().splitlines()) == 3  # header + two entries
+    for line in out.strip().splitlines()[1:]:
+        assert "bin,json" in line
 
 
 def test_cache_ls_json_cli(seeded_store, small_cfg, capsys):
@@ -85,6 +88,10 @@ def test_cache_ls_json_cli(seeded_store, small_cfg, capsys):
     assert [entry["kind"] for entry in listing] == [W6D, WEEKLY]
     assert listing[0]["digest"] == config_digest(small_cfg, W6D)
     assert listing[0]["size_bytes"] > 0
+    for entry in listing:
+        artifacts = entry["artifacts"]
+        assert artifacts["columnar.bin"] > 0
+        assert artifacts["columnar.json"] > 0
 
 
 def test_cache_prune_cli(seeded_store, capsys):

@@ -250,6 +250,9 @@ def test_run_loadtest_report_shape_and_gates(serve_report):
     assert report["cache"]["hit_fraction"] >= MIN_SERVE_CACHE_HIT_FRACTION
     assert report["latency_ms"]["p50"] <= report["latency_ms"]["p95"]
     assert report["latency_ms"]["p95"] <= report["latency_ms"]["p99"]
+    cold = report["cold_load"]
+    assert set(cold) == {"count", "total_ms", "mean_ms", "lifetime_max_ms"}
+    assert cold["count"] >= 0 and cold["total_ms"] >= 0.0
     gates = evaluate_serve_gates(report)
     failed = [g for g in gates if not g.passed]
     assert failed == [], failed

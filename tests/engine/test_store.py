@@ -230,13 +230,14 @@ class TestColumnarArtifact:
         assert store.load_columnar_entry("deadbeef") is None
 
     def test_load_columnar_entry_derives_from_legacy_rows(self, tmp_path):
-        # entries written before the columnar layer lack columnar.json;
-        # loading transposes repository.json on the fly
+        # entries written before the columnar layer lack columnar.json
+        # and columnar.bin; loading transposes repository.json on the fly
         store = CampaignStore(tmp_path)
         cfg = small_config(seed=3)
         repository, reports = tiny_campaign()
         entry = store.save(cfg, repository, reports)
         (entry / "columnar.json").unlink()
+        (entry / "columnar.bin").unlink()
         loaded = store.load_columnar_entry(config_digest(cfg))
         assert loaded is not None
         _, columnar = loaded
@@ -244,12 +245,75 @@ class TestColumnarArtifact:
             repository.content_digest()
         )
 
-    def test_corrupt_columnar_json_is_a_miss(self, tmp_path):
+    def test_save_writes_binary_artifact(self, tmp_path):
+        from repro.data.columnar import BINARY_MAGIC, load_columnar_binary
+
+        store = CampaignStore(tmp_path)
+        cfg = small_config(seed=3)
+        repository, reports = tiny_campaign()
+        entry = store.save(cfg, repository, reports)
+        binary_path = entry / "columnar.bin"
+        assert binary_path.read_bytes().startswith(BINARY_MAGIC)
+        columnar = load_columnar_binary(binary_path)
+        assert columnar.to_repository().content_digest() == (
+            repository.content_digest()
+        )
+
+    def test_binary_preferred_on_load(self, tmp_path):
+        from repro.obs import metrics
+
+        store = CampaignStore(tmp_path)
+        cfg = small_config(seed=3)
+        repository, reports = tiny_campaign()
+        entry = store.save(cfg, repository, reports)
+        # even with a corrupt columnar.json the binary serves the load
+        (entry / "columnar.json").write_text("{not json", encoding="utf-8")
+        before = metrics.counter("engine.store.bin_loads").value
+        loaded = store.load_columnar_entry(config_digest(cfg))
+        assert loaded is not None
+        assert metrics.counter("engine.store.bin_loads").value == before + 1
+        _, columnar = loaded
+        assert columnar.to_repository().content_digest() == (
+            repository.content_digest()
+        )
+
+    def test_corrupt_binary_falls_back_to_json(self, tmp_path):
+        from repro.obs import metrics
+
+        store = CampaignStore(tmp_path)
+        cfg = small_config(seed=3)
+        repository, reports = tiny_campaign()
+        entry = store.save(cfg, repository, reports)
+        (entry / "columnar.bin").write_bytes(b"RPRCOL garbage")
+        before = metrics.counter("engine.store.bin_fallbacks").value
+        loaded = store.load_columnar_entry(config_digest(cfg))
+        assert loaded is not None
+        assert metrics.counter("engine.store.bin_fallbacks").value == before + 1
+        _, columnar = loaded
+        assert columnar.to_repository().content_digest() == (
+            repository.content_digest()
+        )
+
+    def test_prefer_binary_false_forces_json_path(self, tmp_path):
+        from repro.obs import metrics
+
+        store = CampaignStore(tmp_path)
+        cfg = small_config(seed=3)
+        repository, reports = tiny_campaign()
+        store.save(cfg, repository, reports)
+        before = metrics.counter("engine.store.bin_loads").value
+        loaded = store.load_columnar_entry(config_digest(cfg), prefer_binary=False)
+        assert loaded is not None
+        assert metrics.counter("engine.store.bin_loads").value == before
+
+    def test_corrupt_columnar_artifacts_are_a_miss(self, tmp_path):
         store = CampaignStore(tmp_path)
         cfg = small_config(seed=3)
         repository, reports = tiny_campaign()
         entry = store.save(cfg, repository, reports)
         (entry / "columnar.json").write_text("{not json", encoding="utf-8")
+        (entry / "columnar.bin").write_bytes(b"\x00")
+        (entry / "repository.json").write_text("{not json", encoding="utf-8")
         assert store.load_columnar_entry(config_digest(cfg)) is None
 
 

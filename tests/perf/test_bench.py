@@ -39,6 +39,7 @@ class TestRunBench:
             "end_to_end",
             "query",
             "observers",
+            "store_io",
         }
 
     def test_unknown_workload_rejected(self):
