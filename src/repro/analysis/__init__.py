@@ -22,9 +22,13 @@ from .classify import (
     ASGroup,
     SiteCategory,
     SiteClassification,
+    TransitionKind,
     classify_site,
     classify_sites,
+    classify_transitions,
     group_by_destination,
+    sites_in_transition,
+    transition_split,
 )
 from .zeromode import has_zero_mode, relative_differences, zero_mode_sites
 from .hypotheses import ASEvaluation, ASVerdict, evaluate_as, evaluate_groups
@@ -52,9 +56,13 @@ __all__ = [
     "ASGroup",
     "SiteCategory",
     "SiteClassification",
+    "TransitionKind",
     "classify_site",
     "classify_sites",
+    "classify_transitions",
     "group_by_destination",
+    "sites_in_transition",
+    "transition_split",
     "has_zero_mode",
     "relative_differences",
     "zero_mode_sites",

@@ -5,6 +5,11 @@ AAAA addresses) versus DL (different locations, typically v4-only CDN
 users).  SL sites then split by *path*: SP (the IPv6 and IPv4 AS paths
 coincide) versus DP (they differ).  The same split is lifted to the
 destination-AS level, which is the unit H1 and H2 are evaluated on.
+
+Beyond the paper: when the scenario's NAT64/DNS64 axis is on, the
+two-way native/tunneled view of IPv6 reachability becomes the three-way
+:class:`TransitionKind` split (native / tunneled / translated), derived
+from the monitor's recorded transitions table.
 """
 
 from __future__ import annotations
@@ -151,3 +156,58 @@ def groups_in_category(
         (g for g in groups.values() if g.category is category),
         key=lambda g: g.asn,
     )
+
+
+class TransitionKind(Enum):
+    """How a site's IPv6 traffic crosses the v6 Internet.
+
+    NATIVE and TUNNELED refine the old implicit two-way reachability
+    view; TRANSLATED marks sites reached only through a NAT64 gateway,
+    i.e. their AAAA answer was DNS64-synthesized from an A record.
+    """
+
+    NATIVE = "native"
+    TUNNELED = "tunneled"
+    TRANSLATED = "translated"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def classify_transitions(
+    db: MeasurementDatabase, site_ids: Iterable[int] | None = None
+) -> dict[int, TransitionKind]:
+    """Latest-observed transition kind per site (the three-way split).
+
+    A site that adopts native IPv6 mid-campaign moves from TRANSLATED
+    to NATIVE: classification follows its most recent round, matching
+    :meth:`~repro.monitor.database.MeasurementDatabase.transition_kind_of`.
+    Sites without transition rows (transition recording off, or the
+    site never measured over v6) are omitted.
+    """
+    with span("analysis.transitions", vantage=db.vantage_name):
+        latest: dict[int, str] = {}
+        for obs in db.transitions:
+            latest[obs.site_id] = obs.kind
+        if site_ids is not None:
+            wanted = set(site_ids)
+            latest = {sid: k for sid, k in latest.items() if sid in wanted}
+        return {
+            sid: TransitionKind(kind) for sid, kind in sorted(latest.items())
+        }
+
+
+def transition_split(
+    classifications: dict[int, TransitionKind],
+) -> dict[TransitionKind, int]:
+    """Site counts per transition kind, every kind present (zeros kept)."""
+    counts = {kind: 0 for kind in TransitionKind}
+    for kind in classifications.values():
+        counts[kind] += 1
+    return counts
+
+
+def sites_in_transition(
+    classifications: dict[int, TransitionKind], kind: TransitionKind
+) -> list[int]:
+    return sorted(sid for sid, k in classifications.items() if k is kind)

@@ -19,10 +19,12 @@ from ..dns.resolver import (
     MAX_CNAME_DEPTH,
     _CACHE_HITS,
     _CACHE_MISSES,
+    _DNS64_SYNTHESIZED,
     ResolutionResult,
     Resolver,
 )
 from ..errors import DnsError
+from ..net.nat64 import synthesize_aaaa
 
 #: one memo row: (v4 answer, v6 answer, ((name, entry), ...) chain).
 _PairRow = tuple[ResolutionResult | None, ResolutionResult | None, tuple]
@@ -48,8 +50,10 @@ class PairResolver:
         "_view",
         "_memo",
         "_view_entries_get",
+        "_dns64",
         "pending_hits",
         "pending_misses",
+        "pending_dns64",
     )
 
     def __init__(self, resolver: Resolver) -> None:
@@ -59,8 +63,10 @@ class PairResolver:
         # pops names), so its bound ``get`` stays valid for the view's
         # lifetime — the validation loop below runs per site per round.
         self._view_entries_get = self._view._entries.get
+        self._dns64 = resolver.dns64
         self.pending_hits = 0
         self.pending_misses = 0
+        self.pending_dns64 = 0
 
     def resolve_pair(
         self, name: str
@@ -117,6 +123,20 @@ class PairResolver:
                         addresses=aaaa_set.address_tuple,
                         from_cache=False,
                     )
+                elif a_set is not None and self._dns64:
+                    # DNS64 (RFC 6147): the name is v4-only, so the AAAA
+                    # answer is synthesized from the A record — same
+                    # mapping as the scalar resolver's synthesis point.
+                    self.pending_dns64 += 1
+                    res6 = ResolutionResult(
+                        query_name=name,
+                        final_name=current,
+                        rtype=aaaa_type,
+                        addresses=tuple(
+                            synthesize_aaaa(a) for a in a_set.address_tuple
+                        ),
+                        from_cache=False,
+                    )
                 break
             cname_set = rrsets.get(cname_type)
             if cname_set is None:
@@ -134,3 +154,6 @@ class PairResolver:
         if self.pending_misses:
             _CACHE_MISSES.inc(self.pending_misses)
             self.pending_misses = 0
+        if self.pending_dns64:
+            _DNS64_SYNTHESIZED.inc(self.pending_dns64)
+            self.pending_dns64 = 0

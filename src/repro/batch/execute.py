@@ -29,6 +29,7 @@ from ..monitor.database import (
     DownloadObservation,
     PageCheck,
     PathObservation,
+    TransitionObservation,
 )
 from ..monitor.download import run_converging_loop
 from ..monitor.tool import DNS_PHASE_SECONDS, PAGE_CHECK_SECONDS, RoundReport
@@ -108,6 +109,8 @@ def _execute_plan(
     total_samples = n_converged = n_exhausted = 0
     download_rows: list[DownloadObservation] = []
     path_rows: list[PathObservation] = []
+    record_transitions = tool.env.record_transitions
+    transition_rows: list[TransitionObservation] = []
 
     for site in plan.sites:
         free_at, slot = heappop(slots)
@@ -189,6 +192,14 @@ def _execute_plan(
                             as_path=as_path,
                         )
                     )
+                if record_transitions:
+                    transition_rows.append(
+                        TransitionObservation(
+                            site_id=site.site_id,
+                            round_idx=round_idx,
+                            kind=session_v6.path.transition_kind,
+                        )
+                    )
         finish = free_at + duration
         heappush(slots, (finish, slot))
         heappush(busy, finish)
@@ -200,6 +211,7 @@ def _execute_plan(
     database.add_page_checks(plan.page_rows)
     database.add_downloads(download_rows)
     database.add_paths(path_rows)
+    database.add_transitions(transition_rows)
     tool._pair_resolver.flush_counters()
 
     _SITES_MONITORED.inc(len(plan.sites))
@@ -470,6 +482,14 @@ def _monitor_site_faulted(
                 as_path=outcome.first_result.as_path,
             )
         )
+        if family is AddressFamily.IPV6 and tool.env.record_transitions:
+            database.add_transition(
+                TransitionObservation(
+                    site_id=site_id,
+                    round_idx=round_idx,
+                    kind=session.path.transition_kind,
+                )
+            )
     if fully_measured:
         _MEASURED.inc()
     return duration, True, fully_measured

@@ -121,6 +121,25 @@ def _with_faults(config, args: argparse.Namespace):
     return dataclasses.replace(config, faults=resolve_faults(args.faults))
 
 
+def _add_transition_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--transition",
+        action="store_true",
+        help="enable the NAT64/DNS64 transition axis: DNS64-synthesized "
+        "AAAA records, translated forwarding paths, and per-site "
+        "transition recording (default: off, bit-identical to before)",
+    )
+
+
+def _with_transition(config, args: argparse.Namespace):
+    """Apply the --transition axis (NAT64/DNS64) to a scenario config."""
+    if not getattr(args, "transition", False):
+        return config
+    return dataclasses.replace(
+        config, dns64=dataclasses.replace(config.dns64, enabled=True)
+    )
+
+
 def _cmd_run_all(args: argparse.Namespace) -> int:
     argv = ["--scale", str(args.scale), "--seed", str(args.seed)]
     if args.profile:
@@ -135,11 +154,16 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         argv += ["--no-cache"]
     if args.faults is not None:
         argv += ["--faults", args.faults]
+    if args.transition:
+        argv += ["--transition"]
     return run_all_module.main(argv)
 
 
 def _cmd_quickrun(args: argparse.Namespace) -> int:
-    config = _with_faults(small_config(seed=args.seed, scale=args.scale), args)
+    config = _with_transition(
+        _with_faults(small_config(seed=args.seed, scale=args.scale), args),
+        args,
+    )
     world = build_world(config)
     result = run_campaign(world, execution=_execution_from(args))
     contexts = build_contexts(config, result)
@@ -152,6 +176,17 @@ def _cmd_quickrun(args: argparse.Namespace) -> int:
             f"{100 * dp[ASVerdict.COMPARABLE]:12.1f}%"
         )
     print("H1 expects the left column high; H2 expects the right column low.")
+    if config.dns64.enabled:
+        repo = result.repository
+        counts: dict[str, int] = {}
+        for name in repo.vantage_names:
+            for kind, n in repo.database(name).transition_counts().items():
+                counts[kind] = counts.get(kind, 0) + n
+        rendered = ", ".join(
+            f"{kind}={counts.get(kind, 0)}"
+            for kind in ("native", "tunneled", "translated")
+        )
+        print(f"transition rows (all vantages): {rendered}")
     return 0
 
 
@@ -176,7 +211,10 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from .engine import WEEKLY
 
     _apply_cache_args(args)
-    config = _with_faults(small_config(seed=args.seed, scale=args.scale), args)
+    config = _with_transition(
+        _with_faults(small_config(seed=args.seed, scale=args.scale), args),
+        args,
+    )
     execution = _execution_from(args)
     store = scenario.get_store() if execution is None else None
     repository = None
@@ -383,7 +421,10 @@ def _cmd_observe(args: argparse.Namespace) -> int:
     names = args.observers or None
     documents: dict[int, tuple[str, dict]] = {}
     for seed in seeds:
-        config = _with_faults(small_config(seed=seed, scale=args.scale), args)
+        config = _with_transition(
+            _with_faults(small_config(seed=seed, scale=args.scale), args),
+            args,
+        )
         if args.rounds is not None:
             config = dataclasses.replace(
                 config,
@@ -671,6 +712,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_args(run_all)
     _add_faults_arg(run_all)
+    _add_transition_arg(run_all)
     run_all.set_defaults(func=_cmd_run_all)
 
     quickrun = sub.add_parser("quickrun", help="small world, H1/H2 verdicts")
@@ -678,6 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
     quickrun.add_argument("--seed", type=int, default=11)
     _add_execution_args(quickrun)
     _add_faults_arg(quickrun)
+    _add_transition_arg(quickrun)
     quickrun.set_defaults(func=_cmd_quickrun)
 
     export = sub.add_parser("export", help="export campaign data to CSV")
@@ -697,6 +740,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_args(export)
     _add_faults_arg(export)
+    _add_transition_arg(export)
     export.set_defaults(func=_cmd_export)
 
     serve = sub.add_parser(
@@ -875,6 +919,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_args(observe)
     _add_faults_arg(observe)
+    _add_transition_arg(observe)
     observe.set_defaults(func=_cmd_observe)
 
     cache = sub.add_parser("cache", help="inspect the campaign store")

@@ -336,6 +336,45 @@ class AnalysisConfig:
 
 
 @dataclass(frozen=True)
+class Dns64Config:
+    """NAT64/DNS64 transition deployment (off by default).
+
+    With ``enabled`` False nothing anywhere in the pipeline changes: no
+    AAAA is synthesized, no gateway AS is selected, no transition rows
+    are recorded, and measured repositories stay bit-identical to the
+    historical form.  Enabled, every configured vantage resolves through
+    a DNS64 resolver: names with an A record but no AAAA get a
+    synthesized AAAA inside ``64:ff9b::/96`` (RFC 6052/6147), and the
+    resulting connections are routed through a NAT64 gateway AS whose
+    translated path inherits the IPv4 leg plus a translation overhead
+    (RFC 6146).
+    """
+
+    enabled: bool = False
+    #: vantage names running a DNS64 resolver (empty = all vantages).
+    vantage_names: tuple[str, ...] = ()
+    #: NAT64 gateway ASes deployed in the topology.
+    n_gateways: int = 2
+    #: multiplicative throughput penalty of the stateful translator.
+    translation_quality: float = 0.88
+
+    def applies_to(self, vantage_name: str) -> bool:
+        """Whether ``vantage_name`` resolves through DNS64."""
+        if not self.enabled:
+            return False
+        return not self.vantage_names or vantage_name in self.vantage_names
+
+    def validate(self) -> None:
+        if self.n_gateways < 1:
+            raise ConfigError("n_gateways must be >= 1")
+        if not 0.0 < self.translation_quality <= 1.0:
+            raise ConfigError(
+                f"translation_quality must be in (0, 1], "
+                f"got {self.translation_quality}"
+            )
+
+
+@dataclass(frozen=True)
 class FaultConfig:
     """Deterministic fault injection (off by default: every rate is 0).
 
@@ -370,6 +409,10 @@ class FaultConfig:
     #: and the multiplicative throughput factor applied when they are.
     link_degradation_rate: float = 0.0
     link_degradation_factor: float = 0.5
+    #: probability that a NAT64 gateway is unreachable for one whole
+    #: round (synthesized-AAAA connects fail; monitors fall back per
+    #: their retry policy).  Only observable with DNS64 enabled.
+    nat64_outage_rate: float = 0.0
 
     @property
     def active(self) -> bool:
@@ -383,6 +426,7 @@ class FaultConfig:
                 self.server_reset_rate,
                 self.tunnel_breakage_rate,
                 self.link_degradation_rate,
+                self.nat64_outage_rate,
             )
         )
 
@@ -394,6 +438,7 @@ class FaultConfig:
             "server_reset_rate",
             "tunnel_breakage_rate",
             "link_degradation_rate",
+            "nat64_outage_rate",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -507,6 +552,7 @@ class ScenarioConfig:
     analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
     campaign: CampaignConfig = field(default_factory=CampaignConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
+    dns64: Dns64Config = field(default_factory=Dns64Config)
 
     def validate(self) -> None:
         """Validate every sub-config; raises :class:`ConfigError` on issues."""
@@ -519,6 +565,7 @@ class ScenarioConfig:
         self.analysis.validate()
         self.campaign.validate()
         self.faults.validate()
+        self.dns64.validate()
 
     def scaled(self, factor: float) -> "ScenarioConfig":
         """Return a copy with the world size scaled by ``factor``.

@@ -24,12 +24,18 @@ from ..errors import ConfigError
 from ..faults.plan import FaultPlan, ServerFault
 from ..monitor.vantage import VantageKind, VantagePoint
 from ..net.addresses import Address, AddressFamily
+from ..net.nat64 import Nat64Gateway, extract_ipv4, is_nat64_mapped
 from ..net.tunnels import TunnelKind
 from ..obs import get_logger, metrics, span
 from ..rng import RngStreams
 from ..sites.catalog import Site, SiteCatalog, build_catalog
 from ..topology.asys import ASType
-from ..topology.dualstack import DualStackTopology, deploy_ipv6
+from ..topology.dualstack import (
+    DualStackTopology,
+    deploy_ipv6,
+    select_nat64_gateways,
+    valley_free_distances,
+)
 from ..topology.generator import Topology, generate_topology
 from ..web.http import ContentEndpoint, HttpClient
 from ..monitor.tool import VantageEnvironment
@@ -63,6 +69,8 @@ class World:
     oracle: PathOracle
     #: the scenario's fault schedule; None when fault injection is off.
     faults: FaultPlan | None = None
+    #: NAT64 translators (empty when the DNS64/NAT64 axis is off).
+    nat64_gateways: tuple[Nat64Gateway, ...] = ()
     #: per-site addresses by family.
     _addresses: dict[tuple[int, AddressFamily], Address] = field(
         default_factory=dict, repr=False
@@ -72,6 +80,17 @@ class World:
     )
     _owner_cache: dict[Address, int] = field(default_factory=dict, repr=False)
     _endpoint_cache: dict[tuple[int, AddressFamily, int], ContentEndpoint] = field(
+        default_factory=dict, repr=False
+    )
+    #: per-gateway valley-free IPv4 distances (the hidden translated leg).
+    _nat64_distances: dict[int, dict[int, int]] = field(
+        default_factory=dict, repr=False
+    )
+    #: vantage ASN -> chosen gateway (None when none is reachable).
+    _vantage_gateway: dict[int, Nat64Gateway | None] = field(
+        default_factory=dict, repr=False
+    )
+    _translated_cache: dict[tuple[int, int], ForwardingPath | None] = field(
         default_factory=dict, repr=False
     )
     _zone_round: int = -1
@@ -207,18 +226,114 @@ class World:
         return endpoint
 
     def owner_of_address(self, address: Address) -> int:
-        """Cached address-to-owner-AS lookup (one hot path per download)."""
+        """Cached address-to-owner-AS lookup (one hot path per download).
+
+        NAT64-mapped addresses (64:ff9b::/96) are intercepted before the
+        allocator: no AS allocates out of the well-known prefix, so the
+        owner of a synthesized AAAA is the owner of the embedded IPv4
+        address — the AS the translated flow actually lands in.
+        """
         owner = self._owner_cache.get(address)
         if owner is None:
-            owner = self.dualstack.allocator.owner_of_address(address)
+            if is_nat64_mapped(address):
+                owner = self.dualstack.allocator.owner_of_address(
+                    extract_ipv4(address)
+                )
+            else:
+                owner = self.dualstack.allocator.owner_of_address(address)
             self._owner_cache[address] = owner
         return owner
 
-    def _path_provider(self, vantage_asn: int):
+    # -- NAT64 -----------------------------------------------------------------
+
+    def nat64_gateway_for(self, vantage_asn: int) -> Nat64Gateway | None:
+        """The NAT64 gateway a vantage's translated traffic crosses.
+
+        Deterministic: the gateway with the shortest apparent IPv6 route
+        from the vantage (ties to the lowest ASN), memoised per vantage.
+        ``None`` when no gateway is deployed or none is v6-reachable.
+        """
+        if vantage_asn in self._vantage_gateway:
+            return self._vantage_gateway[vantage_asn]
+        best: Nat64Gateway | None = None
+        best_key: tuple[int, int] | None = None
+        for gateway in self.nat64_gateways:
+            route = self.oracle.route(
+                vantage_asn, gateway.gateway_asn, AddressFamily.IPV6
+            )
+            if route is None:
+                continue
+            key = (len(route.path), gateway.gateway_asn)
+            if best_key is None or key < best_key:
+                best, best_key = gateway, key
+        self._vantage_gateway[vantage_asn] = best
+        return best
+
+    def translated_path(
+        self, vantage_asn: int, owner_asn: int
+    ) -> ForwardingPath | None:
+        """The NAT64-translated forwarding path to an IPv4 owner (cached).
+
+        The apparent IPv6 AS path runs from the vantage to the gateway
+        announcing 64:ff9b::/96; the IPv4 leg from the gateway to the
+        real destination is hidden from BGP, sized by the valley-free
+        IPv4 distance — the same under-reporting tunnels exhibit.
+        """
+        key = (vantage_asn, owner_asn)
+        if key in self._translated_cache:
+            return self._translated_cache[key]
+        path: ForwardingPath | None = None
+        gateway = self.nat64_gateway_for(vantage_asn)
+        if gateway is not None:
+            route = self.oracle.route(
+                vantage_asn, gateway.gateway_asn, AddressFamily.IPV6
+            )
+            if route is not None:
+                base = ForwardingPath.from_as_path(
+                    self.dualstack, route.path, AddressFamily.IPV6
+                )
+                distances = self._nat64_distances.get(gateway.gateway_asn)
+                if distances is None:
+                    distances = valley_free_distances(
+                        self.topology, gateway.gateway_asn
+                    )
+                    self._nat64_distances[gateway.gateway_asn] = distances
+                path = replace(
+                    base,
+                    translated=True,
+                    translation_hidden_hops=max(
+                        1, distances.get(owner_asn, 3)
+                    ),
+                    translation_quality=gateway.translation_quality,
+                )
+        self._translated_cache[key] = path
+        return path
+
+    def _path_provider(self, vantage_asn: int, dns64: bool = False):
+        gateway = self.nat64_gateway_for(vantage_asn) if dns64 else None
+
         def provide(
             owner_asn: int, site_id: int, family: AddressFamily, round_idx: int
         ) -> ForwardingPath | None:
             site = self.catalog.site(site_id)
+            if (
+                dns64
+                and family is AddressFamily.IPV6
+                and not site.v6_accessible_at(round_idx)
+            ):
+                # The AAAA this connection resolved to was DNS64-
+                # synthesized (the site publishes no real AAAA yet), so
+                # forwarding crosses the NAT64 gateway.
+                if (
+                    gateway is not None
+                    and self.faults is not None
+                    and self.faults.nat64_outage(gateway.gateway_asn, round_idx)
+                ):
+                    # The translator is down this round: every
+                    # synthesized-AAAA connection through it fails.
+                    _NAT64_OUTAGES.inc()
+                    return None
+                return self.translated_path(vantage_asn, owner_asn)
             alternate = site.behaviour.path_changes_at(family, round_idx)
             path = self.forwarding_path(vantage_asn, owner_asn, family, alternate)
             if (
@@ -321,10 +436,28 @@ class World:
         pass their own :class:`ZonePublisher` store so each vantage can
         advance the DNS timeline independently of the others.
         """
+        dns64_on = self.config.dns64.applies_to(vantage.name)
+        if dns64_on:
+            # Translated connections reach IPv4 content: the synthesized
+            # AAAA embeds the site's A record, so a "v6" fetch of a
+            # v4-only site serves the IPv4 page from the IPv4 server.
+            def content_lookup(
+                name: str, family: AddressFamily, round_idx: int
+            ) -> ContentEndpoint:
+                if family is AddressFamily.IPV6 and not self.catalog.by_name(
+                    name
+                ).v6_accessible_at(round_idx):
+                    return self.content_endpoint(
+                        name, AddressFamily.IPV4, round_idx
+                    )
+                return self.content_endpoint(name, family, round_idx)
+
+        else:
+            content_lookup = self.content_endpoint
         client = HttpClient(
             model=self.model,
-            content_lookup=self.content_endpoint,
-            path_provider=self._path_provider(vantage.asn),
+            content_lookup=content_lookup,
+            path_provider=self._path_provider(vantage.asn, dns64_on),
             owner_lookup=self.owner_of_address,
             fault_hook=self.server_fault_hook(),
             fault_hook_batch=self.server_fault_hook_batch(),
@@ -350,12 +483,14 @@ class World:
             resolver=Resolver(
                 store=zones if zones is not None else self.zones,
                 fault_check=self.dns_fault_check(),
+                dns64=dns64_on,
             ),
             client=client,
             clock=self.clock,
             site_list=site_list,
             external_inputs=external_inputs,
             site_id_of=lambda name: self.catalog.by_name(name).site_id,
+            record_transitions=self.config.dns64.enabled,
         )
 
     def external_site_ids(self) -> list[int]:
@@ -567,6 +702,9 @@ def build_vantages(
 
 
 _LOG = get_logger("core.world")
+#: translated connections refused because the gateway was down (module
+#: cached: ``obs`` resets metrics in place).
+_NAT64_OUTAGES = metrics.counter("faults.nat64_outages")
 
 
 def build_world(config: ScenarioConfig) -> World:
@@ -597,6 +735,18 @@ def build_world(config: ScenarioConfig) -> World:
         with span("world.vantages"):
             vantages = build_vantages(dualstack, n_rounds, rngs.stream("vantages"))
             oracle = PathOracle(dualstack, sources=[v.asn for v in vantages])
+        nat64_gateways: tuple[Nat64Gateway, ...] = ()
+        if config.dns64.enabled:
+            gateway_asns = select_nat64_gateways(
+                dualstack, config.dns64.n_gateways, rngs.stream("nat64")
+            )
+            nat64_gateways = tuple(
+                Nat64Gateway(
+                    gateway_asn=asn,
+                    translation_quality=config.dns64.translation_quality,
+                )
+                for asn in gateway_asns
+            )
         world = World(
             config=config,
             rngs=rngs,
@@ -609,6 +759,7 @@ def build_world(config: ScenarioConfig) -> World:
             vantages=vantages,
             oracle=oracle,
             faults=faults,
+            nat64_gateways=nat64_gateways,
         )
     metrics.gauge("world.ases").set(len(topology.ases))
     metrics.gauge("world.sites").set(len(catalog.sites))

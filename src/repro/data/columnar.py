@@ -54,7 +54,11 @@ from dataclasses import dataclass, field
 
 from ..errors import DataError
 from ..monitor.aggregate import CentralRepository
-from ..monitor.database import FAULT_KINDS, MeasurementDatabase
+from ..monitor.database import (
+    FAULT_KINDS,
+    TRANSITION_KINDS,
+    MeasurementDatabase,
+)
 from ..monitor.vantage import VantagePoint
 from ..net.addresses import AddressFamily
 from ..obs import metrics
@@ -326,6 +330,9 @@ TABLE_SCHEMAS: dict[str, tuple[tuple[str, str], ...]] = {
         ("site_id", "i64"), ("family", "dict"), ("round", "i64"),
         ("kind", "dict"),
     ),
+    "transitions": (
+        ("site_id", "i64"), ("round", "i64"), ("transition", "dict"),
+    ),
 }
 
 #: the key columns each table's sorted index covers (prefix-probe order:
@@ -337,12 +344,16 @@ TABLE_INDEX_KEYS: dict[str, tuple[str, ...]] = {
     "downloads": ("site_id", "family", "round"),
     "paths": ("site_id", "family", "round"),
     "faults": ("site_id", "family", "round"),
+    "transitions": ("site_id", "round"),
 }
 
 #: columns with a *fixed* dictionary (shared vocabulary, stable codes).
+#: the transitions table names its kind column "transition" so the two
+#: vocabularies ("kind" = fault kinds) never collide here.
 _FIXED_DICTIONARIES = {
     "family": list(FAMILY_DICTIONARY),
     "kind": list(FAULT_KINDS),
+    "transition": list(TRANSITION_KINDS),
 }
 
 
@@ -508,6 +519,9 @@ class ColumnarDatabase:
         faults = self.tables["faults"].rows()
         if faults:
             data["faults"] = faults
+        transitions = self.tables["transitions"].rows()
+        if transitions:
+            data["transitions"] = transitions
         return MeasurementDatabase.from_dict(data)
 
     def to_payload(self) -> dict:

@@ -30,6 +30,14 @@ class ForwardingPath:
     tunnels: tuple[Tunnel, ...]
     #: per-tunnel multiplicative throughput penalty.
     tunnel_quality: float
+    #: True for NAT64-translated paths: the apparent IPv6 path ends at
+    #: the gateway AS announcing 64:ff9b::/96, and forwarding continues
+    #: over an IPv4 leg invisible to BGP (RFC 6146).
+    translated: bool = False
+    #: hop count of the hidden IPv4 leg behind the NAT64 gateway.
+    translation_hidden_hops: int = 0
+    #: multiplicative throughput penalty of the stateful translator.
+    translation_quality: float = 1.0
 
     @property
     def apparent_hops(self) -> int:
@@ -38,8 +46,11 @@ class ForwardingPath:
 
     @property
     def hidden_hops(self) -> int:
-        """Extra forwarding hops hidden inside tunnels."""
-        return sum(t.extra_hops for t in self.tunnels)
+        """Extra forwarding hops hidden inside tunnels or behind NAT64."""
+        return (
+            sum(t.extra_hops for t in self.tunnels)
+            + self.translation_hidden_hops
+        )
 
     @property
     def effective_hops(self) -> int:
@@ -48,12 +59,25 @@ class ForwardingPath:
 
     @property
     def total_quality(self) -> float:
-        """Path quality including tunnel penalties."""
-        return self.quality * (self.tunnel_quality ** len(self.tunnels))
+        """Path quality including tunnel and translation penalties."""
+        return (
+            self.quality
+            * (self.tunnel_quality ** len(self.tunnels))
+            * self.translation_quality
+        )
 
     @property
     def destination(self) -> int:
         return self.as_path[-1]
+
+    @property
+    def transition_kind(self) -> str:
+        """How this path crosses the v6 Internet (the classifier's axis)."""
+        if self.translated:
+            return "translated"
+        if self.tunnels:
+            return "tunneled"
+        return "native"
 
     @classmethod
     def from_as_path(
@@ -93,5 +117,10 @@ class ForwardingPath:
     def describe(self) -> str:
         """Human-readable one-liner (used by examples and logs)."""
         hops = " ".join(f"AS{a}" for a in self.as_path)
-        extra = f" (+{self.hidden_hops} tunneled)" if self.tunnels else ""
+        if self.translated:
+            extra = f" (+{self.translation_hidden_hops} translated)"
+        elif self.tunnels:
+            extra = f" (+{self.hidden_hops} tunneled)"
+        else:
+            extra = ""
         return f"[{self.family}] {hops}{extra}"

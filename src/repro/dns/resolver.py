@@ -13,6 +13,7 @@ from typing import Callable
 
 from ..errors import DnsError, DnsTimeout, NoRecord, NxDomain
 from ..net.addresses import Address, AddressFamily
+from ..net.nat64 import synthesize_aaaa
 from ..obs import metrics
 from .records import RecordType, RRSet
 from .zone import ZoneStore
@@ -25,6 +26,11 @@ NEGATIVE_TTL = 900.0
 #: process-wide cache counters (per-resolver ``hits``/``misses`` remain).
 _CACHE_HITS = metrics.counter("dns.cache_hits")
 _CACHE_MISSES = metrics.counter("dns.cache_misses")
+#: DNS64 synthesis counters (RFC 6147): AAAA answers fabricated from A
+#: records, and AAAA queries that stayed negative because the name had
+#: no A record to map either.
+_DNS64_SYNTHESIZED = metrics.counter("dns.dns64.synthesized")
+_DNS64_NO_MAPPING = metrics.counter("dns.dns64.no_mapping")
 
 
 @dataclass(frozen=True, slots=True)
@@ -78,6 +84,11 @@ class Resolver:
     fault_check: Callable[[str, AddressFamily, float, int], float | None] | None = (
         None
     )
+    #: DNS64 mode (RFC 6147): when a AAAA query finds a name with no AAAA
+    #: record, synthesize one from the name's A record by embedding the
+    #: IPv4 address in the NAT64 well-known prefix.  NXDOMAIN is never
+    #: synthesized (no A record to map), matching the RFC.
+    dns64: bool = False
 
     def _prefetch(self, name: str, now: float) -> None:
         """One authoritative walk caches the whole name: A, AAAA and CNAME.
@@ -225,9 +236,39 @@ class Resolver:
                 return None
             cname_set = entry.rrset
             if cname_set is None:
+                # The name exists but has neither an address of this
+                # family nor a CNAME — the DNS64 synthesis point: a AAAA
+                # query against a v4-only name.
+                if self.dns64 and family is AddressFamily.IPV6:
+                    return self._dns64_synthesize(name, current, now, from_cache)
                 return None
             current = str(cname_set.records[0].value)
         raise DnsError(f"CNAME chain too deep resolving {name}")
+
+    def _dns64_synthesize(
+        self, query_name: str, final_name: str, now: float, from_cache: bool
+    ) -> ResolutionResult | None:
+        """Fabricate a AAAA answer from ``final_name``'s A record.
+
+        Called only when ``final_name`` exists without a AAAA record
+        (RFC 6147 §5.1.6: synthesis never overrides a real AAAA, and
+        NXDOMAIN stays NXDOMAIN).  Returns ``None`` when there is no A
+        record to map either.
+        """
+        rrset, was_cached, nxdomain = self._lookup_one(
+            final_name, RecordType.A, now
+        )
+        if nxdomain or rrset is None:
+            _DNS64_NO_MAPPING.inc()
+            return None
+        _DNS64_SYNTHESIZED.inc()
+        return ResolutionResult(
+            query_name=query_name,
+            final_name=final_name,
+            rtype=RecordType.AAAA,
+            addresses=tuple(synthesize_aaaa(a) for a in rrset.address_tuple),
+            from_cache=from_cache and was_cached,
+        )
 
     def query_both(
         self, name: str, now: float = 0.0, attempt: int = 0

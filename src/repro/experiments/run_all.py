@@ -4,7 +4,7 @@ Usage::
 
     python -m repro.experiments.run_all [--scale FACTOR] [--seed SEED]
         [--backend serial|process] [--jobs N]
-        [--cache-dir DIR] [--no-cache] [--faults PRESET]
+        [--cache-dir DIR] [--no-cache] [--faults PRESET] [--transition]
 
 Builds one world, runs the weekly campaign plus the World IPv6 Day
 campaign, and prints all figures/tables with the paper's reference
@@ -41,6 +41,7 @@ from . import (  # noqa: F401 - imported for table registry below
     table9,
     table11,
     table13,
+    transition,
     worldipv6day,
 )
 
@@ -63,6 +64,7 @@ EXPERIMENTS = (
     ("Table 12", worldipv6day.run_table12, True),
     ("Table 13", table13.run, False),
     ("Section 5.5", section55.run, False),
+    ("Transition matrix", transition.run, False),
 )
 
 
@@ -110,6 +112,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="fault-injection preset (default: $REPRO_FAULTS or none)",
     )
+    parser.add_argument(
+        "--transition",
+        action="store_true",
+        help="enable the NAT64/DNS64 transition axis (populates the "
+        "transition-matrix table; default: off)",
+    )
     args = parser.parse_args(argv)
     enable_tracing()
     if args.no_cache:
@@ -138,6 +146,10 @@ def main(argv: list[str] | None = None) -> int:
         ),
         faults=resolve_faults(args.faults),
     )
+    if args.transition:
+        config = replace(
+            config, dns64=replace(config.dns64, enabled=True)
+        )
     t0 = time.time()
     data = scenario.get_experiment_data(config, execution=execution)
     print(f"# campaign built and run in {time.time() - t0:.1f}s", file=sys.stderr)

@@ -1,0 +1,100 @@
+"""Transition matrix — native / tunneled / translated IPv6 access.
+
+Beyond the paper: with the NAT64/DNS64 axis enabled, every v4-only site
+becomes reachable over IPv6 through a translator, so the campaign's v6
+population splits three ways (:class:`~repro.analysis.classify.TransitionKind`).
+This table reports, per vantage point, the adoption of each mechanism
+and the native-vs-NAT64 speed gap — the translated analogue of the
+paper's tunnel findings (tunnels make v6 slower; so does translation).
+
+On a default (DNS64-off) campaign the transitions table is empty and
+the table renders a single explanatory note.
+"""
+
+from __future__ import annotations
+
+from ..analysis.classify import (
+    TransitionKind,
+    classify_transitions,
+    sites_in_transition,
+    transition_split,
+)
+from ..analysis.metrics import site_mean_speed
+from ..net.addresses import AddressFamily
+from .report import Table, pct
+from .scenario import ExperimentData, get_experiment_data
+
+REFERENCE = [
+    "no 2011 paper counterpart; NAT64/DNS64 axis after RFC 6146/6147.",
+    "expected shape (arXiv:2402.14632): translated destinations trail",
+    "native IPv6 - the v4 leg behind the translator adds hidden hops",
+    "and a translation penalty, like the tunnel detours of Table 7.",
+]
+
+
+def _kind_speeds(context, site_ids) -> list[float]:
+    speeds = []
+    for site_id in site_ids:
+        speed = site_mean_speed(context.db, site_id, AddressFamily.IPV6)
+        if speed is not None:
+            speeds.append(speed)
+    return speeds
+
+
+def run(data: ExperimentData | None = None) -> Table:
+    """Build the per-vantage transition-matrix table."""
+    if data is None:
+        data = get_experiment_data()
+    table = Table(
+        title="Transition matrix - IPv6 access by mechanism (beyond the paper)",
+        columns=(
+            "vantage", "native", "tunneled", "translated",
+            "translated share", "v6 speed native", "v6 speed NAT64",
+            "native/NAT64",
+        ),
+        paper_reference=REFERENCE,
+    )
+    any_rows = False
+    for name in data.analysis_vantage_names:
+        context = data.context(name)
+        classes = classify_transitions(context.db)
+        if not classes:
+            continue
+        any_rows = True
+        split = transition_split(classes)
+        total = len(classes)
+        native_speeds = _kind_speeds(
+            context, sites_in_transition(classes, TransitionKind.NATIVE)
+        )
+        translated_speeds = _kind_speeds(
+            context, sites_in_transition(classes, TransitionKind.TRANSLATED)
+        )
+        native = (
+            sum(native_speeds) / len(native_speeds) if native_speeds else None
+        )
+        translated = (
+            sum(translated_speeds) / len(translated_speeds)
+            if translated_speeds
+            else None
+        )
+        table.add_row(
+            name,
+            split[TransitionKind.NATIVE],
+            split[TransitionKind.TUNNELED],
+            split[TransitionKind.TRANSLATED],
+            pct(split[TransitionKind.TRANSLATED] / total if total else None),
+            native,
+            translated,
+            native / translated if native is not None and translated else None,
+        )
+    if not any_rows:
+        table.notes.append(
+            "no transitions recorded - run with --transition to enable "
+            "the NAT64/DNS64 axis"
+        )
+    else:
+        table.notes.append(
+            "a site's kind follows its most recent round: mid-campaign "
+            "AAAA adopters count as native, not NAT64"
+        )
+    return table

@@ -45,6 +45,7 @@ class FaultPlan:
         self._seed = derive_seed(master_seed, "faults")
         self._tunnel_cache: dict[tuple[int, int], bool] = {}
         self._link_cache: dict[tuple[int, int], float] = {}
+        self._nat64_cache: dict[tuple[int, int], bool] = {}
 
     # -- primitive draws ------------------------------------------------------
 
@@ -189,6 +190,24 @@ class FaultPlan:
             self._tunnel_cache[key] = cached
         return cached
 
+    def nat64_outage(self, gateway_asn: int, round_idx: int) -> bool:
+        """Whether the NAT64 gateway in ``gateway_asn`` is down this round.
+
+        A down translator takes every synthesized-AAAA connection through
+        it with it: the monitor sees those destinations as unreachable
+        over IPv6 and falls back per its retry policy, the translated
+        analogue of :meth:`tunnel_broken`.
+        """
+        key = (gateway_asn, round_idx)
+        cached = self._nat64_cache.get(key)
+        if cached is None:
+            cached = self._chance(
+                f"nat64:{gateway_asn}:{round_idx}",
+                self.config.nat64_outage_rate,
+            )
+            self._nat64_cache[key] = cached
+        return cached
+
     def link_degradation(self, asn: int, round_idx: int) -> float:
         """Throughput factor of ``asn``'s links this round (1.0 = clean)."""
         key = (asn, round_idx)
@@ -225,6 +244,7 @@ FAULT_PRESETS: dict[str, FaultConfig] = {
         v6_fault_multiplier=2.0,
         tunnel_breakage_rate=0.05,
         link_degradation_rate=0.02,
+        nat64_outage_rate=0.03,
     ),
     "heavy": FaultConfig(
         a_failure_rate=0.02,
@@ -236,6 +256,7 @@ FAULT_PRESETS: dict[str, FaultConfig] = {
         tunnel_breakage_rate=0.15,
         link_degradation_rate=0.08,
         link_degradation_factor=0.35,
+        nat64_outage_rate=0.10,
     ),
 }
 

@@ -101,6 +101,30 @@ class FaultObservation:
     kind: str
 
 
+#: how a measured IPv6 connection actually crossed the Internet:
+#: natively routed end to end, through a 6to4/broker tunnel, or
+#: NAT64-translated onto an IPv4 leg.  Order is the wire dictionary.
+TRANSITION_KINDS = (
+    "native",
+    "tunneled",
+    "translated",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TransitionObservation:
+    """The transition mechanism behind one measured (site, round) IPv6 flow.
+
+    Recorded only when the scenario's NAT64/DNS64 axis is enabled —
+    legacy campaigns carry no transitions table and their wire form (and
+    digests) stay bit-identical.
+    """
+
+    site_id: int
+    round_idx: int
+    kind: str
+
+
 @dataclass
 class MeasurementDatabase:
     """All tables for one vantage point, with query helpers."""
@@ -121,6 +145,9 @@ class MeasurementDatabase:
     )
     #: injected failures in observation order (empty in fault-free runs).
     faults: list[FaultObservation] = field(default_factory=list)
+    #: per-(site, round) IPv6 transition kinds in observation order
+    #: (empty unless the NAT64/DNS64 axis records them).
+    transitions: list[TransitionObservation] = field(default_factory=list)
     #: memoized :meth:`dual_stack_sites` result; invalidated on download
     #: writes (the only table that query reads).
     _dual_stack_cache: list[int] | None = field(
@@ -181,6 +208,17 @@ class MeasurementDatabase:
                 f"after {self.faults[-1].round_idx}"
             )
         self.faults.append(obs)
+        self._columnar_cache = None
+
+    def add_transition(self, obs: TransitionObservation) -> None:
+        if obs.kind not in TRANSITION_KINDS:
+            raise MonitorError(f"unknown transition kind {obs.kind!r}")
+        if self.transitions and self.transitions[-1].round_idx > obs.round_idx:
+            raise MonitorError(
+                f"out-of-order transition insert: round {obs.round_idx} "
+                f"after {self.transitions[-1].round_idx}"
+            )
+        self.transitions.append(obs)
         self._columnar_cache = None
 
     # -- batched writes --------------------------------------------------------
@@ -263,6 +301,19 @@ class MeasurementDatabase:
                     f"after {faults[-1].round_idx}"
                 )
             faults.append(obs)
+        self._columnar_cache = None
+
+    def add_transitions(self, rows: "list[TransitionObservation]") -> None:
+        transitions = self.transitions
+        for obs in rows:
+            if obs.kind not in TRANSITION_KINDS:
+                raise MonitorError(f"unknown transition kind {obs.kind!r}")
+            if transitions and transitions[-1].round_idx > obs.round_idx:
+                raise MonitorError(
+                    f"out-of-order transition insert: round {obs.round_idx} "
+                    f"after {transitions[-1].round_idx}"
+                )
+            transitions.append(obs)
         self._columnar_cache = None
 
     @staticmethod
@@ -378,6 +429,23 @@ class MeasurementDatabase:
             counts[obs.kind] = counts.get(obs.kind, 0) + 1
         return counts
 
+    def transition_counts(self, round_idx: int | None = None) -> dict[str, int]:
+        """IPv6 transition-kind counts, overall or for one round."""
+        counts: dict[str, int] = {}
+        for obs in self.transitions:
+            if round_idx is not None and obs.round_idx != round_idx:
+                continue
+            counts[obs.kind] = counts.get(obs.kind, 0) + 1
+        return counts
+
+    def transition_kind_of(self, site_id: int) -> str | None:
+        """The latest observed transition kind of one site (or None)."""
+        latest: str | None = None
+        for obs in self.transitions:
+            if obs.site_id == site_id:
+                latest = obs.kind
+        return latest
+
     def __len__(self) -> int:
         return sum(len(rows) for rows in self.downloads.values())
 
@@ -432,6 +500,12 @@ class MeasurementDatabase:
             data["faults"] = [
                 [o.site_id, o.family.value, o.round_idx, o.kind]
                 for o in self.faults
+            ]
+        if self.transitions:
+            # Same optional-key rule: campaigns without the NAT64 axis
+            # serialize (and digest) exactly as before it existed.
+            data["transitions"] = [
+                [o.site_id, o.round_idx, o.kind] for o in self.transitions
             ]
         return data
 
@@ -502,6 +576,12 @@ class MeasurementDatabase:
                     round_idx=round_idx,
                     family=AddressFamily(family),
                     kind=kind,
+                )
+            )
+        for site_id, round_idx, kind in data.get("transitions", []):
+            db.add_transition(
+                TransitionObservation(
+                    site_id=site_id, round_idx=round_idx, kind=kind
                 )
             )
         return db

@@ -127,14 +127,23 @@ def export_faults_csv(db: MeasurementDatabase, path: pathlib.Path) -> int:
     return _write_csv(path, ("round", "family", "kind", "count"), rows())
 
 
+def export_transitions_csv(db: MeasurementDatabase, path: pathlib.Path) -> int:
+    """Write the per-(site, round) IPv6 transition-kind table."""
+    def rows():
+        for obs in db.transitions:
+            yield (obs.site_id, obs.round_idx, obs.kind)
+
+    return _write_csv(path, ("site_id", "round", "transition"), rows())
+
+
 def export_database(
     db: MeasurementDatabase, directory: pathlib.Path
 ) -> dict[str, int]:
     """Export one vantage point's database; returns per-table row counts.
 
-    ``faults.csv`` (and its manifest entry) appears only when failures
-    were observed, so fault-free export trees keep their historical
-    layout and bytes.
+    ``faults.csv`` and ``transitions.csv`` (and their manifest entries)
+    appear only when such rows were observed, so legacy export trees
+    keep their historical layout and bytes.
     """
     directory.mkdir(parents=True, exist_ok=True)
     counts = {
@@ -145,6 +154,10 @@ def export_database(
     }
     if db.faults:
         counts["faults"] = export_faults_csv(db, directory / "faults.csv")
+    if db.transitions:
+        counts["transitions"] = export_transitions_csv(
+            db, directory / "transitions.csv"
+        )
     return counts
 
 

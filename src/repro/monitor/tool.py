@@ -37,6 +37,7 @@ from .database import (
     MeasurementDatabase,
     PageCheck,
     PathObservation,
+    TransitionObservation,
 )
 from .download import RepeatedDownloader
 from .vantage import VantagePoint
@@ -71,6 +72,10 @@ class VantageEnvironment:
     external_inputs: Callable[[int], list[str]]
     #: site name -> stable site id.
     site_id_of: Callable[[str], int]
+    #: record per-(site, round) IPv6 transition kinds (on when the
+    #: scenario's NAT64/DNS64 axis is enabled; legacy campaigns record
+    #: nothing and keep their wire form bit-identical).
+    record_transitions: bool = False
 
 
 @dataclass(frozen=True)
@@ -458,6 +463,17 @@ class MonitoringTool:
                     as_path=outcome.first_result.as_path,
                 )
             )
+            if (
+                family is AddressFamily.IPV6
+                and self.env.record_transitions
+            ):
+                self.database.add_transition(
+                    TransitionObservation(
+                        site_id=site_id,
+                        round_idx=round_idx,
+                        kind=session.path.transition_kind,
+                    )
+                )
         if fully_measured:
             _MEASURED.inc()
         return duration, True, fully_measured

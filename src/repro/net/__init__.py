@@ -8,6 +8,13 @@ from .addresses import (
     parse_address,
 )
 from .allocation import PrefixAllocator
+from .nat64 import (
+    NAT64_PREFIX,
+    Nat64Gateway,
+    extract_ipv4,
+    is_nat64_mapped,
+    synthesize_aaaa,
+)
 from .tunnels import Tunnel, TunnelKind, SIX_TO_FOUR_PREFIX, is_6to4
 
 __all__ = [
@@ -17,6 +24,11 @@ __all__ = [
     "Prefix",
     "parse_address",
     "PrefixAllocator",
+    "NAT64_PREFIX",
+    "Nat64Gateway",
+    "extract_ipv4",
+    "is_nat64_mapped",
+    "synthesize_aaaa",
     "Tunnel",
     "TunnelKind",
     "SIX_TO_FOUR_PREFIX",

@@ -1,0 +1,66 @@
+"""NAT64/DNS64 address translation (RFC 6052 / 6146 / 6147).
+
+Where tunnels carry IPv6 *over* IPv4, NAT64 lets an IPv6-only client
+reach IPv4-only content by *translating*: a DNS64 resolver synthesizes a
+AAAA record for names that only have an A record, embedding the IPv4
+address in the well-known prefix ``64:ff9b::/96`` (RFC 6052), and a
+NAT64 gateway AS that announces the prefix rewrites each connection into
+an IPv4 flow on the far side (RFC 6146).
+
+The value types here are deliberately tiny — prefix math plus the
+gateway descriptor — so the DNS layer (synthesis), the topology layer
+(who announces the prefix, how far the translated IPv4 leg runs), and
+the data plane (what the translation costs) can each import exactly what
+they need without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .addresses import Address, AddressFamily, IPv4Address, IPv6Address, Prefix
+
+#: The NAT64 well-known prefix from RFC 6052.
+NAT64_PREFIX = Prefix.parse("64:ff9b::/96")
+
+
+def synthesize_aaaa(v4: IPv4Address) -> IPv6Address:
+    """The DNS64-synthesized AAAA value for an A record (RFC 6052 §2.1)."""
+    return IPv6Address(NAT64_PREFIX.network | v4.value)
+
+
+def extract_ipv4(v6: IPv6Address) -> IPv4Address:
+    """The IPv4 address embedded in a NAT64-mapped IPv6 address."""
+    if not is_nat64_mapped(v6):
+        raise ValueError(f"{v6} is not inside {NAT64_PREFIX}")
+    return IPv4Address(int(v6) & 0xFFFFFFFF)
+
+
+def is_nat64_mapped(address: Address) -> bool:
+    """True for IPv6 addresses carved from the NAT64 well-known prefix."""
+    if address.family is not AddressFamily.IPV6:
+        return False
+    return NAT64_PREFIX.contains(address)
+
+
+@dataclass(frozen=True)
+class Nat64Gateway:
+    """A NAT64 translator deployed in ``gateway_asn``.
+
+    The gateway announces ``64:ff9b::/96`` into the IPv6 routing system,
+    so the *apparent* IPv6 AS path of a translated connection ends at the
+    gateway; the IPv4 leg from the gateway to the real destination is
+    invisible to BGP, exactly like a tunnel's encapsulated segment.
+    """
+
+    gateway_asn: int
+    #: stateful translation is work per packet; the multiplicative
+    #: throughput penalty of crossing the translator.
+    translation_quality: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.translation_quality <= 1.0:
+            raise ValueError(
+                f"translation_quality must be in (0, 1], "
+                f"got {self.translation_quality}"
+            )

@@ -7,7 +7,7 @@ content-addressed canonical-JSON reports with long-horizon trend flags.
 
 * :mod:`repro.observers.registry` — observer declaration + registry;
 * :mod:`repro.observers.reports` — versioned content-addressed reports;
-* :mod:`repro.observers.panel` — the initial six-observer panel;
+* :mod:`repro.observers.panel` — the derived-metric observer panel;
 * :mod:`repro.observers.trends` — the trend-significance model;
 * :mod:`repro.observers.runner` — the single execution path.
 """

@@ -1,15 +1,16 @@
 """The initial observer panel (~50 lines each, à la world-observer).
 
-Six derived-metric observers over the query core, each turning one of
-the paper's one-shot findings into a continuously watchable health
-signal:
+Derived-metric observers over the query core, each turning one of the
+paper's one-shot findings into a continuously watchable health signal:
 
 * ``region_adoption``   — per-region IPv6 adoption score (Fig 1 / 3a);
 * ``speed_parity``      — v6/v4 speed-parity index (H1/H2's observable);
 * ``path_stability``    — modal-AS-path change rate (§5.4's churn);
 * ``tunnel_prevalence`` — the Table-7 tunnel signature, watched;
 * ``failure_watch``     — injected-failure/retry rate (faults table);
-* ``hop_inflation``     — v6 vs v4 AS-path length inflation (Tables 7/9).
+* ``hop_inflation``     — v6 vs v4 AS-path length inflation (Tables 7/9);
+* ``transition_matrix`` — native/tunneled/translated adoption and the
+  native-vs-NAT64 speed gap (transitions table; empty when off).
 
 Every body follows the same convention: ``summary`` (headline scalars),
 ``per_vantage`` (the breakdown), and ``series`` (per-round trajectories
@@ -35,6 +36,7 @@ from ..data.query import (
     run_query,
     scan,
 )
+from ..monitor.database import TRANSITION_KINDS
 from ..net.addresses import AddressFamily
 from .registry import register
 
@@ -503,4 +505,81 @@ def hop_inflation(repository: ColumnarRepository) -> dict:
         "histogram": histogram,
         "per_vantage": per_vantage,
         "series": {"inflation": _series(inflation_by_round)},
+    }
+
+
+@register(
+    name="transition_matrix",
+    version=1,
+    description=(
+        "IPv6 transition-mechanism matrix over the transitions table: "
+        "per-vantage adoption of native / tunneled / translated (NAT64) "
+        "connectivity, the native-vs-NAT64 mean v6 speed gap, and the "
+        "per-round translated share (all empty unless the scenario's "
+        "DNS64 axis recorded transitions)."
+    ),
+    required_tables=("transitions", "downloads"),
+    headline="translated_share",
+)
+def transition_matrix(repository: ColumnarRepository) -> dict:
+    per_vantage: dict[str, dict] = {}
+    total_kinds = {kind: 0 for kind in TRANSITION_KINDS}
+    speeds: dict[str, list[float]] = {kind: [] for kind in TRANSITION_KINDS}
+    translated_by_round: dict[int, list[int]] = {}
+    for name, _, cdb in _sorted_vantages(repository):
+        table = cdb.table("transitions")
+        rows = scan(table)
+        sites = gather(table, "site_id", rows)
+        rounds = gather(table, "round", rows)
+        kinds = gather(table, "transition", rows)
+        # A site's classification follows its most recent round, so a
+        # mid-campaign native-IPv6 adopter counts as native, not NAT64.
+        latest: dict[int, str] = {}
+        for site_id, r, kind in zip(sites, rounds, kinds):
+            latest[site_id] = kind
+            bucket = translated_by_round.setdefault(r, [0, 0])
+            bucket[0] += 1 if kind == "translated" else 0
+            bucket[1] += 1
+        vantage_kinds = {kind: 0 for kind in TRANSITION_KINDS}
+        for site_id in sorted(latest):
+            kind = latest[site_id]
+            vantage_kinds[kind] += 1
+            speed = mean_speed(cdb, site_id, AddressFamily.IPV6)
+            if speed is not None:
+                speeds[kind].append(speed)
+        n_sites = len(latest)
+        per_vantage[name] = {
+            "n_sites": n_sites,
+            "by_kind": vantage_kinds,
+            "translated_share": (
+                vantage_kinds["translated"] / n_sites if n_sites else None
+            ),
+        }
+        for kind, n in vantage_kinds.items():
+            total_kinds[kind] += n
+    n_total = sum(total_kinds.values())
+    native_speed = _mean(speeds["native"])
+    translated_speed = _mean(speeds["translated"])
+    translated_share = {
+        r: (translated / total) if total else 0.0
+        for r, (translated, total) in translated_by_round.items()
+    }
+    return {
+        "summary": {
+            "translated_share": (
+                total_kinds["translated"] / n_total if n_total else 0.0
+            ),
+            "n_sites": n_total,
+            "by_kind": dict(sorted(total_kinds.items())),
+            "native_mean_speed": native_speed,
+            "translated_mean_speed": translated_speed,
+            "native_over_translated": (
+                native_speed / translated_speed
+                if native_speed is not None and translated_speed
+                else None
+            ),
+            "tunneled_mean_speed": _mean(speeds["tunneled"]),
+        },
+        "per_vantage": per_vantage,
+        "series": {"translated_share": _series(translated_share)},
     }

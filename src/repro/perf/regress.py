@@ -269,6 +269,58 @@ def evaluate_gates(report: dict) -> list[GateResult]:
             )
         )
 
+    data = _workload(report, "dns64")
+    if data is not None:
+        counters = data["counters"]
+        derived = data["derived"]
+        meta = data.get("meta", {})
+        results.append(
+            GateResult(
+                workload="dns64",
+                gate="synthesized_nonzero",
+                passed=counters["dns.dns64.synthesized"] > 0,
+                observed=counters["dns.dns64.synthesized"],
+                bound="> 0 (DNS64 actually synthesized AAAA answers)",
+            )
+        )
+        results.append(
+            GateResult(
+                workload="dns64",
+                gate="transitions_recorded",
+                passed=meta.get("n_transitions", 0) > 0,
+                observed=meta.get("n_transitions", 0),
+                bound="> 0 (the monitor recorded per-site transitions)",
+            )
+        )
+        results.append(
+            GateResult(
+                workload="dns64",
+                gate="translated_share_nonzero",
+                passed=derived["translated_share"] > 0,
+                observed=derived["translated_share"],
+                bound="> 0 (some sites were reached through NAT64)",
+            )
+        )
+        results.append(
+            GateResult(
+                workload="dns64",
+                gate="index_hit_fraction",
+                passed=derived["index_hit_fraction"] >= MIN_INDEX_HIT_FRACTION,
+                observed=derived["index_hit_fraction"],
+                bound=f">= {MIN_INDEX_HIT_FRACTION} (the transitions table "
+                      "does not degrade pushdown)",
+            )
+        )
+        results.append(
+            GateResult(
+                workload="dns64",
+                gate="no_nat64_outages_faults_off",
+                passed=counters["faults.nat64_outages"] == 0,
+                observed=counters["faults.nat64_outages"],
+                bound="== 0 (outages only under a fault preset)",
+            )
+        )
+
     data = _workload(report, "fault_plan")
     if data is not None:
         per_decision = data["derived"]["rng_constructions_per_decision"]

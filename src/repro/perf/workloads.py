@@ -32,6 +32,9 @@ WORK_COUNTERS = (
     "dns.zone_walks",
     "dns.cache_hits",
     "dns.cache_misses",
+    "dns.dns64.synthesized",
+    "dns.dns64.no_mapping",
+    "faults.nat64_outages",
     "web.endpoint_lookups",
     "web.path_lookups",
     "web.sessions",
@@ -370,6 +373,81 @@ def observers(seed: int, scale: float) -> WorkloadResult:
     )
 
 
+def dns64(seed: int, scale: float) -> WorkloadResult:
+    """The NAT64/DNS64 transition axis end to end.
+
+    Runs the campaign with DNS64 enabled — every v4-only site answers
+    AAAA queries with a synthesized ``64:ff9b::/96`` address and is
+    fetched through the translated forwarding path — then replays the
+    query battery over the transitions-bearing columnar views.  The
+    gates assert the axis actually engaged (nonzero synthesis counters,
+    transitions recorded) and that the extra table leaves the query
+    core's index-hit fraction at the plain-campaign floor.
+    """
+    import dataclasses
+
+    from ..data.columnar import columnar_view
+    from ..data.query import (
+        converged_speeds,
+        dest_asn,
+        dual_stack_sites,
+        modal_as_path,
+        path_change_rounds,
+    )
+
+    obs.reset()
+    obs.enable()
+    config = small_config(seed=seed, scale=scale)
+    config = dataclasses.replace(
+        config, dns64=dataclasses.replace(config.dns64, enabled=True)
+    )
+    world = build_world(config)
+    t0 = time.perf_counter()
+    result = run_campaign(world, execution=_SERIAL)
+    n_transitions = 0
+    n_translated = 0
+    n_queries = 0
+    for _, db in result.repository.items():
+        n_transitions += len(db.transitions)
+        n_translated += db.transition_counts().get("translated", 0)
+        cdb = columnar_view(db)
+        for site_id in dual_stack_sites(cdb):
+            for family in (AddressFamily.IPV4, AddressFamily.IPV6):
+                converged_speeds(cdb, site_id, family)
+                dest_asn(cdb, site_id, family)
+                modal_as_path(cdb, site_id, family)
+                path_change_rounds(cdb, site_id, family)
+                n_queries += 4
+    wall = time.perf_counter() - t0
+    counters = _snapshot_counters()
+    scans = counters["data.query.scans"]
+    return WorkloadResult(
+        name="dns64",
+        wall_seconds=wall,
+        counters=counters,
+        spans=_span_totals("campaign.round", "campaign.run"),
+        derived={
+            "index_hit_fraction": (
+                counters["data.query.index_hits"] / scans if scans else 0.0
+            ),
+            "translated_share": (
+                n_translated / n_transitions if n_transitions else 0.0
+            ),
+            "synthesized_per_transition": (
+                counters["dns.dns64.synthesized"] / n_transitions
+                if n_transitions
+                else 0.0
+            ),
+        },
+        meta={
+            "n_transitions": n_transitions,
+            "n_translated": n_translated,
+            "n_queries": n_queries,
+            "repository_digest": result.repository.content_digest(),
+        },
+    )
+
+
 #: timed loads per decoder in the ``store_io`` workload (fixed, so the
 #: store/columnar counters stay exact integers for a given campaign).
 STORE_IO_LOADS = 3
@@ -463,4 +541,5 @@ WORKLOADS = {
     "query": query,
     "observers": observers,
     "store_io": store_io,
+    "dns64": dns64,
 }

@@ -209,6 +209,33 @@ def _v6_core_reachable(
     return reachable
 
 
+def select_nat64_gateways(
+    topo: DualStackTopology, count: int, rng: random.Random
+) -> tuple[int, ...]:
+    """Pick the ASes that deploy NAT64 translators (RFC 6146).
+
+    A gateway must sit on both Internets: natively v6-connected (it
+    announces 64:ff9b::/96 into v6 BGP) and v4-connected (it originates
+    the translated flows), so the pool is the v6-enabled, untunneled
+    core — the same TIER1/TRANSIT stratum that hosts tunnel relays.
+    Selection draws from the ``rng`` stream, so gateway placement is a
+    pure function of the scenario seed.
+    """
+    pool = sorted(
+        asn
+        for asn in topo.v6_enabled
+        if topo.base.ases[asn].type in (ASType.TIER1, ASType.TRANSIT)
+        and topo.tunnel_of(asn) is None
+    )
+    if not pool:
+        raise TopologyError(
+            "no v6-enabled core AS can host a NAT64 gateway - raise the "
+            "tier-1/transit v6 enablement probabilities"
+        )
+    picks = rng.sample(pool, min(count, len(pool)))
+    return tuple(sorted(picks))
+
+
 def deploy_ipv6(
     topo: Topology,
     config: DualStackConfig,

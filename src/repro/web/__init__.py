@@ -4,7 +4,12 @@ from .page import WebPage
 from .server import OriginServer
 from .cdn import CDNProvider, CdnDeployment
 from .http import DownloadResult, HttpClient
-from .happyeyeballs import HappyEyeballsClient, RaceOutcome, summarise_races
+from .happyeyeballs import (
+    HappyEyeballsClient,
+    RaceOutcome,
+    race_environment,
+    summarise_races,
+)
 
 __all__ = [
     "WebPage",
@@ -15,5 +20,6 @@ __all__ = [
     "HttpClient",
     "HappyEyeballsClient",
     "RaceOutcome",
+    "race_environment",
     "summarise_races",
 ]

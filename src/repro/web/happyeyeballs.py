@@ -7,6 +7,12 @@ hasn't completed within a grace period (~300 ms in 2012 implementations,
 the "Preference" delay).  This module models that race on top of the
 reproduction's RTT model, so one can quantify how often 2011-era routing
 would still have pushed users onto IPv6 — and at what latency cost.
+
+:func:`race_environment` is the composition hook into the rest of the
+pipeline: it resolves a destination through a vantage point's real
+resolver and pins the same forwarding paths the monitor downloads over,
+so races run against the campaign's routing — including NAT64, where a
+DNS64 vantage races a translated v6 leg against the direct v4 one.
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ from typing import Iterable
 
 from ..dataplane.latency import LatencyModel
 from ..dataplane.path import ForwardingPath
-from ..errors import ConfigError
+from ..errors import ConfigError, UnreachableError
 from ..net.addresses import AddressFamily
 
 #: RFC 6555 recommends waiting 150-250 ms for IPv6 before starting IPv4;
@@ -90,6 +96,56 @@ class HappyEyeballsClient:
             v6_rtt_ms=v6_rtt,
             v4_rtt_ms=v4_rtt,
         )
+
+
+def race_environment(
+    client: HappyEyeballsClient,
+    env,
+    name: str,
+    round_idx: int,
+    rng: random.Random,
+) -> RaceOutcome | None:
+    """Race one destination over a vantage point's real paths.
+
+    ``env`` is anything shaped like
+    :class:`~repro.monitor.tool.VantageEnvironment` (``resolver``,
+    ``client``, ``clock``) — typically the object
+    ``World.environment_for`` returns, so the race uses the same DNS
+    answers and pinned forwarding paths the monitor measures over.  On
+    a DNS64 vantage, a v4-only destination's AAAA is synthesized and
+    its v6 leg is the NAT64-translated path: the race then quantifies
+    the RFC 6555 experience behind a translator.
+
+    Returns ``None`` when the destination has no IPv4 address or no
+    IPv4 path — the race's baseline leg cannot start.  A missing or
+    unreachable v6 leg is a valid race (IPv4 wins unopposed).
+    """
+    now = env.clock.time_of_round(round_idx)
+    results = env.resolver.query_both(name, now)
+    res4 = results[AddressFamily.IPV4]
+    res6 = results[AddressFamily.IPV6]
+    if res4 is None or not res4.addresses:
+        return None
+    try:
+        session4 = env.client.open(
+            res4.final_name, res4.addresses[0], AddressFamily.IPV4, round_idx
+        )
+    except UnreachableError:
+        return None
+    v6_path: ForwardingPath | None = None
+    if res6 is not None and res6.addresses:
+        try:
+            session6 = env.client.open(
+                res6.final_name,
+                res6.addresses[0],
+                AddressFamily.IPV6,
+                round_idx,
+            )
+        except UnreachableError:
+            pass
+        else:
+            v6_path = session6.path
+    return client.race(session4.path, v6_path, rng)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,165 @@
+"""Transition-enabled campaigns are backend- and plane-independent.
+
+The NAT64/DNS64 axis threads new rows (the transitions table), new DNS
+answers (synthesized AAAAs), and new forwarding paths (the translated
+leg) through both execution planes and both backends.  This module pins
+the combinations three ways:
+
+* a 10-seed golden fixture generated from the scalar reference path
+  (``REPRO_REGEN_GOLDEN=1`` regenerates with batching forced off) that
+  the batched plane must keep matching byte-for-byte,
+* a live batched-vs-scalar comparison on repository content digests, and
+* serial-vs-process byte parity of a full transition-enabled export
+  tree (every CSV including ``transitions.csv``, plus the manifest).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.batch import batching_enabled
+from repro.config import ExecutionConfig, small_config
+from repro.core.campaign import run_campaign
+from repro.core.world import build_world
+from repro.monitor.export import export_repository
+
+FIXTURE_DIR = (
+    pathlib.Path(__file__).parent.parent / "fixtures" / "golden_transitions_batch"
+)
+FIXTURE = FIXTURE_DIR / "transition_sweep.json"
+
+SWEEP_SEEDS = tuple(range(100, 110))
+SWEEP_ROUNDS = 3
+
+
+def _transition_config(seed: int):
+    cfg = small_config(seed=seed, scale=0.4)
+    return dataclasses.replace(
+        cfg, dns64=dataclasses.replace(cfg.dns64, enabled=True)
+    )
+
+
+def _canonical_summary(result) -> dict:
+    """Transitions tables row-for-row plus the repository digest.
+
+    Serialization order is part of the contract: any reordering of
+    transition rows — not just a changed classification — breaks it.
+    """
+    repo = result.repository
+    transitions = {
+        name: [
+            [obs.site_id, obs.round_idx, obs.kind]
+            for obs in repo.database(name).transitions
+        ]
+        for name in repo.vantage_names
+    }
+    return {
+        "transitions": transitions,
+        "repository_digest": repo.content_digest(),
+    }
+
+
+def _digest(summary: dict) -> str:
+    blob = json.dumps(summary, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _run_sweep() -> dict[str, str]:
+    return {
+        str(seed): _digest(
+            _canonical_summary(
+                run_campaign(
+                    build_world(_transition_config(seed)),
+                    n_rounds=SWEEP_ROUNDS,
+                )
+            )
+        )
+        for seed in SWEEP_SEEDS
+    }
+
+
+class TestGoldenTransitionSweep:
+    def test_batched_sweep_matches_scalar_golden(self, monkeypatch):
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            # Regenerate from the scalar reference path so the fixture
+            # always encodes pre-batching behaviour.
+            os.environ["REPRO_BATCH"] = "0"
+            try:
+                FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+                FIXTURE.write_text(
+                    json.dumps(_run_sweep(), indent=2, sort_keys=True) + "\n"
+                )
+            finally:
+                os.environ.pop("REPRO_BATCH", None)
+            pytest.skip("golden fixture regenerated")
+        assert FIXTURE.exists(), (
+            "missing golden fixture; regenerate with REPRO_REGEN_GOLDEN=1"
+        )
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        assert batching_enabled(), "sweep must exercise the batched path"
+        assert _run_sweep() == json.loads(FIXTURE.read_text())
+
+
+class TestLiveScalarParity:
+    """Direct batched-vs-scalar comparison, fixture-free, for a subset."""
+
+    @pytest.mark.parametrize("seed", [100, 104, 109])
+    def test_transition_tables_identical(self, seed, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        batched = run_campaign(
+            build_world(_transition_config(seed)), n_rounds=SWEEP_ROUNDS
+        )
+        monkeypatch.setenv("REPRO_BATCH", "0")
+        scalar = run_campaign(
+            build_world(_transition_config(seed)), n_rounds=SWEEP_ROUNDS
+        )
+        assert _canonical_summary(batched) == _canonical_summary(scalar)
+
+    def test_sweep_actually_translates(self):
+        result = run_campaign(
+            build_world(_transition_config(100)), n_rounds=SWEEP_ROUNDS
+        )
+        repo = result.repository
+        kinds = {
+            obs.kind
+            for name in repo.vantage_names
+            for obs in repo.database(name).transitions
+        }
+        assert "translated" in kinds
+
+
+class TestBackendExportParity:
+    """Serial and process backends export byte-identical trees."""
+
+    def _export_tree(self, backend: str, directory: pathlib.Path) -> dict:
+        execution = (
+            ExecutionConfig(backend="process", jobs=2)
+            if backend == "process"
+            else ExecutionConfig(backend="serial")
+        )
+        result = run_campaign(
+            build_world(_transition_config(101)),
+            n_rounds=SWEEP_ROUNDS,
+            execution=execution,
+        )
+        export_repository(result.repository, directory)
+        return {
+            path.relative_to(directory).as_posix(): path.read_bytes()
+            for path in sorted(directory.rglob("*"))
+            if path.is_file()
+        }
+
+    def test_export_trees_byte_identical(self, tmp_path):
+        serial = self._export_tree("serial", tmp_path / "serial")
+        process = self._export_tree("process", tmp_path / "process")
+        assert sorted(serial) == sorted(process)
+        for name, blob in serial.items():
+            assert process[name] == blob, f"{name} differs across backends"
+        # the transition axis actually reached the export layer
+        assert any(name.endswith("transitions.csv") for name in serial)

@@ -65,6 +65,22 @@ def small_w6d(small_cfg, small_campaign) -> ExperimentData:
     )
 
 
+@pytest.fixture(scope="session")
+def dns64_cfg() -> ScenarioConfig:
+    # The NAT64/DNS64 transition axis turned on over the same miniature
+    # world; scale 0.4 keeps the campaign cheap while every vantage
+    # still resolves through DNS64.
+    from dataclasses import replace
+
+    cfg = small_config(seed=11, scale=0.4)
+    return replace(cfg, dns64=replace(cfg.dns64, enabled=True))
+
+
+@pytest.fixture(scope="session")
+def dns64_campaign(dns64_cfg) -> CampaignResult:
+    return run_campaign(build_world(dns64_cfg), n_rounds=6)
+
+
 @pytest.fixture()
 def rng() -> random.Random:
     return random.Random(1234)

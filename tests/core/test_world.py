@@ -136,3 +136,72 @@ class TestForwardingPaths:
             if alternate is not None and alternate.as_path != primary.as_path:
                 return  # found at least one genuine alternate
         pytest.skip("no multihomed destination among the first 200 sites")
+
+
+class TestNat64:
+    def test_default_world_has_no_gateways(self, small_world):
+        assert small_world.nat64_gateways == ()
+        vantage = small_world.vantages[0]
+        assert small_world.nat64_gateway_for(vantage.asn) is None
+
+    def test_dns64_world_deploys_gateways(self, dns64_cfg, dns64_campaign):
+        world = dns64_campaign.world
+        assert len(world.nat64_gateways) == dns64_cfg.dns64.n_gateways
+        for gateway in world.nat64_gateways:
+            assert (
+                gateway.translation_quality
+                == dns64_cfg.dns64.translation_quality
+            )
+            assert gateway.gateway_asn in world.dualstack.v6_enabled
+
+    def test_translated_path_shape(self, dns64_campaign):
+        world = dns64_campaign.world
+        vantage = world.vantages[0]
+        gateway = world.nat64_gateway_for(vantage.asn)
+        assert gateway is not None
+        site = next(
+            s for s in world.catalog.sites if not s.v6_accessible_at(0)
+        )
+        owner = site.dest_asn(V4)
+        path = world.translated_path(vantage.asn, owner)
+        assert path is not None
+        assert path.translated
+        assert path.transition_kind == "translated"
+        assert path.family is V6
+        # apparent v6 leg ends at the gateway announcing 64:ff9b::/96
+        assert path.as_path[-1] == gateway.gateway_asn
+        # the hidden IPv4 leg adds RTT the BGP view does not show
+        assert path.translation_hidden_hops >= 1
+        assert path.effective_hops > len(path.as_path) - 1
+
+    def test_translated_path_is_cached(self, dns64_campaign):
+        world = dns64_campaign.world
+        vantage = world.vantages[0]
+        site = next(
+            s for s in world.catalog.sites if not s.v6_accessible_at(0)
+        )
+        owner = site.dest_asn(V4)
+        assert world.translated_path(vantage.asn, owner) is (
+            world.translated_path(vantage.asn, owner)
+        )
+
+    def test_campaign_records_transitions(self, dns64_campaign):
+        repo = dns64_campaign.repository
+        total = sum(
+            len(repo.database(name).transitions)
+            for name in repo.vantage_names
+        )
+        assert total > 0
+        kinds = {
+            obs.kind
+            for name in repo.vantage_names
+            for obs in repo.database(name).transitions
+        }
+        assert "translated" in kinds
+
+    def test_plain_campaign_records_none(self, small_campaign):
+        repo = small_campaign.repository
+        assert all(
+            not repo.database(name).transitions
+            for name in repo.vantage_names
+        )

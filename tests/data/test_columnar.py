@@ -22,6 +22,7 @@ from repro.monitor.database import (
     MeasurementDatabase,
     PageCheck,
     PathObservation,
+    TransitionObservation,
 )
 from repro.net.addresses import AddressFamily
 
@@ -29,7 +30,9 @@ V4 = AddressFamily.IPV4
 V6 = AddressFamily.IPV6
 
 
-def populated_db(with_faults: bool = True) -> MeasurementDatabase:
+def populated_db(
+    with_faults: bool = True, with_transitions: bool = False
+) -> MeasurementDatabase:
     db = MeasurementDatabase(vantage_name="T")
     db.add_dns(DnsObservation(1, "s1", 0, True, True))
     db.add_dns(DnsObservation(2, "s2", 0, True, False))
@@ -60,6 +63,11 @@ def populated_db(with_faults: bool = True) -> MeasurementDatabase:
         db.add_fault(FaultObservation(1, 0, V6, "timeout"))
         db.add_fault(FaultObservation(1, 1, V6, "dns_timeout"))
         db.add_fault(FaultObservation(2, 1, V4, "reset"))
+    if with_transitions:
+        db.add_transition(TransitionObservation(1, 0, "translated"))
+        db.add_transition(TransitionObservation(2, 0, "native"))
+        db.add_transition(TransitionObservation(1, 1, "translated"))
+        db.add_transition(TransitionObservation(1, 2, "native"))
     return db
 
 
@@ -114,6 +122,65 @@ def test_faults_export_csv_round_trip(tmp_path):
         for row in csv.DictReader(handle):
             by_kind[row["kind"]] = by_kind.get(row["kind"], 0) + int(row["count"])
     assert by_kind == db.fault_counts()
+
+
+def test_transitions_table_round_trips():
+    db = populated_db(with_transitions=True)
+    cdb = ColumnarDatabase.from_database(db)
+    table = cdb.table("transitions")
+    assert table.n_rows == 4
+    # dictionary-encoded transition kinds decode to the original values
+    assert table.rows() == [
+        [1, 0, "translated"],
+        [2, 0, "native"],
+        [1, 1, "translated"],
+        [1, 2, "native"],
+    ]
+    rebuilt = cdb.to_database()
+    assert rebuilt.transitions == db.transitions
+    assert rebuilt.transition_counts() == db.transition_counts()
+    # latest-round semantics survive the round trip: site 1 went native
+    assert rebuilt.transition_kind_of(1) == "native"
+
+
+def test_transitions_payload_round_trip_through_json():
+    db = populated_db(with_transitions=True)
+    payload = json.loads(
+        json.dumps(ColumnarDatabase.from_database(db).to_payload())
+    )
+    rebuilt = ColumnarDatabase.from_payload(payload).to_database()
+    assert rebuilt.transitions == db.transitions
+    assert rebuilt.to_dict() == db.to_dict()
+
+
+def test_transitions_export_csv_round_trip(tmp_path):
+    import csv
+
+    from repro.monitor.export import export_transitions_csv
+
+    db = populated_db(with_transitions=True)
+    rebuilt = ColumnarDatabase.from_database(db).to_database()
+    original_path = tmp_path / "original.csv"
+    rebuilt_path = tmp_path / "rebuilt.csv"
+    assert export_transitions_csv(db, original_path) == export_transitions_csv(
+        rebuilt, rebuilt_path
+    )
+    assert original_path.read_bytes() == rebuilt_path.read_bytes()
+    with original_path.open(newline="", encoding="utf-8") as handle:
+        by_kind: dict[str, int] = {}
+        for row in csv.DictReader(handle):
+            by_kind[row["transition"]] = by_kind.get(row["transition"], 0) + 1
+    assert by_kind == db.transition_counts()
+
+
+def test_transitionless_database_keeps_wire_layout():
+    # to_dict omits the transitions key when empty; the columnar round
+    # trip must preserve that (legacy content digests depend on it).
+    db = populated_db(with_transitions=False)
+    assert "transitions" not in db.to_dict()
+    rebuilt = ColumnarDatabase.from_database(db).to_database()
+    assert "transitions" not in rebuilt.to_dict()
+    assert rebuilt.to_dict() == db.to_dict()
 
 
 def test_faultless_database_keeps_wire_layout():

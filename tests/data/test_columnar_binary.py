@@ -33,7 +33,7 @@ from repro.data.columnar import (
     write_columnar_json,
 )
 from repro.errors import DataError
-from repro.monitor.database import FAULT_KINDS
+from repro.monitor.database import FAULT_KINDS, TRANSITION_KINDS
 
 from .test_columnar import populated_db
 
@@ -61,6 +61,7 @@ F64 = st.floats(allow_nan=False, width=64)
 TEXT = st.text(max_size=12)
 FAMILY = st.sampled_from(list(FAMILY_DICTIONARY))
 KIND = st.sampled_from(list(FAULT_KINDS))
+TRANSITION = st.sampled_from(list(TRANSITION_KINDS))
 AS_PATH = st.lists(st.integers(min_value=1, max_value=2**31), max_size=4)
 
 
@@ -71,6 +72,8 @@ def _row_strategy(table: str):
             parts.append(FAMILY)
         elif column == "kind":
             parts.append(KIND)
+        elif column == "transition":
+            parts.append(TRANSITION)
         elif column == "as_path":
             parts.append(AS_PATH)
         elif dtype == "str":

@@ -195,3 +195,62 @@ class TestQueryBoth:
     def test_unknown_site(self, resolver):
         answers = resolver.query_both("ghost.example.")
         assert answers[V4] is None and answers[V6] is None
+
+
+class TestDns64:
+    """AAAA synthesis for v4-only names (RFC 6147)."""
+
+    @pytest.fixture()
+    def resolver64(self, store) -> Resolver:
+        return Resolver(store=store, dns64=True)
+
+    def test_v4_only_name_gets_synthesized_aaaa(self, resolver64):
+        from repro.net.nat64 import is_nat64_mapped, synthesize_aaaa
+
+        result = resolver64.resolve("v4only.example.", V6)
+        assert result.rtype == RecordType.AAAA
+        assert result.addresses == (synthesize_aaaa(IPv4Address(2)),)
+        assert is_nat64_mapped(result.addresses[0])
+
+    def test_real_aaaa_is_never_overridden(self, resolver64):
+        from repro.net.nat64 import is_nat64_mapped
+
+        result = resolver64.resolve("dual.example.", V6)
+        assert result.addresses == (IPv6Address(1),)
+        assert not is_nat64_mapped(result.addresses[0])
+
+    def test_nxdomain_stays_nxdomain(self, resolver64):
+        with pytest.raises(NxDomain):
+            resolver64.resolve("ghost.example.", V6)
+
+    def test_synthesis_follows_cname_chains(self, resolver64, store):
+        from repro.net.nat64 import is_nat64_mapped
+
+        store.zone_for("example.").add(
+            ResourceRecord("alias4.example.", RecordType.CNAME, "v4only.example.")
+        )
+        result = resolver64.resolve("alias4.example.", V6)
+        assert result.final_name == "v4only.example."
+        assert is_nat64_mapped(result.addresses[0])
+
+    def test_ipv4_answers_untouched(self, resolver64):
+        result = resolver64.resolve("v4only.example.", V4)
+        assert result.addresses == (IPv4Address(2),)
+
+    def test_disabled_resolver_still_raises(self, resolver):
+        with pytest.raises(NoRecord):
+            resolver.resolve("v4only.example.", V6)
+
+    def test_synthesis_counter_increments(self, resolver64):
+        from repro.obs import metrics
+
+        before = metrics.counter("dns.dns64.synthesized").value
+        resolver64.resolve("v4only.example.", V6)
+        assert metrics.counter("dns.dns64.synthesized").value == before + 1
+
+    def test_query_both_sees_both_families(self, resolver64):
+        from repro.net.nat64 import is_nat64_mapped
+
+        answers = resolver64.query_both("v4only.example.")
+        assert answers[V4].addresses == (IPv4Address(2),)
+        assert is_nat64_mapped(answers[V6].addresses[0])

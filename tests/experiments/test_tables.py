@@ -178,3 +178,29 @@ class TestWorldIpv6DayTables:
     def test_table12_runs(self, small_w6d):
         table = worldipv6day.run_table12(small_w6d)
         assert len(table.rows) == 2
+
+
+class TestTransitionMatrix:
+    def test_empty_without_dns64(self, small_data):
+        from repro.experiments import transition
+
+        table = transition.run(small_data)
+        assert not table.rows
+        assert any("--transition" in note for note in table.notes)
+
+    def test_dns64_campaign_fills_the_matrix(self, dns64_cfg, dns64_campaign):
+        from repro.experiments import transition
+        from repro.experiments.scenario import ExperimentData, build_contexts
+
+        data = ExperimentData(
+            config=dns64_cfg,
+            campaign=dns64_campaign,
+            contexts=build_contexts(dns64_cfg, dns64_campaign),
+        )
+        table = transition.run(data)
+        assert table.rows
+        header = table.columns
+        assert "translated" in header and "native/NAT64" in header
+        # the miniature world's sparse AAAA coverage makes NAT64 dominate
+        penn = next(row for row in table.rows if row[0] == "Penn")
+        assert int(penn[3]) > 0  # translated sites

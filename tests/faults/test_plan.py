@@ -174,3 +174,37 @@ class TestPlanRejectsInvalidConfig:
         bad = dataclasses.replace(NEVER, tunnel_breakage_rate=1.5)
         with pytest.raises(ConfigError, match="tunnel_breakage_rate"):
             FaultPlan(bad, master_seed=1)
+
+
+class TestNat64Outage:
+    def test_zero_rate_never_fires(self):
+        plan = FaultPlan(NEVER, master_seed=3)
+        assert not any(
+            plan.nat64_outage(asn, r) for asn in (5, 9) for r in range(20)
+        )
+
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan(
+            FaultConfig(nat64_outage_rate=1.0), master_seed=3
+        )
+        assert all(
+            plan.nat64_outage(asn, r) for asn in (5, 9) for r in range(20)
+        )
+
+    def test_decisions_are_deterministic_and_memoised(self):
+        config = FaultConfig(nat64_outage_rate=0.5)
+        a = FaultPlan(config, master_seed=17)
+        b = FaultPlan(config, master_seed=17)
+        coords = [(asn, r) for asn in (5, 9, 12) for r in range(10)]
+        first = [a.nat64_outage(*c) for c in coords]
+        assert first == [b.nat64_outage(*c) for c in coords]
+        # repeated queries answer from the memo, identically
+        assert first == [a.nat64_outage(*c) for c in coords]
+
+    def test_presets_schedule_outages(self):
+        assert fault_preset("none").nat64_outage_rate == 0.0
+        assert fault_preset("mild").nat64_outage_rate > 0.0
+        assert (
+            fault_preset("heavy").nat64_outage_rate
+            > fault_preset("mild").nat64_outage_rate
+        )

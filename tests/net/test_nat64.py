@@ -1,0 +1,54 @@
+"""NAT64 prefix math (RFC 6052) and the gateway descriptor."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addresses import AddressFamily, IPv4Address, IPv6Address
+from repro.net.nat64 import (
+    NAT64_PREFIX,
+    Nat64Gateway,
+    extract_ipv4,
+    is_nat64_mapped,
+    synthesize_aaaa,
+)
+
+
+class TestPrefixMath:
+    def test_well_known_prefix(self):
+        assert str(NAT64_PREFIX) == "64:ff9b::/96"
+
+    def test_synthesis_embeds_the_v4_address(self):
+        v4 = IPv4Address(0xC0000201)  # 192.0.2.1
+        v6 = synthesize_aaaa(v4)
+        assert v6.family is AddressFamily.IPV6
+        assert is_nat64_mapped(v6)
+        assert int(v6) & 0xFFFFFFFF == int(v4)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_round_trip_is_lossless(self, value):
+        v4 = IPv4Address(value)
+        assert extract_ipv4(synthesize_aaaa(v4)) == v4
+
+    def test_v4_addresses_are_never_mapped(self):
+        assert not is_nat64_mapped(IPv4Address(1))
+
+    def test_native_v6_is_not_mapped(self):
+        assert not is_nat64_mapped(IPv6Address(2**120))
+
+    def test_extract_rejects_unmapped_addresses(self):
+        with pytest.raises(ValueError, match="not inside"):
+            extract_ipv4(IPv6Address(2**120))
+
+
+class TestGateway:
+    def test_valid_gateway(self):
+        gw = Nat64Gateway(gateway_asn=7, translation_quality=0.88)
+        assert gw.gateway_asn == 7
+
+    @pytest.mark.parametrize("quality", [0.0, -0.1, 1.01])
+    def test_quality_out_of_range_rejected(self, quality):
+        with pytest.raises(ValueError, match="translation_quality"):
+            Nat64Gateway(gateway_asn=7, translation_quality=quality)

@@ -130,3 +130,54 @@ def test_single_observer_run(columnar):
 def test_subset_selection(columnar):
     subset = run_panel(columnar, names=["hop_inflation", "speed_parity"])
     assert sorted(subset) == ["hop_inflation", "speed_parity"]
+
+
+def test_transition_matrix_empty_without_dns64(panel):
+    body = panel["transition_matrix"].body
+    assert body["summary"]["n_sites"] == 0
+    assert body["summary"]["translated_share"] == 0.0
+    assert body["summary"]["native_over_translated"] is None
+
+
+class TestTransitionMatrixLive:
+    @pytest.fixture(scope="class")
+    def dns64_panel(self, dns64_campaign):
+        columnar = ColumnarRepository.from_repository(
+            dns64_campaign.repository
+        )
+        return run_panel(columnar, names=["transition_matrix"]), columnar
+
+    def test_matrix_semantics(self, dns64_panel):
+        panel, _ = dns64_panel
+        body = panel["transition_matrix"].body
+        summary = body["summary"]
+        assert summary["n_sites"] > 0
+        assert 0.0 < summary["translated_share"] <= 1.0
+        assert summary["by_kind"]["translated"] > 0
+        assert sum(summary["by_kind"].values()) == summary["n_sites"]
+        assert sum(
+            v["n_sites"] for v in body["per_vantage"].values()
+        ) == summary["n_sites"]
+        series = body["series"]["translated_share"]
+        assert series["rounds"] == sorted(series["rounds"])
+        assert all(0.0 <= v <= 1.0 for v in series["values"])
+
+    def test_speed_gap_reported(self, dns64_panel):
+        panel, _ = dns64_panel
+        summary = panel["transition_matrix"].body["summary"]
+        assert summary["translated_mean_speed"] is not None
+        if summary["native_mean_speed"] is not None:
+            assert summary["native_over_translated"] == pytest.approx(
+                summary["native_mean_speed"]
+                / summary["translated_mean_speed"]
+            )
+
+    def test_report_is_deterministic(self, dns64_panel):
+        panel, columnar = dns64_panel
+        again = run_panel(columnar, names=["transition_matrix"])
+        report = panel["transition_matrix"]
+        assert again["transition_matrix"].digest == report.digest
+        assert (
+            again["transition_matrix"].canonical_bytes()
+            == report.canonical_bytes()
+        )

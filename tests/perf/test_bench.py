@@ -40,6 +40,7 @@ class TestRunBench:
             "query",
             "observers",
             "store_io",
+            "dns64",
         }
 
     def test_unknown_workload_rejected(self):

@@ -128,3 +128,34 @@ class TestCommands:
         phases = {row["phase"] for row in report["phases"]}
         assert phases == {"world build", "routing", "rounds", "analysis"}
         assert report["metrics"]["campaign.rounds"]["value"] > 0
+
+
+class TestTransitionFlag:
+    def test_flag_parses_everywhere(self):
+        parser = build_parser()
+        for argv in (
+            ["run-all", "--transition"],
+            ["quickrun", "--transition"],
+            ["export", "--out", "x", "--transition"],
+            ["observe", "--transition"],
+        ):
+            assert parser.parse_args(argv).transition
+
+    def test_flag_defaults_off(self):
+        assert not build_parser().parse_args(["quickrun"]).transition
+
+    def test_export_with_transition_writes_transitions_csv(
+        self, tmp_path, capsys
+    ):
+        assert (
+            main(
+                [
+                    "export", "--out", str(tmp_path / "d"),
+                    "--seed", "11", "--scale", "0.3",
+                    "--transition", "--backend", "serial",
+                ]
+            )
+            == 0
+        )
+        trees = list((tmp_path / "d").rglob("transitions.csv"))
+        assert trees, "transition-enabled export must emit transitions.csv"

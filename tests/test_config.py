@@ -210,3 +210,53 @@ class TestFaultValidation:
         )
         with pytest.raises(ConfigError):
             cfg.validate()
+
+
+class TestDns64Validation:
+    def test_default_is_off(self):
+        from repro.config import Dns64Config
+
+        cfg = Dns64Config()
+        assert not cfg.enabled
+        assert not cfg.applies_to("Penn")
+        cfg.validate()
+
+    def test_enabled_applies_to_all_when_unscoped(self):
+        from repro.config import Dns64Config
+
+        cfg = Dns64Config(enabled=True)
+        assert cfg.applies_to("Penn") and cfg.applies_to("Tsinghua")
+
+    def test_vantage_scoping(self):
+        from repro.config import Dns64Config
+
+        cfg = Dns64Config(enabled=True, vantage_names=("Penn",))
+        assert cfg.applies_to("Penn")
+        assert not cfg.applies_to("Tsinghua")
+
+    def test_gateway_count_validated(self):
+        from repro.config import Dns64Config
+
+        with pytest.raises(ConfigError, match="n_gateways"):
+            Dns64Config(n_gateways=0).validate()
+
+    def test_translation_quality_bounds(self):
+        from repro.config import Dns64Config
+
+        with pytest.raises(ConfigError, match="translation_quality"):
+            Dns64Config(translation_quality=0.0).validate()
+        with pytest.raises(ConfigError, match="translation_quality"):
+            Dns64Config(translation_quality=1.2).validate()
+
+    def test_scenario_validates_dns64_subconfig(self):
+        from repro.config import Dns64Config
+
+        cfg = replace(default_config(), dns64=Dns64Config(n_gateways=-1))
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_nat64_outage_rate_validated(self):
+        with pytest.raises(ConfigError, match="nat64_outage_rate"):
+            FaultConfig(nat64_outage_rate=-0.1).validate()
+        with pytest.raises(ConfigError, match="nat64_outage_rate"):
+            FaultConfig(nat64_outage_rate=1.5).validate()

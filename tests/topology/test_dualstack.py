@@ -183,3 +183,32 @@ class TestValleyFreeDistances:
         valley = valley_free_distances(topo, dest)
         for provider in topo.providers_of(dest):
             assert valley[provider] == 1
+
+
+class TestNat64GatewaySelection:
+    def test_gateways_come_from_the_v6_untunneled_core(self, world):
+        from repro.topology.dualstack import select_nat64_gateways
+
+        topo, ds = world
+        picks = select_nat64_gateways(ds, 3, random.Random(5))
+        assert picks == tuple(sorted(picks))
+        for asn in picks:
+            assert asn in ds.v6_enabled
+            assert topo.ases[asn].type in (ASType.TIER1, ASType.TRANSIT)
+            assert ds.tunnel_of(asn) is None
+
+    def test_selection_is_seed_deterministic(self, world):
+        from repro.topology.dualstack import select_nat64_gateways
+
+        _, ds = world
+        assert select_nat64_gateways(ds, 2, random.Random(5)) == (
+            select_nat64_gateways(ds, 2, random.Random(5))
+        )
+
+    def test_count_clamped_to_pool(self, world):
+        from repro.topology.dualstack import select_nat64_gateways
+
+        _, ds = world
+        picks = select_nat64_gateways(ds, 10_000, random.Random(5))
+        assert len(picks) == len(set(picks))
+        assert len(picks) <= len(ds.v6_enabled)

@@ -77,6 +77,48 @@ class TestRace:
             HappyEyeballsClient(model, preference_delay_ms=-1.0)
 
 
+class TestComposition:
+    """race_environment over a real world's resolver and paths."""
+
+    def test_race_over_translated_destination(self):
+        from dataclasses import replace
+
+        from repro.config import small_config
+        from repro.core.world import build_world
+        from repro.net.nat64 import is_nat64_mapped
+        from repro.web.happyeyeballs import race_environment
+
+        config = small_config(seed=5, scale=0.05)
+        config = replace(config, dns64=replace(config.dns64, enabled=True))
+        world = build_world(config)
+        world.advance_to_round(0)
+        env = world.environment_for(world.vantages[0])
+        he = HappyEyeballsClient(
+            LatencyModel(LatencyConfig(jitter_sigma=0.0), RngStreams(1))
+        )
+
+        v4_only = next(
+            site
+            for site in world.catalog.sites
+            if not site.v6_accessible_at(0)
+        )
+        now = env.clock.time_of_round(0)
+        res6 = env.resolver.resolve_quiet(v4_only.name, V6, now)
+        # DNS64 synthesized the AAAA: a 64:ff9b::/96-mapped address.
+        assert res6 is not None and is_nat64_mapped(res6.addresses[0])
+
+        outcome = race_environment(he, env, v4_only.name, 0, random.Random(7))
+        assert outcome is not None
+        # The translated leg actually raced instead of forfeiting.
+        assert outcome.v6_rtt_ms is not None
+
+        native = next(
+            site for site in world.catalog.sites if site.v6_accessible_at(0)
+        )
+        outcome = race_environment(he, env, native.name, 0, random.Random(7))
+        assert outcome is not None and outcome.v6_rtt_ms is not None
+
+
 class TestStatistics:
     def test_summary(self, client):
         outcomes = [
